@@ -1,0 +1,224 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"fenrir/internal/core"
+	"fenrir/internal/latency"
+	"fenrir/internal/report"
+	"fenrir/internal/scenario"
+	"fenrir/internal/timeline"
+)
+
+func grootConfig(cfg runConfig) scenario.GRootConfig {
+	c := scenario.DefaultGRootConfig(cfg.seed)
+	if !cfg.full {
+		c.EpochMinutes = 30
+		c.VPs = 200
+		c.StubsPerRegion = 15
+	}
+	return c
+}
+
+// runFig1 reproduces Figure 1: per-site VP counts over the ten-day G-Root
+// window, showing the STR drain/revert cycles and the CMH→SAT shift.
+func runFig1(cfg runConfig) error {
+	res, err := scenario.RunGRoot(grootConfig(cfg))
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.StackPlot(subsampleSeries(res.Series, 12)))
+	saveStackPNG(cfg, "fig1-groot-stack", res.Series)
+	d1 := res.Events["drain-1"]
+	pre := res.Series.At(d1 - 1).Aggregate()
+	during := res.Series.At(d1 + 1).Aggregate()
+	paperVsMeasured("STR drains, clients shift to NAP",
+		"STR ~5200 -> ~1", fmt.Sprintf("STR %d -> %d", pre["STR"], during["STR"]))
+	paperVsMeasured("drain reverts about 4.5h later",
+		"catchments restore", fmt.Sprintf("STR back to %d at revert+1",
+			res.Series.At(res.Events["revert-1"] + 1).Aggregate()["STR"]))
+	tp := res.Events["third-party"]
+	preSAT := res.Series.At(tp - 1).Aggregate()["SAT"]
+	durSAT := res.Series.At(tp + 1).Aggregate()["SAT"]
+	paperVsMeasured("secondary CMH->SAT shift (third party)",
+		"SAT gains for two days", fmt.Sprintf("SAT %d -> %d", preSAT, durSAT))
+	return nil
+}
+
+// runTable3 reproduces Table 3: the two adjacent transition matrices at
+// the STR drain boundary.
+func runTable3(cfg runConfig) error {
+	res, err := scenario.RunGRoot(grootConfig(cfg))
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.TransitionTable(res.DrainTransitions[0],
+		"(a) large shift out of STR, with convergence transients in err:"))
+	fmt.Println()
+	fmt.Print(report.TransitionTable(res.DrainTransitions[1],
+		"(b) drain completes, err clients resolve:"))
+	strOut := res.DrainTransitions[0].Row("STR")
+	errOut := res.DrainTransitions[1].Row(core.SiteError)
+	var toSites, toErr, resolved float64
+	for to, n := range strOut {
+		switch to {
+		case core.SiteError:
+			toErr += n
+		case "STR":
+		default:
+			toSites += n
+		}
+	}
+	for to, n := range errOut {
+		if to != core.SiteError && to != core.UnknownLabel {
+			resolved += n
+		}
+	}
+	paperVsMeasured("STR -> other sites (Table 3a)", "3097 to NAP",
+		fmt.Sprintf("%.0f networks", toSites))
+	paperVsMeasured("STR -> err transients (Table 3a)", "1542",
+		fmt.Sprintf("%.0f networks", toErr))
+	paperVsMeasured("err -> sites resolutions (Table 3b)", "1801 to NAP",
+		fmt.Sprintf("%.0f networks", resolved))
+	return nil
+}
+
+func brootConfig(cfg runConfig) scenario.BRootConfig {
+	c := scenario.DefaultBRootConfig(cfg.seed)
+	if cfg.full {
+		c.EpochDays = 2
+		c.StubsPerRegion = 40
+		c.HitlistStride = 1
+	}
+	return c
+}
+
+// runFig3 reproduces Figure 3: the five-year B-Root heatmap and the mode
+// structure, including the collection gap and the mode (i)~(v) recurrence.
+func runFig3(cfg runConfig) error {
+	res, err := scenario.RunBRoot(brootConfig(cfg))
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Heatmap(res.Matrix, 60))
+	saveHeatmapPNG(cfg, "fig3-broot-heatmap", res.Matrix)
+	saveStackPNG(cfg, "fig3-broot-stack", res.Series)
+	fmt.Print(report.ModesSummary(res.Modes))
+	paperVsMeasured("modes over five years", "6 modes (i)..(vi)",
+		fmt.Sprintf("%d modes at threshold %.2f", len(res.Modes.Modes), res.Modes.Threshold))
+
+	// The recurrence: Phi(mode-i epochs, after-gap epochs) compared with
+	// the immediate pre-gap neighbourhood.
+	rowOf := func(e timeline.Epoch) int {
+		for i, v := range res.Series.Vectors {
+			if v.T >= e {
+				return i
+			}
+		}
+		return len(res.Series.Vectors) - 1
+	}
+	window := func(first timeline.Epoch, dir int) []int {
+		var rows []int
+		for k := 0; len(rows) < 5 && k < 60; k++ {
+			e := first + timeline.Epoch(dir*k)
+			if res.Series.At(e) != nil {
+				rows = append(rows, rowOf(e))
+			}
+		}
+		return rows
+	}
+	early := window(2, 1)
+	afterGap := window(res.Events["gap-end"], 1)
+	preGap := window(res.GapRange.From-1, -1)
+	phiRecur := res.Matrix.MeanPhi(early, afterGap)
+	phiNeighbor := res.Matrix.MeanPhi(preGap, afterGap)
+	paperVsMeasured("recurrence: Phi(Mearly, Mv) vs Phi(Miv, Mv)",
+		"0.31 vs 0.22 (v resembles an early mode)",
+		fmt.Sprintf("%.2f vs %.2f", phiRecur, phiNeighbor))
+	recurMode := "none"
+	if m := res.Modes.ModeOf(afterGap[0]); m != nil && len(m.Ranges) > 1 {
+		recurMode = fmt.Sprintf("post-gap epochs joined mode (%d) spanning %d ranges", m.ID, len(m.Ranges))
+	}
+	paperVsMeasured("clustering rediscovers the earlier mode",
+		"mode (v) like mode (i)", recurMode)
+	paperVsMeasured("~30% of networks fall back to the earlier mode",
+		"about one-third match", phiAsPct(phiRecur))
+
+	// Sub-mode dips around the scripted third-party events (iv.a–iv.d).
+	for _, name := range []string{"third-party-1", "third-party-2", "third-party-3"} {
+		e := res.Events[name]
+		r := rowOf(e)
+		if r <= 0 || r >= res.Series.Len() {
+			continue
+		}
+		fmt.Printf("  %s at epoch %d: Phi(t-1,t) = %.3f\n", name, e, res.Matrix.At(r-1, r))
+	}
+	return nil
+}
+
+func phiAsPct(phi float64) string { return fmt.Sprintf("%.0f%% similar", phi*100) }
+
+// runFig4 reproduces Figure 4: p90 latency per catchment, with ARI's
+// high-latency series vanishing at shutdown and SCL appearing with low
+// latency.
+func runFig4(cfg runConfig) error {
+	res, err := scenario.RunBRoot(brootConfig(cfg))
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.LatencyCSV(res.Latency))
+	ari := seriesStats(res.Latency, "ARI")
+	scl := seriesStats(res.Latency, "SCL")
+	lax := seriesStats(res.Latency, "LAX")
+	paperVsMeasured("ARI p90 while serving remote clients",
+		">200 ms, vanishes 2023-03-06",
+		fmt.Sprintf("max %.0f ms over %d epochs, then absent", ari.max, ari.n))
+	paperVsMeasured("SCL appears with very low latency",
+		"low after 2023-06-29",
+		fmt.Sprintf("mean %.0f ms over %d epochs", scl.mean, scl.n))
+	paperVsMeasured("LAX serves its region at moderate latency", "stable",
+		fmt.Sprintf("mean %.0f ms", lax.mean))
+	paperVsMeasured("polarized clients on the untouched site layout",
+		"some NA/EU networks routed to ARI",
+		fmt.Sprintf("%d VPs (%.0f%% of mesh)", res.PolarizedCount, res.PolarizationRate*100))
+	return nil
+}
+
+type stats struct {
+	n         int
+	mean, max float64
+}
+
+func seriesStats(s *latency.SiteSeries, site string) stats {
+	var st stats
+	for i := range s.Epochs {
+		v := s.Value(site, i)
+		if math.IsNaN(v) {
+			continue
+		}
+		st.n++
+		st.mean += v
+		if v > st.max {
+			st.max = v
+		}
+	}
+	if st.n > 0 {
+		st.mean /= float64(st.n)
+	}
+	return st
+}
+
+// subsampleSeries thins a series for printable stack plots.
+func subsampleSeries(s *core.Series, stride int) *core.Series {
+	if stride <= 1 {
+		return s
+	}
+	var vs []*core.Vector
+	for i, v := range s.Vectors {
+		if i%stride == 0 {
+			vs = append(vs, v)
+		}
+	}
+	return core.NewSeries(s.Space, s.Schedule, vs, s.Gaps)
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+
+	"fenrir/internal/astopo"
+	"fenrir/internal/bgpsim"
+	"fenrir/internal/core"
+	"fenrir/internal/hegemony"
+	"fenrir/internal/measure/bgpfeed"
+	"fenrir/internal/netaddr"
+)
+
+// runControlPlane demonstrates the paper's stated future work: Fenrir on a
+// control-plane data source. A RouteViews-style collector peers with every
+// stub AS, snapshots BGP UPDATE feeds toward a B-Root-like service before
+// and after a site drain, and runs the same Φ/transition analysis the
+// data-plane pipelines use. It also reports AS-hegemony over the feed —
+// the metric behind RIPE's country-level transit reports the paper cites.
+func runControlPlane(cfg runConfig) error {
+	gen := astopo.DefaultGenConfig(cfg.seed)
+	gen.StubsPerRegion = 20
+	if cfg.full {
+		gen.StubsPerRegion = 40
+	}
+	g := astopo.Generate(gen)
+
+	var t2s []astopo.ASN
+	for _, a := range g.ASNs() {
+		if g.AS(a).Tier == astopo.Tier2 {
+			t2s = append(t2s, a)
+		}
+	}
+	svc := bgpsim.NewService("b-root", netaddr.MustParsePrefix("199.9.14.0/24"))
+	svc.AddSite("LAX", t2s[0])
+	svc.AddSite("AMS", t2s[len(t2s)/2])
+	svc.AddSite("SIN", t2s[len(t2s)-1])
+
+	var peers []astopo.ASN
+	for _, a := range g.ASNs() {
+		if g.AS(a).Tier == astopo.Stub {
+			peers = append(peers, a)
+		}
+	}
+	coll, err := bgpfeed.NewCollector(g, peers)
+	if err != nil {
+		return err
+	}
+	space := coll.Space()
+
+	rib, err := svc.ComputeRIB(g, nil)
+	if err != nil {
+		return err
+	}
+	snapBefore, err := coll.Collect(svc, rib)
+	if err != nil {
+		return err
+	}
+	before := snapBefore.OriginVector(space, 0, bgpfeed.SiteIndex(svc))
+
+	svc.Drain("LAX")
+	rib2, err := svc.ComputeRIB(g, nil)
+	if err != nil {
+		return err
+	}
+	snapAfter, err := coll.Collect(svc, rib2)
+	if err != nil {
+		return err
+	}
+	after := snapAfter.OriginVector(space, 1, bgpfeed.SiteIndex(svc))
+
+	phi := core.Gower(before, after, nil, core.PessimisticUnknown)
+	tm := core.Transition(before, after, nil)
+	lax := before.Aggregate()["LAX"]
+	paperVsMeasured("control-plane feed sees the drain",
+		"future work in the paper",
+		fmt.Sprintf("Phi %.2f across drain; LAX %d -> %d peers",
+			phi, lax, after.Aggregate()["LAX"]))
+	paperVsMeasured("largest control-plane flow",
+		"drained clients re-home",
+		fmt.Sprintf("%v", tm.LargestFlows(1)))
+
+	// Hegemony over the pre-drain feed: the transit core should dominate.
+	scores := hegemony.Compute(snapBefore.Paths(), hegemony.TrimFraction)
+	fmt.Println("  top transit ASes by hegemony (pre-drain feed):")
+	for _, as := range scores.Top(5) {
+		fmt.Printf("    AS%-6d %s  hegemony %.2f\n", as, g.AS(as).Name, scores[as])
+	}
+	return nil
+}

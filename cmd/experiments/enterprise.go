@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+
+	"fenrir/internal/report"
+	"fenrir/internal/scenario"
+	"fenrir/internal/timeline"
+)
+
+func uscConfig(cfg runConfig) scenario.USCConfig {
+	c := scenario.DefaultUSCConfig(cfg.seed)
+	if cfg.full {
+		c.EpochDays = 1
+		c.StubsPerRegion = 30
+		c.HitlistStride = 1
+	}
+	return c
+}
+
+// runFig2 reproduces Figure 2: enterprise catchments at hop 3 over eight
+// months, the heatmap with its two strong modes, and the 2025-01-16
+// routing change.
+func runFig2(cfg runConfig) error {
+	res, err := scenario.RunUSC(uscConfig(cfg))
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.StackPlot(res.Series))
+	fmt.Print(report.Heatmap(res.Matrix, 60))
+	saveHeatmapPNG(cfg, "fig2-usc-heatmap", res.Matrix)
+	saveStackPNG(cfg, "fig2-usc-stack", res.Series)
+	fmt.Print(report.ModesSummary(res.Modes))
+
+	rowOf := func(e timeline.Epoch) int {
+		for i, v := range res.Series.Vectors {
+			if v.T >= e {
+				return i
+			}
+		}
+		return len(res.Series.Vectors) - 1
+	}
+	within := res.Matrix.At(rowOf(1), rowOf(3))
+	cross := res.Matrix.At(rowOf(res.ChangeEpoch-1), rowOf(res.ChangeEpoch+1))
+	paperVsMeasured("two strong modes split at 2025-01-16",
+		"mode (i) / mode (ii)", fmt.Sprintf("change at epoch %d", res.ChangeEpoch))
+	paperVsMeasured("cross-change Phi far below within-mode",
+		"Phi(Mi,Mii) in [0.11,0.48]",
+		fmt.Sprintf("within %.2f, across %.2f", within, cross))
+	paperVsMeasured("at most 90% of catchments changed",
+		"huge routing change", fmt.Sprintf("%.0f%% changed", (1-cross)*100))
+
+	total := func(m map[string]int) int {
+		t := 0
+		for _, n := range m {
+			t += n
+		}
+		return t
+	}
+	tb, ta := total(res.Hop3Before), total(res.Hop3After)
+	paperVsMeasured("hop-3 AS2152 (CENIC) share collapses",
+		"80% -> 13%",
+		fmt.Sprintf("%.0f%% -> %.0f%%",
+			100*float64(res.Hop3Before["AS2152"])/float64(tb),
+			100*float64(res.Hop3After["AS2152"])/float64(ta)))
+	paperVsMeasured("NTT (AS2914) + HE (AS6939) take over",
+		"31% + 29%",
+		fmt.Sprintf("%.0f%% + %.0f%%",
+			100*float64(res.Hop3After["AS2914"])/float64(ta),
+			100*float64(res.Hop3After["AS6939"])/float64(ta)))
+	return nil
+}
+
+// runSankey reproduces Figures 7/8: hop 1-4 flow topology before and
+// after the reconfiguration.
+func runSankey(cfg runConfig) error {
+	res, err := scenario.RunUSC(uscConfig(cfg))
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Sankey(res.FlowsBefore, "Figure 7 equivalent: flows before 2025-01-16 (hops 1-4)"))
+	fmt.Println()
+	fmt.Print(report.Sankey(res.FlowsAfter, "Figure 8 equivalent: flows after 2025-01-16 (hops 1-4)"))
+	paperVsMeasured("hop-2 share via direct CENIC",
+		"8% -> 1.5%", shareThrough(res.FlowsBefore, res.FlowsAfter, "AS52>AS2152"))
+	paperVsMeasured("hop-3+ redistribution to AS2914/AS6939",
+		"31% / 29%", "see flow tables above")
+	return nil
+}
+
+// shareThrough reports the percentage of flow mass whose key starts with
+// the given hop prefix, before and after.
+func shareThrough(before, after map[string]int, prefix string) string {
+	calc := func(flows map[string]int) float64 {
+		match, total := 0, 0
+		for k, n := range flows {
+			total += n
+			if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+				match += n
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(match) / float64(total)
+	}
+	return fmt.Sprintf("%.1f%% -> %.1f%%", calc(before), calc(after))
+}

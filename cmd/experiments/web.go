@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+
+	"fenrir/internal/report"
+	"fenrir/internal/scenario"
+)
+
+// runFig5 reproduces Figure 5: the Google front-end similarity heatmap
+// with its weekly block structure and the dissimilar 2013 rows.
+func runFig5(cfg runConfig) error {
+	c := scenario.DefaultGoogleConfig(cfg.seed)
+	if !cfg.full {
+		c.Prefixes = 800
+		c.StubsPerRegion = 15
+	}
+	res, err := scenario.RunGoogle(c)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Heatmap(res.Matrix, 63))
+	saveHeatmapPNG(cfg, "fig5-google-heatmap", res.Matrix)
+	paperVsMeasured("within-week similarity", "Phi ~0.79",
+		fmt.Sprintf("%.2f", res.WithinWeekPhi))
+	paperVsMeasured("adjacent-week similarity", "Phi ~0.25",
+		fmt.Sprintf("%.2f", res.CrossWeekPhi))
+	paperVsMeasured("2013 vs 2024 infrastructure", "no similarity",
+		fmt.Sprintf("%.3f", res.CrossEraPhi))
+	return nil
+}
+
+// runFig6 reproduces Figure 6: Wikipedia's stable catchments, the codfw
+// drain week, and the partial return.
+func runFig6(cfg runConfig) error {
+	c := scenario.DefaultWikipediaConfig(cfg.seed)
+	if !cfg.full {
+		c.Prefixes = 800
+		c.StubsPerRegion = 15
+	}
+	res, err := scenario.RunWikipedia(c)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.StackPlot(res.Series))
+	fmt.Print(report.Heatmap(res.Matrix, 42))
+	saveHeatmapPNG(cfg, "fig6-wikipedia-heatmap", res.Matrix)
+	saveStackPNG(cfg, "fig6-wikipedia-stack", res.Series)
+	fmt.Print(report.ModesSummary(res.Modes))
+	paperVsMeasured("stable-mode internal similarity", "Phi in [0.93, 0.95]",
+		fmt.Sprintf("adjacent Phi %.2f", res.Matrix.At(0, 1)))
+	paperVsMeasured("codfw drained 2025-03-19 .. -26",
+		"clients to eqiad/ulsfo",
+		fmt.Sprintf("codfw %d -> %d prefixes", res.CodfwBefore, res.CodfwDuring))
+	paperVsMeasured("only ~30% of clients return after restore", "~30%",
+		fmt.Sprintf("%.0f%% (codfw now %d)", res.ReturnedFraction*100, res.CodfwAfter))
+	// Phi(Mi, Miii): before-drain vs after-restore rows.
+	b := int(res.DrainEpoch) - 1
+	a := int(res.RestoreEpoch) + 1
+	paperVsMeasured("post-event mode vs pre-event mode", "Phi(Mi,Miii) ~0.8",
+		fmt.Sprintf("%.2f", res.Matrix.At(b, a)))
+	return nil
+}

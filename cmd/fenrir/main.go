@@ -1,0 +1,127 @@
+// Command fenrir runs one of the built-in measurement scenarios on the
+// simulated Internet and prints the Fenrir analysis an operator would
+// read: the mode summary, the similarity heatmap, catchment aggregates,
+// and detected change events.
+//
+// Usage:
+//
+//	fenrir -scenario broot                     # five-year anycast study
+//	fenrir -scenario groot -heatmap 40         # ten-day DNSMON-style study
+//	fenrir -scenario usc -stack                # enterprise hop-3 catchments
+//	fenrir -scenario google|wikipedia          # website catchments
+//	fenrir -scenario validation                # Table 4 ground-truth study
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fenrir/internal/core"
+	"fenrir/internal/dataset"
+	"fenrir/internal/report"
+	"fenrir/internal/scenario"
+)
+
+func main() {
+	var (
+		name    = flag.String("scenario", "broot", "scenario: broot groot usc google wikipedia validation")
+		seed    = flag.Uint64("seed", 42, "root seed")
+		heatmap = flag.Int("heatmap", 60, "heatmap resolution (cells per side)")
+		stack   = flag.Bool("stack", false, "also print the catchment stack plot CSV")
+		export  = flag.String("export", "", "write the scenario's vector dataset to this CSV file")
+	)
+	flag.Parse()
+
+	if err := run(*name, *seed, *heatmap, *stack, *export); err != nil {
+		fmt.Fprintln(os.Stderr, "fenrir:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, seed uint64, heatmapDim int, stack bool, export string) error {
+	var (
+		series *core.Series
+		matrix *core.SimMatrix
+		modes  *core.ModesResult
+	)
+	switch name {
+	case "broot":
+		res, err := scenario.RunBRoot(scenario.DefaultBRootConfig(seed))
+		if err != nil {
+			return err
+		}
+		series, matrix, modes = res.Series, res.Matrix, res.Modes
+	case "groot":
+		cfg := scenario.DefaultGRootConfig(seed)
+		cfg.EpochMinutes = 30 // printable scale
+		res, err := scenario.RunGRoot(cfg)
+		if err != nil {
+			return err
+		}
+		series = res.Series
+		matrix = core.SimilarityMatrix(series, nil, core.PessimisticUnknown)
+		modes = core.DiscoverModes(matrix, core.DefaultAdaptiveOptions())
+		fmt.Print(report.TransitionTable(res.DrainTransitions[0], "transition at first STR drain:"))
+	case "usc":
+		res, err := scenario.RunUSC(scenario.DefaultUSCConfig(seed))
+		if err != nil {
+			return err
+		}
+		series, matrix, modes = res.Series, res.Matrix, res.Modes
+	case "google":
+		res, err := scenario.RunGoogle(scenario.DefaultGoogleConfig(seed))
+		if err != nil {
+			return err
+		}
+		series, matrix = res.Series, res.Matrix
+		modes = core.DiscoverModes(matrix, core.DefaultAdaptiveOptions())
+	case "wikipedia":
+		res, err := scenario.RunWikipedia(scenario.DefaultWikipediaConfig(seed))
+		if err != nil {
+			return err
+		}
+		series, matrix, modes = res.Series, res.Matrix, res.Modes
+	case "validation":
+		res, err := scenario.RunValidation(scenario.DefaultValidationConfig(seed))
+		if err != nil {
+			return err
+		}
+		v := res.Validation
+		fmt.Printf("ground-truth groups: %d (from %d raw entries)\n", len(res.Groups), res.RawEntries)
+		fmt.Printf("TP=%d FN=%d FP=%d TN=%d unmatched=%d\n", v.TP, v.FN, v.FP, v.TN, v.Unmatched)
+		fmt.Printf("recall=%.2f precision=%.2f accuracy=%.2f\n", v.Recall(), v.Precision(), v.Accuracy())
+		return nil
+	default:
+		return fmt.Errorf("unknown scenario %q", name)
+	}
+
+	if export != "" {
+		f, err := os.Create(export)
+		if err != nil {
+			return err
+		}
+		if err := dataset.Save(f, series); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("dataset written to %s (%d networks x %d epochs)\n",
+			export, series.Space.NumNetworks(), series.Len())
+	}
+	fmt.Print(report.ModesSummary(modes))
+	fmt.Print(report.Heatmap(matrix, heatmapDim))
+	if stack {
+		fmt.Print(report.StackPlot(series))
+	}
+	changes := core.DetectChanges(series, nil, core.DefaultDetectOptions())
+	for _, c := range changes {
+		fmt.Printf("change at epoch %d: Phi %.2f (baseline %.2f)\n", c.At, c.Phi, c.Baseline)
+	}
+	if len(changes) == 0 {
+		fmt.Println("no change events detected at default sensitivity")
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package fenrir_test
+
+import (
+	"fmt"
+	"time"
+
+	"fenrir"
+)
+
+// ExampleAnalyze runs the full pipeline on a tiny hand-made series with a
+// routing change half way through.
+func ExampleAnalyze() {
+	space := fenrir.NewSpace([]string{"net-a", "net-b", "net-c", "net-d"})
+	sched := fenrir.NewSchedule(time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC), 24*time.Hour, 10)
+
+	var vectors []*fenrir.Vector
+	for day := 0; day < 10; day++ {
+		v := space.NewVector(fenrir.Epoch(day))
+		for i := 0; i < 4; i++ {
+			if day < 5 {
+				v.Set(i, "LAX")
+			} else {
+				v.Set(i, "AMS")
+			}
+		}
+		vectors = append(vectors, v)
+	}
+
+	analysis := fenrir.Analyze(fenrir.NewSeries(space, sched, vectors), fenrir.DefaultAnalysisOptions())
+	fmt.Printf("modes: %d\n", len(analysis.Modes.Modes))
+	fmt.Printf("changes: %d at epoch %d\n", len(analysis.Changes), analysis.Changes[0].At)
+	// Output:
+	// modes: 2
+	// changes: 1 at epoch 5
+}
+
+// ExampleGower shows the similarity measure with and without weights.
+func ExampleGower() {
+	space := fenrir.NewSpace([]string{"big-isp", "small-isp"})
+	a := space.NewVector(0)
+	a.Set(0, "LAX")
+	a.Set(1, "LAX")
+	b := space.NewVector(1)
+	b.Set(0, "LAX")
+	b.Set(1, "AMS") // the small ISP moved
+
+	uniform := fenrir.Gower(a, b, nil, fenrir.PessimisticUnknown)
+	// Weight the big ISP by the 256 /24 blocks it represents.
+	w := fenrir.CountWeights(space, map[string]float64{"big-isp": 256}, 1)
+	weighted := fenrir.Gower(a, b, w, fenrir.PessimisticUnknown)
+
+	fmt.Printf("uniform:  %.2f\n", uniform)
+	fmt.Printf("weighted: %.3f\n", weighted)
+	// Output:
+	// uniform:  0.50
+	// weighted: 0.996
+}
+
+// ExampleTransition quantifies where networks went during a site drain.
+func ExampleTransition() {
+	space := fenrir.NewSpace([]string{"n1", "n2", "n3"})
+	before := space.NewVector(0)
+	before.Set(0, "STR")
+	before.Set(1, "STR")
+	before.Set(2, "NAP")
+	after := space.NewVector(1)
+	after.Set(0, "NAP")
+	after.Set(1, fenrir.SiteError)
+	after.Set(2, "NAP")
+
+	tm := fenrir.Transition(before, after, nil)
+	for _, f := range tm.LargestFlows(2) {
+		fmt.Printf("%s -> %s: %.0f\n", f.From, f.To, f.Count)
+	}
+	// Output:
+	// STR -> NAP: 1
+	// STR -> err: 1
+}

@@ -1,0 +1,71 @@
+// Anycast monitoring walk-through: run the B-Root-style scenario on the
+// simulated Internet and read it the way a DNS operator would — watch the
+// mode summary for structure, drill into specific events with transition
+// matrices, and correlate with latency.
+//
+//	go run ./examples/anycast
+package main
+
+import (
+	"fmt"
+
+	"fenrir"
+	"fenrir/internal/report"
+)
+
+func main() {
+	cfg := fenrir.DefaultBRootConfig(7)
+	res, err := fenrir.RunBRoot(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("== five years of B-Root-style anycast catchments ==")
+	fmt.Print(report.ModesSummary(res.Modes))
+	fmt.Println()
+	fmt.Print(report.Heatmap(res.Matrix, 50))
+
+	// Drill into the operator's biggest intervention: the site additions.
+	add := res.Events["add-sites"]
+	before := res.Series.At(add - 1)
+	after := res.Series.At(add + 1)
+	tm := fenrir.Transition(before, after, nil)
+	fmt.Println("\nlargest flows when SIN/IAD/AMS were added:")
+	for _, f := range tm.LargestFlows(5) {
+		fmt.Printf("  %6.0f networks: %s -> %s\n", f.Count, f.From, f.To)
+	}
+
+	// Latency: the p90-per-site series an operator checks after every
+	// routing change (Figure 4 in the paper).
+	fmt.Println("\nper-site p90 latency (one row per collection epoch):")
+	fmt.Print(trim(report.LatencyCSV(res.Latency), 12))
+}
+
+// trim keeps the first n lines of a long CSV for display.
+func trim(s string, n int) string {
+	out := ""
+	count := 0
+	for _, line := range splitLines(s) {
+		out += line + "\n"
+		if count++; count >= n {
+			out += "...\n"
+			break
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

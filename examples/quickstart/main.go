@@ -1,0 +1,64 @@
+// Quickstart: run the Fenrir analysis pipeline on hand-made observations.
+//
+// This is the smallest complete use of the public API: you bring per-epoch
+// catchment observations for a set of networks (here, fabricated for a
+// three-site anycast service), and Fenrir tells you how similar routing is
+// over time, which routing modes exist, and when routing changed.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"fenrir"
+)
+
+func main() {
+	// The networks we observe: forty /24 blocks.
+	var networks []string
+	for i := 0; i < 40; i++ {
+		networks = append(networks, fmt.Sprintf("203.0.%d.0/24", i))
+	}
+	space := fenrir.NewSpace(networks)
+
+	// Thirty daily observations. For the first twenty days networks split
+	// between LAX and AMS by geography; on day 20 the operator drains LAX
+	// and its clients move to AMS; a few observations are missing (probe
+	// loss), which the pipeline interpolates.
+	sched := fenrir.NewSchedule(time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC), 24*time.Hour, 30)
+	var vectors []*fenrir.Vector
+	for day := 0; day < 30; day++ {
+		v := space.NewVector(fenrir.Epoch(day))
+		for i := range networks {
+			if (day*7+i)%19 == 0 {
+				continue // one-shot probe loss: stays unknown
+			}
+			switch {
+			case day >= 20: // after the drain everyone is at AMS
+				v.Set(i, "AMS")
+			case i < 25:
+				v.Set(i, "LAX")
+			default:
+				v.Set(i, "AMS")
+			}
+		}
+		vectors = append(vectors, v)
+	}
+
+	series := fenrir.NewSeries(space, sched, vectors)
+	analysis := fenrir.Analyze(series, fenrir.DefaultAnalysisOptions())
+
+	fmt.Printf("coverage after cleaning: %.1f%%\n\n", analysis.Coverage*100)
+	fmt.Print(analysis.Report())
+
+	// Quantify the drain with a transition matrix: where did LAX's
+	// networks go between day 19 and day 21?
+	before := analysis.Series.At(19)
+	after := analysis.Series.At(21)
+	tm := fenrir.Transition(before, after, nil)
+	fmt.Printf("\nnetworks that moved LAX->AMS: %.0f\n", tm.At("LAX", "AMS"))
+	fmt.Printf("similarity across the drain:  %.2f\n",
+		fenrir.Gower(before, after, nil, fenrir.PessimisticUnknown))
+}

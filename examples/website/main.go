@@ -1,0 +1,42 @@
+// Website catchment comparison: run both website scenarios — the
+// churn-heavy hypergiant and the stable seven-site non-profit — and
+// contrast their similarity structure, the two ends of the spectrum §4.3
+// of the paper examines.
+//
+//	go run ./examples/website
+package main
+
+import (
+	"fmt"
+
+	"fenrir"
+	"fenrir/internal/report"
+)
+
+func main() {
+	gcfg := fenrir.DefaultGoogleConfig(5)
+	gcfg.Days2024 = 28 // one month is enough to see the weekly blocks
+	google, err := fenrir.RunGoogle(gcfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("== hypergiant front-ends (Google-style) ==")
+	fmt.Print(report.Heatmap(google.Matrix, 31))
+	fmt.Printf("within-week Phi %.2f | adjacent-week Phi %.2f | 2013-vs-2024 Phi %.3f\n\n",
+		google.WithinWeekPhi, google.CrossWeekPhi, google.CrossEraPhi)
+
+	wiki, err := fenrir.RunWikipedia(fenrir.DefaultWikipediaConfig(5))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("== seven-site non-profit (Wikipedia-style) ==")
+	fmt.Print(report.Heatmap(wiki.Matrix, 42))
+	fmt.Print(report.ModesSummary(wiki.Modes))
+	fmt.Printf("codfw: %d prefixes before drain, %d during, %d after restore (%.0f%% returned)\n",
+		wiki.CodfwBefore, wiki.CodfwDuring, wiki.CodfwAfter, wiki.ReturnedFraction*100)
+
+	fmt.Println("\nThe contrast is the paper's point: the same pipeline quantifies a")
+	fmt.Println("service that reshuffles clients weekly and one whose routing holds")
+	fmt.Println("at ~0.94 similarity for weeks — and for both, any deviation from")
+	fmt.Println("the established mode is immediately visible and quantifiable.")
+}

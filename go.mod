@@ -1,0 +1,3 @@
+module fenrir
+
+go 1.22

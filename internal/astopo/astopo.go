@@ -1,0 +1,310 @@
+// Package astopo models an AS-level Internet topology: autonomous systems
+// with business relationships (customer–provider and settlement-free
+// peering), geographic placement, and originated address space.
+//
+// The paper's measurements are all downstream consequences of interdomain
+// routing over the real AS graph. We reproduce that substrate with a
+// synthetic hierarchical topology in the style the measurement literature
+// uses for simulation: a clique-ish core of transit-free Tier-1s, regional
+// Tier-2 transit providers, and a long tail of stub ASes (eyeball and
+// enterprise networks) that originate the /24 blocks our probers target.
+// The BGP simulator (package bgpsim) computes valley-free routes over this
+// graph; packages above it never see the graph directly, only forwarding
+// behaviour.
+package astopo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fenrir/internal/netaddr"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// Tier classifies an AS's place in the transit hierarchy.
+type Tier int
+
+const (
+	// Tier1 ASes are transit-free: they peer with all other Tier-1s and
+	// sell transit to Tier-2s.
+	Tier1 Tier = iota
+	// Tier2 ASes buy transit from Tier-1s, peer regionally, and sell
+	// transit to stubs.
+	Tier2
+	// Stub ASes originate address space and buy transit; they are the
+	// "networks" whose catchments Fenrir tracks.
+	Stub
+)
+
+func (t Tier) String() string {
+	switch t {
+	case Tier1:
+		return "tier1"
+	case Tier2:
+		return "tier2"
+	case Stub:
+		return "stub"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// Region is a coarse geographic region used to place ASes and anycast
+// sites; link latency follows great-circle distance between AS locations.
+type Region struct {
+	Name     string
+	Lat, Lon float64 // region centre, degrees
+}
+
+// Standard regions used by the built-in scenarios. Coordinates are rough
+// continental centroids; only relative distances matter.
+var (
+	NorthAmerica = Region{Name: "NA", Lat: 39, Lon: -98}
+	SouthAmerica = Region{Name: "SA", Lat: -15, Lon: -60}
+	Europe       = Region{Name: "EU", Lat: 50, Lon: 10}
+	Asia         = Region{Name: "AS", Lat: 34, Lon: 104}
+	Oceania      = Region{Name: "OC", Lat: -25, Lon: 135}
+	Africa       = Region{Name: "AF", Lat: 2, Lon: 21}
+)
+
+// AS is one autonomous system.
+type AS struct {
+	ASN    ASN
+	Name   string
+	Tier   Tier
+	Region Region
+	// Lat/Lon is this AS's representative point of presence; stubs sit
+	// near their region centre with jitter, Tier-1s at their home region
+	// but with global reach.
+	Lat, Lon float64
+
+	// Relationship sets, kept sorted for deterministic iteration.
+	Providers []ASN
+	Customers []ASN
+	Peers     []ASN
+
+	// Prefixes this AS originates.
+	Prefixes []netaddr.Prefix
+}
+
+// Graph is an AS-level topology. The zero value is unusable; call
+// NewGraph.
+type Graph struct {
+	byASN map[ASN]*AS
+	order []ASN // sorted ASNs for deterministic iteration
+
+	origins *netaddr.Trie[ASN] // prefix -> originating AS
+}
+
+// NewGraph returns an empty topology.
+func NewGraph() *Graph {
+	return &Graph{
+		byASN:   make(map[ASN]*AS),
+		origins: netaddr.NewTrie[ASN](),
+	}
+}
+
+// AddAS inserts a new AS. It panics if the ASN already exists: topology
+// construction is scripted, so a duplicate is a scenario bug.
+func (g *Graph) AddAS(as *AS) {
+	if _, dup := g.byASN[as.ASN]; dup {
+		panic(fmt.Sprintf("astopo: duplicate ASN %d", as.ASN))
+	}
+	g.byASN[as.ASN] = as
+	i := sort.Search(len(g.order), func(i int) bool { return g.order[i] >= as.ASN })
+	g.order = append(g.order, 0)
+	copy(g.order[i+1:], g.order[i:])
+	g.order[i] = as.ASN
+	for _, p := range as.Prefixes {
+		g.origins.Insert(p, as.ASN)
+	}
+}
+
+// AS returns the AS with the given number, or nil.
+func (g *Graph) AS(a ASN) *AS { return g.byASN[a] }
+
+// Len returns the number of ASes.
+func (g *Graph) Len() int { return len(g.order) }
+
+// ASNs returns all AS numbers in ascending order. The returned slice is
+// shared; callers must not modify it.
+func (g *Graph) ASNs() []ASN { return g.order }
+
+// Originate records that as originates prefix p.
+func (g *Graph) Originate(a ASN, p netaddr.Prefix) {
+	as := g.byASN[a]
+	if as == nil {
+		panic(fmt.Sprintf("astopo: Originate for unknown ASN %d", a))
+	}
+	as.Prefixes = append(as.Prefixes, p)
+	g.origins.Insert(p, a)
+}
+
+// OriginOf returns the AS originating the longest matching prefix for
+// addr.
+func (g *Graph) OriginOf(addr netaddr.Addr) (ASN, bool) {
+	a, _, ok := g.origins.Lookup(addr)
+	return a, ok
+}
+
+// OriginOfBlock returns the AS originating the /24 block.
+func (g *Graph) OriginOfBlock(b netaddr.Block) (ASN, bool) {
+	return g.OriginOf(b.First())
+}
+
+// RoutableBlocks returns every /24 block covered by an originated prefix,
+// in address order — the simulator's equivalent of deriving a hitlist from
+// the RouteViews BGP table, as §2.3.2 of the paper does.
+func (g *Graph) RoutableBlocks() []netaddr.Block {
+	var out []netaddr.Block
+	g.origins.Walk(func(p netaddr.Prefix, _ ASN) bool {
+		out = append(out, p.Blocks()...)
+		return true
+	})
+	return out
+}
+
+func insertSorted(s []ASN, a ASN) []ASN {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= a })
+	if i < len(s) && s[i] == a {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = a
+	return s
+}
+
+func removeSorted(s []ASN, a ASN) []ASN {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= a })
+	if i < len(s) && s[i] == a {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// AddProviderCustomer records a transit relationship: provider sells
+// transit to customer. Adding an existing edge is a no-op.
+func (g *Graph) AddProviderCustomer(provider, customer ASN) {
+	p, c := g.byASN[provider], g.byASN[customer]
+	if p == nil || c == nil {
+		panic(fmt.Sprintf("astopo: link %d->%d references unknown AS", provider, customer))
+	}
+	p.Customers = insertSorted(p.Customers, customer)
+	c.Providers = insertSorted(c.Providers, provider)
+}
+
+// AddPeering records settlement-free peering between a and b.
+func (g *Graph) AddPeering(a, b ASN) {
+	x, y := g.byASN[a], g.byASN[b]
+	if x == nil || y == nil {
+		panic(fmt.Sprintf("astopo: peering %d--%d references unknown AS", a, b))
+	}
+	if a == b {
+		panic("astopo: self peering")
+	}
+	x.Peers = insertSorted(x.Peers, b)
+	y.Peers = insertSorted(y.Peers, a)
+}
+
+// RemoveProviderCustomer deletes a transit edge (e.g. an enterprise
+// dropping an upstream, or a cable cut severing a provider).
+func (g *Graph) RemoveProviderCustomer(provider, customer ASN) {
+	if p := g.byASN[provider]; p != nil {
+		p.Customers = removeSorted(p.Customers, customer)
+	}
+	if c := g.byASN[customer]; c != nil {
+		c.Providers = removeSorted(c.Providers, provider)
+	}
+}
+
+// RemovePeering deletes a peering edge.
+func (g *Graph) RemovePeering(a, b ASN) {
+	if x := g.byASN[a]; x != nil {
+		x.Peers = removeSorted(x.Peers, b)
+	}
+	if y := g.byASN[b]; y != nil {
+		y.Peers = removeSorted(y.Peers, a)
+	}
+}
+
+// Connected reports whether a and b share any relationship edge.
+func (g *Graph) Connected(a, b ASN) bool {
+	x := g.byASN[a]
+	if x == nil {
+		return false
+	}
+	return contains(x.Providers, b) || contains(x.Customers, b) || contains(x.Peers, b)
+}
+
+func contains(s []ASN, a ASN) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= a })
+	return i < len(s) && s[i] == a
+}
+
+// Distance returns the great-circle distance between two ASes in
+// kilometres, the basis of the propagation-delay model.
+func (g *Graph) Distance(a, b ASN) float64 {
+	x, y := g.byASN[a], g.byASN[b]
+	if x == nil || y == nil {
+		return 0
+	}
+	return GreatCircleKm(x.Lat, x.Lon, y.Lat, y.Lon)
+}
+
+// GreatCircleKm computes the haversine distance between two points.
+func GreatCircleKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const earthRadiusKm = 6371
+	rad := math.Pi / 180
+	dLat := (lat2 - lat1) * rad
+	dLon := (lon2 - lon1) * rad
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1*rad)*math.Cos(lat2*rad)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// Validate checks structural invariants: symmetric relationship edges, no
+// AS that is both provider and customer of the same neighbour, and all
+// edges referencing known ASes. Scenario tests run this after every
+// topology mutation.
+func (g *Graph) Validate() error {
+	for _, a := range g.order {
+		as := g.byASN[a]
+		for _, p := range as.Providers {
+			pas := g.byASN[p]
+			if pas == nil {
+				return fmt.Errorf("AS%d lists unknown provider AS%d", a, p)
+			}
+			if !contains(pas.Customers, a) {
+				return fmt.Errorf("AS%d->AS%d provider edge not mirrored", a, p)
+			}
+			if contains(as.Customers, p) {
+				return fmt.Errorf("AS%d and AS%d are mutually provider and customer", a, p)
+			}
+		}
+		for _, c := range as.Customers {
+			cas := g.byASN[c]
+			if cas == nil {
+				return fmt.Errorf("AS%d lists unknown customer AS%d", a, c)
+			}
+			if !contains(cas.Providers, a) {
+				return fmt.Errorf("AS%d->AS%d customer edge not mirrored", a, c)
+			}
+		}
+		for _, p := range as.Peers {
+			pas := g.byASN[p]
+			if pas == nil {
+				return fmt.Errorf("AS%d lists unknown peer AS%d", a, p)
+			}
+			if !contains(pas.Peers, a) {
+				return fmt.Errorf("AS%d--AS%d peering not mirrored", a, p)
+			}
+			if p == a {
+				return fmt.Errorf("AS%d peers with itself", a)
+			}
+		}
+	}
+	return nil
+}

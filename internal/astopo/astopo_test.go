@@ -1,0 +1,241 @@
+package astopo
+
+import (
+	"math"
+	"testing"
+
+	"fenrir/internal/netaddr"
+)
+
+func tinyGraph() *Graph {
+	g := NewGraph()
+	g.AddAS(&AS{ASN: 1, Tier: Tier1, Region: NorthAmerica, Lat: 40, Lon: -100})
+	g.AddAS(&AS{ASN: 2, Tier: Tier1, Region: Europe, Lat: 50, Lon: 10})
+	g.AddAS(&AS{ASN: 10, Tier: Tier2, Region: NorthAmerica, Lat: 41, Lon: -99})
+	g.AddAS(&AS{ASN: 100, Tier: Stub, Region: NorthAmerica, Lat: 42, Lon: -98})
+	g.AddPeering(1, 2)
+	g.AddProviderCustomer(1, 10)
+	g.AddProviderCustomer(10, 100)
+	return g
+}
+
+func TestAddAndLookup(t *testing.T) {
+	g := tinyGraph()
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if g.AS(10) == nil || g.AS(999) != nil {
+		t.Fatal("AS lookup broken")
+	}
+	asns := g.ASNs()
+	for i := 1; i < len(asns); i++ {
+		if asns[i-1] >= asns[i] {
+			t.Fatalf("ASNs not sorted: %v", asns)
+		}
+	}
+}
+
+func TestDuplicateASNPanics(t *testing.T) {
+	g := tinyGraph()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddAS did not panic")
+		}
+	}()
+	g.AddAS(&AS{ASN: 1})
+}
+
+func TestRelationshipSymmetry(t *testing.T) {
+	g := tinyGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !g.Connected(1, 10) || !g.Connected(10, 1) {
+		t.Error("provider-customer edge not visible from both sides")
+	}
+	if !g.Connected(1, 2) {
+		t.Error("peering edge missing")
+	}
+	if g.Connected(1, 100) {
+		t.Error("unrelated ASes reported connected")
+	}
+}
+
+func TestRemoveEdges(t *testing.T) {
+	g := tinyGraph()
+	g.RemoveProviderCustomer(10, 100)
+	if g.Connected(10, 100) {
+		t.Error("edge survives removal")
+	}
+	g.RemovePeering(1, 2)
+	if g.Connected(1, 2) {
+		t.Error("peering survives removal")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate after removal: %v", err)
+	}
+}
+
+func TestOriginateAndLookup(t *testing.T) {
+	g := tinyGraph()
+	g.Originate(100, netaddr.MustParsePrefix("1.0.0.0/16"))
+	g.Originate(10, netaddr.MustParsePrefix("1.0.5.0/24")) // more specific
+	if a, ok := g.OriginOf(netaddr.MustParseAddr("1.0.5.9")); !ok || a != 10 {
+		t.Errorf("more-specific origin = %d ok=%v, want 10", a, ok)
+	}
+	if a, ok := g.OriginOf(netaddr.MustParseAddr("1.0.9.9")); !ok || a != 100 {
+		t.Errorf("covering origin = %d ok=%v, want 100", a, ok)
+	}
+	if _, ok := g.OriginOf(netaddr.MustParseAddr("9.9.9.9")); ok {
+		t.Error("unoriginated space has an origin")
+	}
+}
+
+func TestRoutableBlocks(t *testing.T) {
+	g := tinyGraph()
+	g.Originate(100, netaddr.MustParsePrefix("1.0.0.0/22"))
+	bs := g.RoutableBlocks()
+	if len(bs) != 4 {
+		t.Fatalf("RoutableBlocks = %d, want 4", len(bs))
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i-1] >= bs[i] {
+			t.Fatal("blocks out of order")
+		}
+	}
+}
+
+func TestGreatCircle(t *testing.T) {
+	// LA to NYC is about 3940 km.
+	d := GreatCircleKm(34.05, -118.24, 40.71, -74.0)
+	if math.Abs(d-3940) > 100 {
+		t.Errorf("LA-NYC distance = %.0f km", d)
+	}
+	if GreatCircleKm(10, 20, 10, 20) != 0 {
+		t.Error("zero distance for identical points")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultGenConfig(7))
+	b := Generate(DefaultGenConfig(7))
+	if a.Len() != b.Len() {
+		t.Fatalf("sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	for _, asn := range a.ASNs() {
+		x, y := a.AS(asn), b.AS(asn)
+		if y == nil || x.Lat != y.Lat || len(x.Providers) != len(y.Providers) ||
+			len(x.Peers) != len(y.Peers) || len(x.Prefixes) != len(y.Prefixes) {
+			t.Fatalf("AS%d differs between same-seed topologies", asn)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(DefaultGenConfig(1))
+	b := Generate(DefaultGenConfig(2))
+	diff := false
+	for _, asn := range a.ASNs() {
+		x, y := a.AS(asn), b.AS(asn)
+		if y == nil || x.Lat != y.Lat {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical topologies")
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	cfg := DefaultGenConfig(42)
+	g := Generate(cfg)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	var t1, t2, stubs int
+	for _, asn := range g.ASNs() {
+		as := g.AS(asn)
+		switch as.Tier {
+		case Tier1:
+			t1++
+			if len(as.Providers) != 0 {
+				t.Errorf("Tier-1 AS%d has providers", asn)
+			}
+			if len(as.Peers) < cfg.NumTier1-1 {
+				t.Errorf("Tier-1 AS%d has only %d peers", asn, len(as.Peers))
+			}
+		case Tier2:
+			t2++
+			if len(as.Providers) != 2 {
+				t.Errorf("Tier-2 AS%d has %d providers, want 2", asn, len(as.Providers))
+			}
+		case Stub:
+			stubs++
+			if len(as.Providers) < 1 {
+				t.Errorf("stub AS%d has no provider", asn)
+			}
+			if len(as.Prefixes) == 0 {
+				t.Errorf("stub AS%d originates nothing", asn)
+			}
+			if len(as.Customers) != 0 {
+				t.Errorf("stub AS%d has customers", asn)
+			}
+		}
+	}
+	if t1 != cfg.NumTier1 {
+		t.Errorf("tier1 count %d, want %d", t1, cfg.NumTier1)
+	}
+	if want := cfg.Tier2PerRegion * len(cfg.Regions); t2 != want {
+		t.Errorf("tier2 count %d, want %d", t2, want)
+	}
+	if want := cfg.StubsPerRegion * len(cfg.Regions); stubs != want {
+		t.Errorf("stub count %d, want %d", stubs, want)
+	}
+}
+
+func TestGenerateAddressSpaceDisjoint(t *testing.T) {
+	g := Generate(DefaultGenConfig(5))
+	seen := make(map[netaddr.Block]ASN)
+	for _, asn := range g.ASNs() {
+		for _, p := range g.AS(asn).Prefixes {
+			for _, b := range p.Blocks() {
+				if prev, dup := seen[b]; dup {
+					t.Fatalf("block %v originated by both AS%d and AS%d", b, prev, asn)
+				}
+				seen[b] = asn
+			}
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no blocks originated")
+	}
+}
+
+func TestGenerateBlocksPerStub(t *testing.T) {
+	cfg := DefaultGenConfig(5)
+	cfg.BlocksPerStub = 8
+	g := Generate(cfg)
+	for _, asn := range g.ASNs() {
+		as := g.AS(asn)
+		if as.Tier != Stub {
+			continue
+		}
+		n := 0
+		for _, p := range as.Prefixes {
+			n += p.NumBlocks()
+		}
+		if n != 8 {
+			t.Fatalf("stub AS%d has %d blocks, want 8", asn, n)
+		}
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	g := tinyGraph()
+	// Break symmetry by hand.
+	g.AS(1).Peers = append(g.AS(1).Peers, 999)
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted edge to unknown AS")
+	}
+}

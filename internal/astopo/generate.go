@@ -1,0 +1,226 @@
+package astopo
+
+import (
+	"fmt"
+
+	"fenrir/internal/netaddr"
+	"fenrir/internal/rng"
+)
+
+// GenConfig parameterizes the synthetic topology generator. The defaults
+// (see DefaultGenConfig) produce a laptop-scale Internet: a Tier-1 clique,
+// a few regional Tier-2s per region, and enough multi-homed stubs to give
+// catchment vectors of a few thousand /24 blocks. All the measurement
+// pipelines are size-independent, so benchmarks sweep these knobs upward.
+type GenConfig struct {
+	Seed uint64
+	// Regions to populate. Tier-1s are spread across them round-robin.
+	Regions []Region
+	// NumTier1 is the size of the transit-free core (full clique).
+	NumTier1 int
+	// Tier2PerRegion is how many regional transit providers each region
+	// gets.
+	Tier2PerRegion int
+	// StubsPerRegion is how many stub ASes each region gets.
+	StubsPerRegion int
+	// MultiHomeProb is the probability a stub buys transit from a second
+	// Tier-2; multi-homing is what makes third-party routing changes
+	// visible in catchments.
+	MultiHomeProb float64
+	// StubPeeringProb is the probability that a pair of same-region
+	// Tier-2s peer directly.
+	StubPeeringProb float64
+	// PrefixesPerStub is how many /16 prefixes each stub originates
+	// (so PrefixesPerStub*256 /24 blocks per stub). Use BlocksPerStub
+	// to shrink further.
+	PrefixesPerStub int
+	// BlocksPerStub, when >0, gives each stub this many /24 blocks
+	// instead of whole /16s, keeping measurement vectors small.
+	BlocksPerStub int
+	// JitterDeg is positional jitter applied to each AS around its
+	// region centre, in degrees.
+	JitterDeg float64
+}
+
+// DefaultGenConfig returns the generator configuration used by the
+// scenarios; pass a different seed for an independent topology.
+func DefaultGenConfig(seed uint64) GenConfig {
+	return GenConfig{
+		Seed:            seed,
+		Regions:         []Region{NorthAmerica, SouthAmerica, Europe, Asia, Oceania, Africa},
+		NumTier1:        8,
+		Tier2PerRegion:  4,
+		StubsPerRegion:  60,
+		MultiHomeProb:   0.45,
+		StubPeeringProb: 0.35,
+		BlocksPerStub:   8,
+		JitterDeg:       9,
+	}
+}
+
+// Generate builds a topology from cfg. The result is deterministic in
+// cfg.Seed. ASN ranges: Tier-1s get 100+i, Tier-2s 1000+i, stubs 10000+i.
+func Generate(cfg GenConfig) *Graph {
+	if len(cfg.Regions) == 0 || cfg.NumTier1 <= 0 || cfg.Tier2PerRegion <= 0 || cfg.StubsPerRegion <= 0 {
+		panic("astopo: degenerate GenConfig")
+	}
+	r := rng.New(cfg.Seed).Split("astopo")
+	g := NewGraph()
+
+	jitter := func(rr *rng.Source) float64 {
+		return (rr.Float64()*2 - 1) * cfg.JitterDeg
+	}
+
+	// Tier-1 clique, spread over regions.
+	var tier1 []ASN
+	for i := 0; i < cfg.NumTier1; i++ {
+		reg := cfg.Regions[i%len(cfg.Regions)]
+		asn := ASN(100 + i)
+		g.AddAS(&AS{
+			ASN:    asn,
+			Name:   fmt.Sprintf("T1-%d-%s", i, reg.Name),
+			Tier:   Tier1,
+			Region: reg,
+			Lat:    reg.Lat + jitter(r),
+			Lon:    reg.Lon + jitter(r),
+		})
+		tier1 = append(tier1, asn)
+	}
+	for i := 0; i < len(tier1); i++ {
+		for j := i + 1; j < len(tier1); j++ {
+			g.AddPeering(tier1[i], tier1[j])
+		}
+	}
+
+	// Regional Tier-2s: each buys transit from two Tier-1s (preferring
+	// same-region ones) and peers with some same-region Tier-2s.
+	tier2ByRegion := make(map[string][]ASN)
+	next2 := 1000
+	for _, reg := range cfg.Regions {
+		for i := 0; i < cfg.Tier2PerRegion; i++ {
+			asn := ASN(next2)
+			next2++
+			g.AddAS(&AS{
+				ASN:    asn,
+				Name:   fmt.Sprintf("T2-%s-%d", reg.Name, i),
+				Tier:   Tier2,
+				Region: reg,
+				Lat:    reg.Lat + jitter(r),
+				Lon:    reg.Lon + jitter(r),
+			})
+			// Two distinct Tier-1 providers, biased to same region.
+			p1 := pickTier1(r, g, tier1, reg, ^ASN(0))
+			p2 := pickTier1(r, g, tier1, reg, p1)
+			g.AddProviderCustomer(p1, asn)
+			g.AddProviderCustomer(p2, asn)
+			tier2ByRegion[reg.Name] = append(tier2ByRegion[reg.Name], asn)
+		}
+		t2s := tier2ByRegion[reg.Name]
+		for i := 0; i < len(t2s); i++ {
+			for j := i + 1; j < len(t2s); j++ {
+				if r.Bool(cfg.StubPeeringProb) {
+					g.AddPeering(t2s[i], t2s[j])
+				}
+			}
+		}
+	}
+
+	// Stubs: transit from one (sometimes two) same-region Tier-2s, and
+	// sequentially allocated address space starting at 1.0.0.0.
+	nextStub := 10000
+	nextBlock := netaddr.MustParseAddr("1.0.0.0").Block()
+	for _, reg := range cfg.Regions {
+		t2s := tier2ByRegion[reg.Name]
+		for i := 0; i < cfg.StubsPerRegion; i++ {
+			asn := ASN(nextStub)
+			nextStub++
+			as := &AS{
+				ASN:    asn,
+				Name:   fmt.Sprintf("STUB-%s-%d", reg.Name, i),
+				Tier:   Stub,
+				Region: reg,
+				Lat:    reg.Lat + jitter(r),
+				Lon:    reg.Lon + jitter(r),
+			}
+			g.AddAS(as)
+			p1 := t2s[r.Intn(len(t2s))]
+			g.AddProviderCustomer(p1, asn)
+			if len(t2s) > 1 && r.Bool(cfg.MultiHomeProb) {
+				p2 := t2s[r.Intn(len(t2s))]
+				for p2 == p1 {
+					p2 = t2s[r.Intn(len(t2s))]
+				}
+				g.AddProviderCustomer(p2, asn)
+			}
+			nextBlock = originateSpace(g, asn, cfg, nextBlock)
+		}
+	}
+	return g
+}
+
+// originateSpace allocates address space to a stub and returns the next
+// free /24 block.
+func originateSpace(g *Graph, asn ASN, cfg GenConfig, next netaddr.Block) netaddr.Block {
+	if cfg.BlocksPerStub > 0 {
+		// Allocate contiguous /24s, announced as one covering prefix when
+		// the count is a power of two and aligned, else as individual /24s.
+		n := cfg.BlocksPerStub
+		if aligned(next, n) {
+			bits := 24 - log2(n)
+			g.Originate(asn, netaddr.Prefix{Addr: next.First(), Bits: bits})
+		} else {
+			for i := 0; i < n; i++ {
+				g.Originate(asn, (next + netaddr.Block(i)).Prefix())
+			}
+		}
+		return next + netaddr.Block(n)
+	}
+	n := cfg.PrefixesPerStub
+	if n <= 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		// Align to /16: a /16 spans 256 blocks.
+		for next%256 != 0 {
+			next++
+		}
+		g.Originate(asn, netaddr.Prefix{Addr: next.First(), Bits: 16})
+		next += 256
+	}
+	return next
+}
+
+func aligned(b netaddr.Block, n int) bool {
+	if n&(n-1) != 0 {
+		return false
+	}
+	return int(b)%n == 0
+}
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+func pickTier1(r *rng.Source, g *Graph, tier1 []ASN, reg Region, exclude ASN) ASN {
+	// 70% chance to prefer a same-region Tier-1 when one exists.
+	var local []ASN
+	for _, a := range tier1 {
+		if a != exclude && g.AS(a).Region.Name == reg.Name {
+			local = append(local, a)
+		}
+	}
+	if len(local) > 0 && r.Bool(0.7) {
+		return local[r.Intn(len(local))]
+	}
+	for {
+		a := tier1[r.Intn(len(tier1))]
+		if a != exclude {
+			return a
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package bgpserve runs live BGP sessions over real TCP sockets: a
+// route-collector listener that accepts peers, performs the OPEN/KEEPALIVE
+// handshake, and accumulates UPDATE messages into a table; and a speaker
+// that dials the collector and feeds it routes. Together with bgpfeed's
+// snapshot mode this gives the repository both faces of a RouteViews-style
+// collector — archived tables (MRT) and a live feed (TCP port 179
+// semantics, on an ephemeral port for tests).
+//
+// The session logic is deliberately the minimal correct subset: version
+// and marker validation, 4-octet AS capability, NOTIFICATION on protocol
+// errors, and per-connection read deadlines so a dead peer cannot wedge
+// the collector.
+package bgpserve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fenrir/internal/netaddr"
+	"fenrir/internal/wire"
+)
+
+// LearnedRoute is one table entry the collector holds.
+type LearnedRoute struct {
+	PeerASN uint32
+	Prefix  netaddr.Prefix
+	ASPath  []uint32
+}
+
+// Collector is a listening BGP route collector.
+type Collector struct {
+	ASN      uint32
+	BGPID    uint32
+	listener *net.TCPListener
+
+	mu     sync.Mutex
+	routes map[routeKey]LearnedRoute
+	peers  map[uint32]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type routeKey struct {
+	peer   uint32
+	prefix netaddr.Prefix
+}
+
+// ListenCollector starts a collector on addr ("127.0.0.1:0" for tests).
+func ListenCollector(addr string, asn, bgpID uint32) (*Collector, error) {
+	tcpAddr, err := net.ResolveTCPAddr("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bgpserve: resolve: %w", err)
+	}
+	l, err := net.ListenTCP("tcp", tcpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("bgpserve: listen: %w", err)
+	}
+	c := &Collector{
+		ASN: asn, BGPID: bgpID, listener: l,
+		routes: make(map[routeKey]LearnedRoute),
+		peers:  make(map[uint32]bool),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the bound address.
+func (c *Collector) Addr() *net.TCPAddr { return c.listener.Addr().(*net.TCPAddr) }
+
+// Close stops accepting and waits for session goroutines to drain.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.listener.Close()
+	c.wg.Wait()
+	return err
+}
+
+// Routes returns a copy of the current table.
+func (c *Collector) Routes() []LearnedRoute {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]LearnedRoute, 0, len(c.routes))
+	for _, r := range c.routes {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Peers returns the ASNs that have completed a handshake.
+func (c *Collector) Peers() []uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint32, 0, len(c.peers))
+	for p := range c.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.listener.AcceptTCP()
+		if err != nil {
+			return // closed
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer conn.Close()
+			if err := c.serveSession(conn); err != nil {
+				// Protocol errors get a NOTIFICATION; best effort.
+				_, _ = conn.Write(wire.MarshalNotification(2, 0))
+			}
+		}()
+	}
+}
+
+// serveSession handles one inbound peer.
+func (c *Collector) serveSession(conn *net.TCPConn) error {
+	fr := newFramer(conn, 5*time.Second)
+	// Passive side: expect the peer's OPEN first, then respond.
+	msg, err := fr.next()
+	if err != nil {
+		return err
+	}
+	if msg.Type != wire.BGPOpen {
+		return errors.New("bgpserve: first message not OPEN")
+	}
+	peerASN := msg.Open.ASN
+	if _, err := conn.Write(wire.MarshalOpen(&wire.BGPOpenMsg{ASN: c.ASN, HoldTime: 90, BGPID: c.BGPID})); err != nil {
+		return err
+	}
+	if _, err := conn.Write(wire.MarshalKeepalive()); err != nil {
+		return err
+	}
+	// Expect the peer's KEEPALIVE confirming Established.
+	msg, err = fr.next()
+	if err != nil {
+		return err
+	}
+	if msg.Type != wire.BGPKeepalive {
+		return errors.New("bgpserve: handshake not confirmed")
+	}
+	c.mu.Lock()
+	c.peers[peerASN] = true
+	c.mu.Unlock()
+
+	for {
+		msg, err := fr.next()
+		if err != nil {
+			return nil // connection ended; table keeps learned routes
+		}
+		switch msg.Type {
+		case wire.BGPUpdate:
+			c.applyUpdate(peerASN, msg.Update)
+		case wire.BGPKeepalive:
+			// refreshes the hold timer implicitly via the read deadline
+		case wire.BGPNotification:
+			return nil
+		default:
+			return fmt.Errorf("bgpserve: unexpected message type %d", msg.Type)
+		}
+	}
+}
+
+func (c *Collector) applyUpdate(peer uint32, u *wire.BGPUpdateMsg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, wdr := range u.Withdrawn {
+		delete(c.routes, routeKey{peer, netaddr.Prefix{Addr: netaddr.Addr(wdr.Addr), Bits: int(wdr.Bits)}})
+	}
+	for _, ann := range u.Announce {
+		p := netaddr.Prefix{Addr: netaddr.Addr(ann.Addr), Bits: int(ann.Bits)}
+		c.routes[routeKey{peer, p}] = LearnedRoute{
+			PeerASN: peer,
+			Prefix:  p,
+			ASPath:  append([]uint32(nil), u.ASPath...),
+		}
+	}
+}
+
+// framer reads length-delimited BGP messages from a TCP stream.
+type framer struct {
+	conn    net.Conn
+	timeout time.Duration
+	buf     []byte
+}
+
+func newFramer(conn net.Conn, timeout time.Duration) *framer {
+	return &framer{conn: conn, timeout: timeout}
+}
+
+// next returns the next complete message, reading more bytes as needed.
+func (f *framer) next() (*wire.BGPMessage, error) {
+	for {
+		if len(f.buf) > 0 {
+			msg, n, err := wire.UnmarshalBGP(f.buf)
+			if err == nil {
+				f.buf = f.buf[n:]
+				return msg, nil
+			}
+			// A parse error on a full-length frame is fatal; a short
+			// buffer just needs more bytes. UnmarshalBGP reports both as
+			// errors, so distinguish by whether we hold a whole frame.
+			if len(f.buf) >= 19 {
+				total := int(f.buf[16])<<8 | int(f.buf[17])
+				if total <= len(f.buf) {
+					return nil, err
+				}
+			}
+		}
+		if err := f.conn.SetReadDeadline(time.Now().Add(f.timeout)); err != nil {
+			return nil, err
+		}
+		chunk := make([]byte, 4096)
+		n, err := f.conn.Read(chunk)
+		if err != nil {
+			return nil, err
+		}
+		f.buf = append(f.buf, chunk[:n]...)
+	}
+}
+
+// Speaker dials a collector and feeds it routes.
+type Speaker struct {
+	ASN   uint32
+	BGPID uint32
+	conn  *net.TCPConn
+	fr    *framer
+}
+
+// Dial connects and completes the BGP handshake.
+func Dial(addr *net.TCPAddr, asn, bgpID uint32) (*Speaker, error) {
+	conn, err := net.DialTCP("tcp", nil, addr)
+	if err != nil {
+		return nil, fmt.Errorf("bgpserve: dial: %w", err)
+	}
+	s := &Speaker{ASN: asn, BGPID: bgpID, conn: conn, fr: newFramer(conn, 5*time.Second)}
+	if _, err := conn.Write(wire.MarshalOpen(&wire.BGPOpenMsg{ASN: asn, HoldTime: 90, BGPID: bgpID})); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	// Expect collector's OPEN then its KEEPALIVE.
+	msg, err := s.fr.next()
+	if err != nil || msg.Type != wire.BGPOpen {
+		conn.Close()
+		return nil, fmt.Errorf("bgpserve: no OPEN from collector (err=%v)", err)
+	}
+	msg, err = s.fr.next()
+	if err != nil || msg.Type != wire.BGPKeepalive {
+		conn.Close()
+		return nil, fmt.Errorf("bgpserve: no KEEPALIVE from collector (err=%v)", err)
+	}
+	if _, err := conn.Write(wire.MarshalKeepalive()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Announce sends one route.
+func (s *Speaker) Announce(prefix netaddr.Prefix, asPath []uint32) error {
+	u, err := wire.MarshalUpdate(&wire.BGPUpdateMsg{
+		Origin:   wire.OriginIGP,
+		ASPath:   asPath,
+		NextHop:  s.BGPID,
+		Announce: []wire.BGPPrefix{{Addr: uint32(prefix.Addr), Bits: uint8(prefix.Bits)}},
+	})
+	if err != nil {
+		return err
+	}
+	_, err = s.conn.Write(u)
+	return err
+}
+
+// Withdraw retracts one route.
+func (s *Speaker) Withdraw(prefix netaddr.Prefix) error {
+	u, err := wire.MarshalUpdate(&wire.BGPUpdateMsg{
+		Withdrawn: []wire.BGPPrefix{{Addr: uint32(prefix.Addr), Bits: uint8(prefix.Bits)}},
+	})
+	if err != nil {
+		return err
+	}
+	_, err = s.conn.Write(u)
+	return err
+}
+
+// Keepalive sends a KEEPALIVE.
+func (s *Speaker) Keepalive() error {
+	_, err := s.conn.Write(wire.MarshalKeepalive())
+	return err
+}
+
+// Close tears the session down.
+func (s *Speaker) Close() error { return s.conn.Close() }

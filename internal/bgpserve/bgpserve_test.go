@@ -1,0 +1,172 @@
+package bgpserve
+
+import (
+	"testing"
+	"time"
+
+	"fenrir/internal/netaddr"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestSessionHandshakeAndAnnounce(t *testing.T) {
+	coll, err := ListenCollector("127.0.0.1:0", 6447, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+
+	sp, err := Dial(coll.Addr(), 65001, 0x0a000001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+
+	waitFor(t, "peer registration", func() bool {
+		for _, p := range coll.Peers() {
+			if p == 65001 {
+				return true
+			}
+		}
+		return false
+	})
+
+	prefix := netaddr.MustParsePrefix("199.9.14.0/24")
+	if err := sp.Announce(prefix, []uint32{65001, 2152, 52}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "route in table", func() bool { return len(coll.Routes()) == 1 })
+	r := coll.Routes()[0]
+	if r.PeerASN != 65001 || r.Prefix != prefix {
+		t.Fatalf("route = %+v", r)
+	}
+	if len(r.ASPath) != 3 || r.ASPath[2] != 52 {
+		t.Fatalf("AS path = %v", r.ASPath)
+	}
+}
+
+func TestWithdrawRemovesRoute(t *testing.T) {
+	coll, err := ListenCollector("127.0.0.1:0", 6447, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	sp, err := Dial(coll.Addr(), 65002, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+
+	prefix := netaddr.MustParsePrefix("10.0.0.0/8")
+	if err := sp.Announce(prefix, []uint32{65002}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "announce", func() bool { return len(coll.Routes()) == 1 })
+	if err := sp.Withdraw(prefix); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "withdraw", func() bool { return len(coll.Routes()) == 0 })
+}
+
+func TestMultiplePeersConcurrently(t *testing.T) {
+	coll, err := ListenCollector("127.0.0.1:0", 6447, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+
+	const n = 8
+	speakers := make([]*Speaker, n)
+	for i := 0; i < n; i++ {
+		sp, err := Dial(coll.Addr(), uint32(65100+i), uint32(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sp.Close()
+		speakers[i] = sp
+	}
+	for i, sp := range speakers {
+		p := netaddr.Prefix{Addr: netaddr.Addr(uint32(i+1)) << 24, Bits: 8}
+		if err := sp.Announce(p, []uint32{sp.ASN, 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "all routes", func() bool { return len(coll.Routes()) == n })
+	if got := len(coll.Peers()); got != n {
+		t.Fatalf("peers = %d, want %d", got, n)
+	}
+}
+
+func TestRouteReplacedOnReannounce(t *testing.T) {
+	coll, err := ListenCollector("127.0.0.1:0", 6447, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	sp, err := Dial(coll.Addr(), 65003, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+
+	prefix := netaddr.MustParsePrefix("192.0.2.0/24")
+	if err := sp.Announce(prefix, []uint32{65003, 1}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first announce", func() bool { return len(coll.Routes()) == 1 })
+	if err := sp.Announce(prefix, []uint32{65003, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "replacement", func() bool {
+		rs := coll.Routes()
+		return len(rs) == 1 && len(rs[0].ASPath) == 3
+	})
+}
+
+func TestKeepaliveKeepsSessionAlive(t *testing.T) {
+	coll, err := ListenCollector("127.0.0.1:0", 6447, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	sp, err := Dial(coll.Addr(), 65004, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	for i := 0; i < 3; i++ {
+		if err := sp.Keepalive(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Announce(netaddr.MustParsePrefix("198.51.100.0/24"), []uint32{65004}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "route after keepalives", func() bool { return len(coll.Routes()) == 1 })
+}
+
+func TestCollectorCloseIsIdempotent(t *testing.T) {
+	coll, err := ListenCollector("127.0.0.1:0", 6447, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := coll.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := Dial(coll.Addr(), 65005, 5); err == nil {
+		t.Fatal("dial succeeded after close")
+	}
+}

@@ -1,0 +1,341 @@
+// Package bgpsim computes interdomain routes over an astopo.Graph using
+// the standard policy model from the measurement literature (Gao–Rexford):
+//
+//   - route preference: customer-learned > peer-learned > provider-learned
+//     (modelled as local preference), then shortest AS path, then a
+//     deterministic tie-break;
+//   - export (valley-free): routes are exported to customers always, and to
+//     peers/providers only when self-originated or customer-learned.
+//
+// On top of that baseline the simulator supports the operational knobs the
+// paper's subjects actually turn: anycast origination from multiple sites,
+// AS-path prepending per site (traffic engineering), per-neighbour local
+// preference overrides (a multi-homed enterprise preferring one upstream),
+// and topology edits between epochs (drains, cable cuts, provider swaps).
+//
+// The solver is a synchronous fixed-point iteration rather than the
+// three-phase BFS: local-pref overrides can violate the customer>peer>
+// provider order that the BFS relies on, and a fixed point handles any
+// preference function. Policies in this repository always converge; the
+// solver enforces an iteration cap and reports divergence as an error.
+package bgpsim
+
+import (
+	"fmt"
+	"sort"
+
+	"fenrir/internal/astopo"
+)
+
+// RouteType records which kind of neighbour a route was learned from.
+type RouteType int
+
+const (
+	// ViaNone marks the absence of a route.
+	ViaNone RouteType = iota
+	// ViaOrigin marks a self-originated route.
+	ViaOrigin
+	// ViaCustomer marks a route learned from a customer.
+	ViaCustomer
+	// ViaPeer marks a route learned from a settlement-free peer.
+	ViaPeer
+	// ViaProvider marks a route learned from a transit provider.
+	ViaProvider
+)
+
+func (t RouteType) String() string {
+	switch t {
+	case ViaNone:
+		return "none"
+	case ViaOrigin:
+		return "origin"
+	case ViaCustomer:
+		return "customer"
+	case ViaPeer:
+		return "peer"
+	case ViaProvider:
+		return "provider"
+	}
+	return fmt.Sprintf("via(%d)", int(t))
+}
+
+// basePref maps relationship type to default local preference.
+func basePref(t RouteType) int {
+	switch t {
+	case ViaOrigin:
+		return 400
+	case ViaCustomer:
+		return 300
+	case ViaPeer:
+		return 200
+	case ViaProvider:
+		return 100
+	}
+	return 0
+}
+
+// Announcement is one origination of the destination: for unicast a single
+// entry, for anycast one per site. Prepend lengthens the advertised path,
+// the classic anycast traffic-engineering lever.
+type Announcement struct {
+	Origin  astopo.ASN
+	Site    string
+	Prepend int
+}
+
+// Route is an AS's best path toward the destination.
+type Route struct {
+	Type    RouteType
+	Site    string     // which announcement won (anycast site)
+	Origin  astopo.ASN // originating AS of the winning announcement
+	NextHop astopo.ASN // neighbour toward the origin; 0 when self-originated
+	Len     int        // advertised AS-path length including prepending
+	Pref    int        // effective local preference used in selection
+}
+
+// Valid reports whether the route exists.
+func (r Route) Valid() bool { return r.Type != ViaNone }
+
+// Policy carries optional per-AS routing policy beyond Gao–Rexford.
+type Policy struct {
+	// LocalPref overrides the effective preference AS a assigns to routes
+	// learned from neighbour n: LocalPref[a][n]. Higher wins. This is how
+	// an enterprise prefers one upstream over another.
+	LocalPref map[astopo.ASN]map[astopo.ASN]int
+	// Reject filters: Reject[a][n] makes AS a ignore all routes for this
+	// destination learned from neighbour n (an import filter; used to
+	// model selective drains and route filtering).
+	Reject map[astopo.ASN]map[astopo.ASN]bool
+}
+
+// localPref returns the effective preference for a route of type t learned
+// by a from neighbour n.
+func (p *Policy) localPref(a, n astopo.ASN, t RouteType) int {
+	if p != nil {
+		if m, ok := p.LocalPref[a]; ok {
+			if v, ok := m[n]; ok {
+				return v
+			}
+		}
+	}
+	return basePref(t)
+}
+
+func (p *Policy) rejects(a, n astopo.ASN) bool {
+	if p == nil {
+		return false
+	}
+	m, ok := p.Reject[a]
+	return ok && m[n]
+}
+
+// RIB holds every AS's best route toward one destination.
+type RIB struct {
+	g      *astopo.Graph
+	routes map[astopo.ASN]Route
+}
+
+// Route returns the best route at AS a (zero Route if unreachable).
+func (rib *RIB) Route(a astopo.ASN) Route { return rib.routes[a] }
+
+// Reachable reports whether AS a has any route.
+func (rib *RIB) Reachable(a astopo.ASN) bool { return rib.routes[a].Valid() }
+
+// Site returns the anycast site serving AS a, or "" if unreachable.
+func (rib *RIB) Site(a astopo.ASN) string { return rib.routes[a].Site }
+
+// Path returns the AS-level forwarding path from a to the destination
+// origin, inclusive of both endpoints. It returns nil when a has no route.
+// Prepending inflates Len but not the concrete hop sequence, exactly as on
+// the real Internet.
+func (rib *RIB) Path(a astopo.ASN) []astopo.ASN {
+	r, ok := rib.routes[a]
+	if !ok || !r.Valid() {
+		return nil
+	}
+	path := []astopo.ASN{a}
+	cur := a
+	for {
+		r := rib.routes[cur]
+		if r.NextHop == 0 {
+			return path
+		}
+		cur = r.NextHop
+		path = append(path, cur)
+		if len(path) > rib.g.Len()+1 {
+			// A forwarding loop would be a solver bug; fail loudly.
+			panic(fmt.Sprintf("bgpsim: forwarding loop reconstructing path from AS%d", a))
+		}
+	}
+}
+
+// maxIterations bounds the fixed-point solver. Policy routing converges in
+// O(diameter) rounds here; the cap only exists to turn a non-convergent
+// policy into a detectable error instead of a hang.
+const maxIterations = 64
+
+// Compute solves for every AS's best route toward a destination originated
+// by anns, under optional policy pol. It returns an error if announcements
+// are empty, reference unknown ASes, or the policy fails to converge.
+func Compute(g *astopo.Graph, anns []Announcement, pol *Policy) (*RIB, error) {
+	if len(anns) == 0 {
+		return nil, fmt.Errorf("bgpsim: no announcements")
+	}
+	for _, a := range anns {
+		if g.AS(a.Origin) == nil {
+			return nil, fmt.Errorf("bgpsim: announcement from unknown AS%d", a.Origin)
+		}
+		if a.Prepend < 0 {
+			return nil, fmt.Errorf("bgpsim: negative prepend from AS%d", a.Origin)
+		}
+	}
+
+	routes := make(map[astopo.ASN]Route, g.Len())
+	// Seed origins. If one AS originates several sites (possible during
+	// scripted experiments), the shortest advertisement wins locally.
+	for _, a := range anns {
+		r := Route{
+			Type:   ViaOrigin,
+			Site:   a.Site,
+			Origin: a.Origin,
+			Len:    a.Prepend, // path of length 0 + prepending
+			Pref:   basePref(ViaOrigin),
+		}
+		if cur, ok := routes[a.Origin]; !ok || better(r, cur) {
+			routes[a.Origin] = r
+		}
+	}
+
+	asns := g.ASNs()
+	for iter := 0; iter < maxIterations; iter++ {
+		changed := false
+		// Synchronous round: selection reads the previous round's routes.
+		prev := make(map[astopo.ASN]Route, len(routes))
+		for k, v := range routes {
+			prev[k] = v
+		}
+		for _, asn := range asns {
+			as := g.AS(asn)
+			best := routes[asn]
+			// Origin routes are pinned; an origin never replaces its own
+			// announcement with a learned route.
+			if best.Type == ViaOrigin {
+				continue
+			}
+			cand := best
+			consider := func(n astopo.ASN, via RouteType) {
+				nr, ok := prev[n]
+				if !ok || !nr.Valid() {
+					return
+				}
+				if !exports(nr.Type, via) {
+					return
+				}
+				if pol.rejects(asn, n) {
+					return
+				}
+				r := Route{
+					Type:    via,
+					Site:    nr.Site,
+					Origin:  nr.Origin,
+					NextHop: n,
+					Len:     nr.Len + 1,
+					Pref:    pol.localPref(asn, n, via),
+				}
+				if !cand.Valid() || better(r, cand) {
+					cand = r
+				}
+			}
+			for _, n := range as.Customers {
+				consider(n, ViaCustomer)
+			}
+			for _, n := range as.Peers {
+				consider(n, ViaPeer)
+			}
+			for _, n := range as.Providers {
+				consider(n, ViaProvider)
+			}
+			if cand != best {
+				routes[asn] = cand
+				changed = true
+			}
+		}
+		if !changed {
+			return &RIB{g: g, routes: routes}, nil
+		}
+	}
+	return nil, fmt.Errorf("bgpsim: routing did not converge in %d iterations", maxIterations)
+}
+
+// exports implements valley-free export: a route of type have held by the
+// advertising neighbour is visible across an edge the receiver classifies
+// as via. The receiver sees the edge as via=ViaCustomer when the advertiser
+// is its customer — and the advertiser exports to providers only what it
+// self-originated or learned from its own customers. Similarly for peers.
+// Everything is exported downhill (receiver's via=ViaProvider).
+func exports(have RouteType, via RouteType) bool {
+	switch via {
+	case ViaProvider:
+		// Receiver learns from its provider: providers export everything
+		// to customers.
+		return true
+	case ViaCustomer, ViaPeer:
+		// Receiver learns from a customer or peer: that neighbour only
+		// exports up/sideways what it originated or heard from its own
+		// customers.
+		return have == ViaOrigin || have == ViaCustomer
+	}
+	return false
+}
+
+// better reports whether a should be preferred over b under BGP-style
+// selection: higher local-pref, then shorter path, then lower next-hop
+// ASN, then lower origin ASN, then lexicographically smaller site label.
+// The final tie-breaks keep the simulation fully deterministic.
+func better(a, b Route) bool {
+	if !b.Valid() {
+		return true
+	}
+	if a.Pref != b.Pref {
+		return a.Pref > b.Pref
+	}
+	if a.Len != b.Len {
+		return a.Len < b.Len
+	}
+	if a.NextHop != b.NextHop {
+		return a.NextHop < b.NextHop
+	}
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	return a.Site < b.Site
+}
+
+// CatchmentSizes aggregates the RIB by winning site over the given ASes
+// (typically all stubs), the simulator-side equivalent of the paper's
+// A(t) vector.
+func (rib *RIB) CatchmentSizes(over []astopo.ASN) map[string]int {
+	out := make(map[string]int)
+	for _, a := range over {
+		if r := rib.routes[a]; r.Valid() {
+			out[r.Site]++
+		}
+	}
+	return out
+}
+
+// Sites returns the set of site labels present in the RIB, sorted.
+func (rib *RIB) Sites() []string {
+	set := make(map[string]bool)
+	for _, r := range rib.routes {
+		if r.Valid() {
+			set[r.Site] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

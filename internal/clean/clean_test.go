@@ -1,0 +1,255 @@
+package clean
+
+import (
+	"testing"
+	"time"
+
+	"fenrir/internal/core"
+	"fenrir/internal/timeline"
+)
+
+func space(n int) *core.Space {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = "n" + string(rune('A'+i))
+	}
+	return core.NewSpace(ids)
+}
+
+func sched(n int) timeline.Schedule {
+	return timeline.NewSchedule(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC), 24*time.Hour, n)
+}
+
+func seriesOf(s *core.Space, n int, rows map[int][]string) *core.Series {
+	// rows maps network index -> per-epoch site label ("" = unknown).
+	epochs := 0
+	for _, r := range rows {
+		if len(r) > epochs {
+			epochs = len(r)
+		}
+	}
+	var vs []*core.Vector
+	for e := 0; e < epochs; e++ {
+		v := s.NewVector(timeline.Epoch(e))
+		for netIdx, r := range rows {
+			if e < len(r) && r[e] != "" {
+				v.Set(netIdx, r[e])
+			}
+		}
+		vs = append(vs, v)
+	}
+	return core.NewSeries(s, sched(epochs), vs, nil)
+}
+
+func siteAt(s *core.Series, e timeline.Epoch, n int) string {
+	v := s.At(e)
+	if v == nil {
+		return "<no vector>"
+	}
+	site, ok := v.Site(n)
+	if !ok {
+		return ""
+	}
+	return site
+}
+
+func TestRemoveIncorrect(t *testing.T) {
+	sp := space(2)
+	ser := seriesOf(sp, 2, map[int][]string{
+		0: {"LAX", "BOGUS"},
+		1: {"AMS", "AMS"},
+	})
+	valid := map[string]bool{"LAX": true, "AMS": true}
+	out := RemoveIncorrect(ser, func(site string) bool { return valid[site] })
+	if siteAt(out, 1, 0) != "" {
+		t.Error("bogus observation survived")
+	}
+	if siteAt(out, 0, 0) != "LAX" || siteAt(out, 1, 1) != "AMS" {
+		t.Error("valid observations damaged")
+	}
+	// Original untouched.
+	if siteAt(ser, 1, 0) != "BOGUS" {
+		t.Error("cleaner mutated its input")
+	}
+}
+
+func TestMicroCatchments(t *testing.T) {
+	sp := space(10)
+	rows := make(map[int][]string)
+	for i := 0; i < 9; i++ {
+		rows[i] = []string{"BIG", "BIG", "BIG"}
+	}
+	rows[9] = []string{"TINY", "TINY", "TINY"}
+	ser := seriesOf(sp, 10, rows)
+	micro := MicroCatchments(ser, 0.2)
+	if len(micro) != 1 || micro[0] != "TINY" {
+		t.Fatalf("micro = %v", micro)
+	}
+	if got := MicroCatchments(ser, 0.05); len(got) != 0 {
+		t.Fatalf("low threshold flagged %v", got)
+	}
+}
+
+func TestMicroCatchmentsIgnoresErrOther(t *testing.T) {
+	sp := space(10)
+	rows := make(map[int][]string)
+	for i := 0; i < 9; i++ {
+		rows[i] = []string{"BIG"}
+	}
+	rows[9] = []string{core.SiteError}
+	ser := seriesOf(sp, 10, rows)
+	if got := MicroCatchments(ser, 0.5); len(got) != 0 {
+		t.Fatalf("err flagged as micro-catchment: %v", got)
+	}
+}
+
+func TestSuppressSites(t *testing.T) {
+	sp := space(3)
+	ser := seriesOf(sp, 3, map[int][]string{
+		0: {"BIG"}, 1: {"TINY"}, 2: {""},
+	})
+	out := SuppressSites(ser, []string{"TINY"})
+	if siteAt(out, 0, 1) != core.SiteOther {
+		t.Errorf("suppressed site = %q, want other", siteAt(out, 0, 1))
+	}
+	if siteAt(out, 0, 0) != "BIG" || siteAt(out, 0, 2) != "" {
+		t.Error("unrelated assignments damaged")
+	}
+}
+
+func TestInterpolateSplitRun(t *testing.T) {
+	// Known A at epoch 0, unknown 1-4, known B at 5: first half (1,2)
+	// copies A, second half (3,4) copies B.
+	sp := space(1)
+	ser := seriesOf(sp, 1, map[int][]string{
+		0: {"A", "", "", "", "", "B"},
+	})
+	out := Interpolate(ser, DefaultInterpolateOptions())
+	want := []string{"A", "A", "A", "B", "B", "B"}
+	for e, w := range want {
+		if got := siteAt(out, timeline.Epoch(e), 0); got != w {
+			t.Errorf("epoch %d = %q, want %q", e, got, w)
+		}
+	}
+}
+
+func TestInterpolateOddRunMidpointGoesLeft(t *testing.T) {
+	// Run of 3 between A and B: positions get A, A, B per the paper's
+	// [k..k+i/2]<-k-1 rule with i/2 integer division.
+	sp := space(1)
+	ser := seriesOf(sp, 1, map[int][]string{
+		0: {"A", "", "", "", "B"},
+	})
+	out := Interpolate(ser, DefaultInterpolateOptions())
+	want := []string{"A", "A", "A", "B", "B"}
+	for e, w := range want {
+		if got := siteAt(out, timeline.Epoch(e), 0); got != w {
+			t.Errorf("epoch %d = %q, want %q", e, got, w)
+		}
+	}
+}
+
+func TestInterpolateReachLimit(t *testing.T) {
+	// A run of 10 unknowns: only 3 from each side get filled.
+	row := []string{"A"}
+	for i := 0; i < 10; i++ {
+		row = append(row, "")
+	}
+	row = append(row, "B")
+	sp := space(1)
+	ser := seriesOf(sp, 1, map[int][]string{0: row})
+	out := Interpolate(ser, DefaultInterpolateOptions())
+	want := []string{"A", "A", "A", "A", "", "", "", "", "B", "B", "B", "B"}
+	for e, w := range want {
+		if got := siteAt(out, timeline.Epoch(e), 0); got != w {
+			t.Errorf("epoch %d = %q, want %q", e, got, w)
+		}
+	}
+}
+
+func TestInterpolateLeadingAndTrailing(t *testing.T) {
+	sp := space(1)
+	ser := seriesOf(sp, 1, map[int][]string{
+		0: {"", "A", ""},
+	})
+	out := Interpolate(ser, DefaultInterpolateOptions())
+	// Leading unknown has only a right donor; trailing only a left donor.
+	if siteAt(out, 0, 0) != "A" || siteAt(out, 2, 0) != "A" {
+		t.Errorf("edges = %q %q, want A A", siteAt(out, 0, 0), siteAt(out, 2, 0))
+	}
+}
+
+func TestInterpolateAllUnknownStaysUnknown(t *testing.T) {
+	sp := space(1)
+	ser := seriesOf(sp, 1, map[int][]string{0: {"", "", ""}})
+	out := Interpolate(ser, DefaultInterpolateOptions())
+	for e := 0; e < 3; e++ {
+		if got := siteAt(out, timeline.Epoch(e), 0); got != "" {
+			t.Errorf("epoch %d = %q, want unknown", e, got)
+		}
+	}
+}
+
+func TestInterpolateDoesNotCrossCollectionGaps(t *testing.T) {
+	// Vectors exist for epochs 0,1 and 5,6 (2-4 missing entirely). The
+	// unknown at epoch 1 must not be filled from epoch 5's value.
+	sp := space(1)
+	v0 := sp.NewVector(0)
+	v0.Set(0, "A")
+	v1 := sp.NewVector(1) // unknown
+	v5 := sp.NewVector(5)
+	v5.Set(0, "B")
+	v6 := sp.NewVector(6) // unknown
+	ser := core.NewSeries(sp, sched(7), []*core.Vector{v0, v1, v5, v6}, nil)
+	out := Interpolate(ser, DefaultInterpolateOptions())
+	if got := siteAt(out, 1, 0); got != "A" {
+		t.Errorf("epoch 1 = %q, want A (left donor within segment)", got)
+	}
+	if got := siteAt(out, 6, 0); got != "B" {
+		t.Errorf("epoch 6 = %q, want B", got)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	sp := space(2)
+	ser := seriesOf(sp, 2, map[int][]string{
+		0: {"A", ""},
+		1: {"A", "A"},
+	})
+	if got := Coverage(ser); got != 0.75 {
+		t.Fatalf("Coverage = %v, want 0.75", got)
+	}
+}
+
+func TestGapEpochs(t *testing.T) {
+	sp := space(1)
+	v0 := sp.NewVector(0)
+	v3 := sp.NewVector(3)
+	ser := core.NewSeries(sp, sched(5), []*core.Vector{v0, v3}, nil)
+	gaps := GapEpochs(ser)
+	want := []timeline.Epoch{1, 2, 4}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gaps = %v, want %v", gaps, want)
+		}
+	}
+}
+
+func TestInterpolateIdempotentOnComplete(t *testing.T) {
+	sp := space(2)
+	ser := seriesOf(sp, 2, map[int][]string{
+		0: {"A", "B", "A"},
+		1: {"C", "C", "C"},
+	})
+	out := Interpolate(ser, DefaultInterpolateOptions())
+	for e := 0; e < 3; e++ {
+		for n := 0; n < 2; n++ {
+			if siteAt(out, timeline.Epoch(e), n) != siteAt(ser, timeline.Epoch(e), n) {
+				t.Fatal("interpolation changed complete data")
+			}
+		}
+	}
+}

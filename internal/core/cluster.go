@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Linkage selects the Lance–Williams update rule for HAC.
+type Linkage int
+
+const (
+	// AverageLinkage (UPGMA) is the default; the paper does not pin a
+	// linkage, and average is the stable middle ground the ablation
+	// bench compares against.
+	AverageLinkage Linkage = iota
+	// SingleLinkage merges on minimum pairwise distance (SLINK-style).
+	SingleLinkage
+	// CompleteLinkage merges on maximum pairwise distance.
+	CompleteLinkage
+)
+
+func (l Linkage) String() string {
+	switch l {
+	case AverageLinkage:
+		return "average"
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	}
+	return fmt.Sprintf("linkage(%d)", int(l))
+}
+
+// Merge is one agglomeration step of the dendrogram: clusters A and B
+// (indexes into the original rows for leaves, or prior merges offset by N)
+// joined at the given cophenetic distance.
+type Merge struct {
+	A, B   int
+	Height float64
+}
+
+// Dendrogram is the full HAC merge tree over n leaves.
+type Dendrogram struct {
+	N      int
+	Merges []Merge // length N-1 for a fully merged tree
+}
+
+// HAC builds a dendrogram from a similarity matrix using the nearest-
+// neighbour-chain algorithm (O(N²) time, O(N²) memory), with distances
+// d = 1 − Φ. All three supported linkages are reducible, so NN-chain
+// yields the exact same tree as naive O(N³) agglomeration.
+func HAC(m *SimMatrix, linkage Linkage) *Dendrogram {
+	n := m.N
+	d := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				d[i*n+j] = 1 - m.At(i, j)
+			}
+		}
+	}
+	size := make([]int, n)
+	active := make([]bool, n)
+	id := make([]int, n) // current dendrogram node id of row i
+	for i := 0; i < n; i++ {
+		size[i] = 1
+		active[i] = true
+		id[i] = i
+	}
+	dg := &Dendrogram{N: n}
+	nextID := n
+
+	chain := make([]int, 0, n)
+	remaining := n
+	for remaining > 1 {
+		if len(chain) == 0 {
+			for i := 0; i < n; i++ {
+				if active[i] {
+					chain = append(chain, i)
+					break
+				}
+			}
+		}
+		for {
+			top := chain[len(chain)-1]
+			// Find nearest active neighbour of top.
+			best, bestD := -1, 0.0
+			for j := 0; j < n; j++ {
+				if !active[j] || j == top {
+					continue
+				}
+				dj := d[top*n+j]
+				if best == -1 || dj < bestD || (dj == bestD && j < best) {
+					best, bestD = j, dj
+				}
+			}
+			if len(chain) >= 2 && best == chain[len(chain)-2] {
+				// Reciprocal nearest neighbours: merge top and best.
+				a, b := chain[len(chain)-2], chain[len(chain)-1]
+				chain = chain[:len(chain)-2]
+				dg.Merges = append(dg.Merges, Merge{A: id[a], B: id[b], Height: bestD})
+				// Fold b into a with Lance–Williams.
+				na, nb := float64(size[a]), float64(size[b])
+				for k := 0; k < n; k++ {
+					if !active[k] || k == a || k == b {
+						continue
+					}
+					da, db := d[a*n+k], d[b*n+k]
+					var nd float64
+					switch linkage {
+					case SingleLinkage:
+						nd = min2(da, db)
+					case CompleteLinkage:
+						nd = max2(da, db)
+					default:
+						nd = (na*da + nb*db) / (na + nb)
+					}
+					d[a*n+k] = nd
+					d[k*n+a] = nd
+				}
+				size[a] += size[b]
+				active[b] = false
+				id[a] = nextID
+				nextID++
+				remaining--
+				break
+			}
+			chain = append(chain, best)
+		}
+	}
+	// Merges are recorded in NN-chain execution order. For the reducible
+	// linkages supported here the dendrogram has no inversions, so a cut
+	// can union any subset of merges with height below the threshold
+	// without caring about order.
+	return dg
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Cut slices the dendrogram at a distance threshold, returning clusters as
+// sorted row-index lists, ordered by first member. Merges strictly above
+// the threshold are ignored.
+func (dg *Dendrogram) Cut(threshold float64) [][]int {
+	parent := make([]int, dg.N)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	// Each dendrogram node id maps to one representative leaf; merges are
+	// recorded in execution order, so node n+k is created by Merges[k].
+	rep := make([]int, dg.N+len(dg.Merges))
+	for i := 0; i < dg.N; i++ {
+		rep[i] = i
+	}
+	for k, mg := range dg.Merges {
+		rep[dg.N+k] = rep[mg.A]
+		if mg.Height <= threshold {
+			ra, rb := find(rep[mg.A]), find(rep[mg.B])
+			if ra != rb {
+				parent[rb] = ra
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i := 0; i < dg.N; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var out [][]int
+	for _, g := range groups {
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// AdaptiveOptions tunes the paper's distance-threshold search (§2.6.2).
+type AdaptiveOptions struct {
+	// MaxClusters is the paper's 15: accept the first threshold whose cut
+	// produces fewer than this many clusters.
+	MaxClusters int
+	// MinMembers is the paper's 2: a cluster must have at least this many
+	// observations to count as a valid routing mode.
+	MinMembers int
+	// Step is the sweep granularity over [0,1]; the paper uses 0.01.
+	Step float64
+	// Linkage for the underlying HAC.
+	Linkage Linkage
+}
+
+// DefaultAdaptiveOptions mirrors §2.6.2 exactly.
+func DefaultAdaptiveOptions() AdaptiveOptions {
+	return AdaptiveOptions{MaxClusters: 15, MinMembers: 2, Step: 0.01, Linkage: AverageLinkage}
+}
+
+// ClusterAdaptive runs the paper's adaptive-threshold procedure (§2.6.2):
+// build one dendrogram, sweep the distance threshold over [0,1] in steps,
+// and pick a cut with fewer than MaxClusters clusters of which at least
+// one has MinMembers members. The paper notes "the number of clusters
+// converges quickly when the distance threshold increases"; we make that
+// convergence the selection criterion: among admissible thresholds, choose
+// the start of the longest run of consecutive thresholds yielding the same
+// cluster count (earliest run on ties). This skips transient thresholds
+// where modes are only partially merged — the count there changes at every
+// step — and lands where the clustering is stable.
+func ClusterAdaptive(m *SimMatrix, opts AdaptiveOptions) (threshold float64, clusters [][]int) {
+	if opts.MaxClusters <= 0 {
+		opts.MaxClusters = 15
+	}
+	if opts.MinMembers <= 0 {
+		opts.MinMembers = 2
+	}
+	if opts.Step <= 0 {
+		opts.Step = 0.01
+	}
+	dg := HAC(m, opts.Linkage)
+
+	admissible := func(cut [][]int) bool {
+		if len(cut) >= opts.MaxClusters {
+			return false
+		}
+		for _, c := range cut {
+			if len(c) >= opts.MinMembers {
+				return true
+			}
+		}
+		return false
+	}
+
+	// minPlateau is how many consecutive sweep steps must agree on the
+	// cluster count before we call the clustering "converged". Three
+	// steps (0.03 in distance) separates stable mode structure from the
+	// transient thresholds where modes are mid-merge.
+	const minPlateau = 3
+
+	type run struct {
+		start float64
+		count int
+		len   int
+	}
+	var first, longest, cur run
+	for t := 0.0; t <= 1.0+1e-9; t += opts.Step {
+		cut := dg.Cut(t)
+		if !admissible(cut) {
+			cur = run{}
+			continue
+		}
+		if cur.len > 0 && cur.count == len(cut) {
+			cur.len++
+		} else {
+			cur = run{start: t, count: len(cut), len: 1}
+		}
+		if cur.len >= minPlateau && first.len == 0 {
+			first = cur
+		}
+		if cur.len > longest.len {
+			longest = cur
+		}
+	}
+	switch {
+	case first.len > 0:
+		return first.start, dg.Cut(first.start)
+	case longest.len > 0:
+		// No plateau ever formed; take the longest admissible run.
+		return longest.start, dg.Cut(longest.start)
+	default:
+		// No admissible cut at any threshold (e.g. a single
+		// observation): fall back to the full merge.
+		return 1.0, dg.Cut(1.0)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"fenrir/internal/rng"
+	"fenrir/internal/timeline"
+)
+
+// noisySeries builds a series where each epoch reassigns `churn` fraction
+// of networks randomly, with scripted full shifts at the given epochs.
+func noisySeries(t *testing.T, n, epochs int, churn float64, shifts map[int]string) *Series {
+	t.Helper()
+	r := rng.New(123)
+	s := NewSpace(nets(n))
+	base := make([]string, n)
+	for i := range base {
+		base[i] = "A"
+	}
+	var vs []*Vector
+	for e := 0; e < epochs; e++ {
+		if site, ok := shifts[e]; ok {
+			// A scripted event: half the networks move to the new site.
+			for i := 0; i < n/2; i++ {
+				base[i] = site
+			}
+		}
+		v := s.NewVector(timeline.Epoch(e))
+		for i := 0; i < n; i++ {
+			if r.Bool(churn) {
+				v.Set(i, "B")
+			} else {
+				v.Set(i, base[i])
+			}
+		}
+		vs = append(vs, v)
+	}
+	return NewSeries(s, sched(epochs), vs, nil)
+}
+
+func TestDetectChangesFindsScriptedEvent(t *testing.T) {
+	ser := noisySeries(t, 200, 60, 0.02, map[int]string{30: "C"})
+	events := DetectChanges(ser, nil, DefaultDetectOptions())
+	if len(events) != 1 {
+		t.Fatalf("events = %+v, want exactly one", events)
+	}
+	if events[0].At != 30 {
+		t.Fatalf("event at epoch %d, want 30", events[0].At)
+	}
+	if events[0].Magnitude < 0.3 {
+		t.Fatalf("magnitude %v too small for a half-network shift", events[0].Magnitude)
+	}
+}
+
+func TestDetectChangesQuietSeries(t *testing.T) {
+	ser := noisySeries(t, 200, 60, 0.02, nil)
+	events := DetectChanges(ser, nil, DefaultDetectOptions())
+	if len(events) != 0 {
+		t.Fatalf("false positives on quiet series: %+v", events)
+	}
+}
+
+func TestDetectChangesMultipleEvents(t *testing.T) {
+	ser := noisySeries(t, 200, 90, 0.01, map[int]string{30: "C", 60: "D"})
+	events := DetectChanges(ser, nil, DefaultDetectOptions())
+	if len(events) != 2 {
+		t.Fatalf("events = %+v, want two", events)
+	}
+	if events[0].At != 30 || events[1].At != 60 {
+		t.Fatalf("events at %d and %d", events[0].At, events[1].At)
+	}
+}
+
+func TestDetectChangesRespectsGaps(t *testing.T) {
+	// Build a series where the routing changes across a collection gap;
+	// no event should fire because the pair is not adjacent.
+	s := NewSpace(nets(50))
+	var vs []*Vector
+	for e := 0; e < 40; e++ {
+		if e >= 20 && e < 25 {
+			continue // gap
+		}
+		v := s.NewVector(timeline.Epoch(e))
+		site := "A"
+		if e >= 25 {
+			site = "B"
+		}
+		for i := 0; i < 50; i++ {
+			v.Set(i, site)
+		}
+		vs = append(vs, v)
+	}
+	ser := NewSeries(s, sched(40), vs, nil)
+	events := DetectChanges(ser, nil, DefaultDetectOptions())
+	if len(events) != 0 {
+		t.Fatalf("change across gap flagged as event: %+v", events)
+	}
+}
+
+func TestDetectChangesThresholdSensitivity(t *testing.T) {
+	// A small shift (5%) is caught at low MinDrop and missed at high.
+	s := NewSpace(nets(200))
+	var vs []*Vector
+	for e := 0; e < 40; e++ {
+		v := s.NewVector(timeline.Epoch(e))
+		for i := 0; i < 200; i++ {
+			site := "A"
+			if e >= 20 && i < 10 {
+				site = "B"
+			}
+			v.Set(i, site)
+		}
+		vs = append(vs, v)
+	}
+	ser := NewSeries(s, sched(40), vs, nil)
+
+	low := DefaultDetectOptions()
+	low.MinDrop = 0.03
+	if events := DetectChanges(ser, nil, low); len(events) != 1 {
+		t.Fatalf("sensitive detector missed 5%% shift: %+v", events)
+	}
+	high := DefaultDetectOptions()
+	high.MinDrop = 0.10
+	if events := DetectChanges(ser, nil, high); len(events) != 0 {
+		t.Fatalf("coarse detector caught sub-threshold shift: %+v", events)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 9}, 5},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := median(c.in); got != c.want {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

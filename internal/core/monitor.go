@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"fenrir/internal/timeline"
+)
+
+// Monitor is the streaming form of the pipeline: operators do not re-run
+// a batch job over five years of vectors every four minutes — they append
+// the newest observation and ask "did routing just change, and which mode
+// am I in now?". Monitor keeps the all-pairs similarity matrix up to date
+// incrementally (O(history × networks) per append instead of a full
+// O(history² × networks) recompute) and re-runs the cheap stages (HAC,
+// detection) on demand.
+type Monitor struct {
+	space *Space
+	sched timeline.Schedule
+	w     []float64
+	mode  UnknownMode
+
+	vectors []*Vector
+	// sim holds the lower-triangular similarity values: sim[i][j] for
+	// j < i. Kept triangular so appends never reallocate earlier rows.
+	sim [][]float64
+
+	detect DetectOptions
+}
+
+// NewMonitor starts an empty monitor over a space. w may be nil.
+func NewMonitor(space *Space, sched timeline.Schedule, w []float64, mode UnknownMode, detect DetectOptions) *Monitor {
+	if w != nil && len(w) != space.NumNetworks() {
+		panic(fmt.Sprintf("core: monitor weight length %d != networks %d", len(w), space.NumNetworks()))
+	}
+	return &Monitor{space: space, sched: sched, w: w, mode: mode, detect: detect}
+}
+
+// Len returns the number of observations appended so far.
+func (m *Monitor) Len() int { return len(m.vectors) }
+
+// Append adds the next observation and returns whether it constitutes a
+// change event relative to the trailing window (the same criterion
+// DetectChanges applies in batch). Epochs must be appended in increasing
+// order.
+func (m *Monitor) Append(v *Vector) (ChangeEvent, bool) {
+	if v.Space != m.space {
+		panic("core: monitor vector from foreign space")
+	}
+	if n := len(m.vectors); n > 0 && v.T <= m.vectors[n-1].T {
+		panic(fmt.Sprintf("core: monitor append out of order (epoch %d after %d)", v.T, m.vectors[n-1].T))
+	}
+	row := make([]float64, len(m.vectors))
+	for j, prev := range m.vectors {
+		row[j] = Gower(v, prev, m.w, m.mode)
+	}
+	m.vectors = append(m.vectors, v)
+	m.sim = append(m.sim, row)
+
+	// Change check: replay the batch detector over the adjacent-pair
+	// series. The series is short in operational use (bounded history) so
+	// this stays cheap while guaranteeing batch/stream agreement.
+	events := DetectChanges(m.Series(), m.w, m.detect)
+	if len(events) > 0 {
+		last := events[len(events)-1]
+		if last.At == v.T {
+			return last, true
+		}
+	}
+	return ChangeEvent{}, false
+}
+
+// Series materializes the monitor's history as a Series.
+func (m *Monitor) Series() *Series {
+	return NewSeries(m.space, m.sched, m.vectors, nil)
+}
+
+// Matrix materializes the full symmetric similarity matrix. The epochs
+// array mirrors SimilarityMatrix's.
+func (m *Monitor) Matrix() *SimMatrix {
+	n := len(m.vectors)
+	out := &SimMatrix{N: n, Epochs: make([]int, n), vals: make([]float64, n*n)}
+	for i, v := range m.vectors {
+		out.Epochs[i] = int(v.T)
+		out.vals[i*n+i] = 1
+		for j := 0; j < i; j++ {
+			phi := m.sim[i][j]
+			out.vals[i*n+j] = phi
+			out.vals[j*n+i] = phi
+		}
+	}
+	return out
+}
+
+// Modes runs mode discovery over the history so far.
+func (m *Monitor) Modes(opts AdaptiveOptions) *ModesResult {
+	return DiscoverModes(m.Matrix(), opts)
+}
+
+// CurrentMode returns the mode containing the latest observation, or nil
+// before any observation arrives.
+func (m *Monitor) CurrentMode(opts AdaptiveOptions) *Mode {
+	if len(m.vectors) == 0 {
+		return nil
+	}
+	return m.Modes(opts).ModeOf(len(m.vectors) - 1)
+}
+
+// TrimBefore drops observations older than epoch, bounding memory for
+// long-running monitors. Mode history before the cut is forgotten.
+func (m *Monitor) TrimBefore(epoch timeline.Epoch) {
+	cut := 0
+	for cut < len(m.vectors) && m.vectors[cut].T < epoch {
+		cut++
+	}
+	if cut == 0 {
+		return
+	}
+	m.vectors = append([]*Vector(nil), m.vectors[cut:]...)
+	sim := make([][]float64, len(m.vectors))
+	for i := range m.vectors {
+		old := m.sim[i+cut]
+		sim[i] = append([]float64(nil), old[cut:]...)
+	}
+	m.sim = sim
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"fenrir/internal/rng"
+	"fenrir/internal/timeline"
+)
+
+func monitorFixtureVectors(n int) (*Space, []*Vector) {
+	r := rng.New(55)
+	s := NewSpace(nets(200))
+	var vs []*Vector
+	for e := 0; e < n; e++ {
+		v := s.NewVector(timeline.Epoch(e))
+		base := "A"
+		if e >= n/2 {
+			base = "B"
+		}
+		for i := 0; i < 200; i++ {
+			if r.Bool(0.02) {
+				continue
+			}
+			v.Set(i, base)
+		}
+		vs = append(vs, v)
+	}
+	return s, vs
+}
+
+func TestMonitorMatrixMatchesBatch(t *testing.T) {
+	space, vs := monitorFixtureVectors(24)
+	mon := NewMonitor(space, sched(24), nil, PessimisticUnknown, DefaultDetectOptions())
+	for _, v := range vs {
+		mon.Append(v)
+	}
+	batch := SimilarityMatrix(NewSeries(space, sched(24), vs, nil), nil, PessimisticUnknown)
+	inc := mon.Matrix()
+	if inc.N != batch.N {
+		t.Fatalf("N %d != %d", inc.N, batch.N)
+	}
+	for i := 0; i < inc.N; i++ {
+		for j := 0; j < inc.N; j++ {
+			if inc.At(i, j) != batch.At(i, j) {
+				t.Fatalf("cell (%d,%d): %v != %v", i, j, inc.At(i, j), batch.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMonitorDetectsChangeOnAppend(t *testing.T) {
+	space, vs := monitorFixtureVectors(40)
+	opts := DefaultDetectOptions()
+	mon := NewMonitor(space, sched(40), nil, PessimisticUnknown, opts)
+	var fired []timeline.Epoch
+	for _, v := range vs {
+		if ev, ok := mon.Append(v); ok {
+			fired = append(fired, ev.At)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 20 {
+		t.Fatalf("events = %v, want exactly epoch 20", fired)
+	}
+	// Stream detection must match batch detection.
+	batch := DetectChanges(mon.Series(), nil, opts)
+	if len(batch) != 1 || batch[0].At != 20 {
+		t.Fatalf("batch events = %+v", batch)
+	}
+}
+
+func TestMonitorCurrentMode(t *testing.T) {
+	space, vs := monitorFixtureVectors(24)
+	mon := NewMonitor(space, sched(24), nil, PessimisticUnknown, DefaultDetectOptions())
+	if mon.CurrentMode(DefaultAdaptiveOptions()) != nil {
+		t.Fatal("empty monitor has a current mode")
+	}
+	for _, v := range vs {
+		mon.Append(v)
+	}
+	cur := mon.CurrentMode(DefaultAdaptiveOptions())
+	if cur == nil {
+		t.Fatal("no current mode")
+	}
+	// The latest epoch sits in the B-era mode, which must not contain
+	// epoch 0.
+	for _, e := range cur.Epochs {
+		if e == 0 {
+			t.Fatal("current mode spans the old era")
+		}
+	}
+}
+
+func TestMonitorTrimBefore(t *testing.T) {
+	space, vs := monitorFixtureVectors(24)
+	mon := NewMonitor(space, sched(24), nil, PessimisticUnknown, DefaultDetectOptions())
+	for _, v := range vs {
+		mon.Append(v)
+	}
+	mon.TrimBefore(12)
+	if mon.Len() != 12 {
+		t.Fatalf("Len after trim = %d, want 12", mon.Len())
+	}
+	// Matrix over the retained window must match batch over the same.
+	batch := SimilarityMatrix(NewSeries(space, sched(24), vs[12:], nil), nil, PessimisticUnknown)
+	inc := mon.Matrix()
+	for i := 0; i < inc.N; i++ {
+		for j := 0; j < inc.N; j++ {
+			if inc.At(i, j) != batch.At(i, j) {
+				t.Fatalf("post-trim cell (%d,%d): %v != %v", i, j, inc.At(i, j), batch.At(i, j))
+			}
+		}
+	}
+	// Trimming before the first epoch is a no-op.
+	mon.TrimBefore(0)
+	if mon.Len() != 12 {
+		t.Fatal("no-op trim changed history")
+	}
+}
+
+func TestMonitorAppendOutOfOrderPanics(t *testing.T) {
+	space, vs := monitorFixtureVectors(4)
+	mon := NewMonitor(space, sched(4), nil, PessimisticUnknown, DefaultDetectOptions())
+	mon.Append(vs[2])
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order append accepted")
+		}
+	}()
+	mon.Append(vs[1])
+}
+
+func TestMonitorForeignSpacePanics(t *testing.T) {
+	space, _ := monitorFixtureVectors(4)
+	other := NewSpace(nets(200))
+	mon := NewMonitor(space, sched(4), nil, PessimisticUnknown, DefaultDetectOptions())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign-space vector accepted")
+		}
+	}()
+	mon.Append(other.NewVector(0))
+}
+
+func BenchmarkMonitorAppend(b *testing.B) {
+	space, vs := monitorFixtureVectors(2)
+	mon := NewMonitor(space, sched(1<<30), nil, PessimisticUnknown, DefaultDetectOptions())
+	mon.Append(vs[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := space.NewVector(timeline.Epoch(i + 10))
+		for n := 0; n < 200; n++ {
+			v.Set(n, "A")
+		}
+		mon.Append(v)
+	}
+}

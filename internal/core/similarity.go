@@ -1,0 +1,173 @@
+package core
+
+import "fmt"
+
+// UnknownMode selects how Φ treats networks whose catchment is unknown in
+// either vector.
+type UnknownMode int
+
+const (
+	// PessimisticUnknown is the paper's published definition: an unknown
+	// on either side counts as a mismatch, so imperfect measurements pull
+	// Φ down (Verfploeter's ~50 % unknowns cap stable Φ near 0.5–0.6).
+	PessimisticUnknown UnknownMode = iota
+	// KnownOnly is the paper's stated ongoing work: networks unknown in
+	// either vector are removed from both numerator and denominator, so Φ
+	// measures similarity over the jointly observed networks.
+	KnownOnly
+)
+
+func (m UnknownMode) String() string {
+	switch m {
+	case PessimisticUnknown:
+		return "pessimistic"
+	case KnownOnly:
+		return "known-only"
+	}
+	return fmt.Sprintf("unknown-mode(%d)", int(m))
+}
+
+// Gower computes the normalized weighted Gower similarity Φ(t,t') of
+// §2.6.1 between two vectors in the same space:
+//
+//	Φ = Σ_n M(t,t',n)·w(n) / Σ_n w(n)
+//
+// with M = 1 iff both assignments are known and equal. w may be nil for
+// uniform weights. The result is in [0,1]: the weighted fraction of
+// networks whose catchment is the same in both vectors.
+func Gower(a, b *Vector, w []float64, mode UnknownMode) float64 {
+	if a.Space != b.Space {
+		panic("core: Gower across spaces")
+	}
+	if w != nil && len(w) != len(a.assign) {
+		panic(fmt.Sprintf("core: weight length %d != networks %d", len(w), len(a.assign)))
+	}
+	var match, total float64
+	for i := range a.assign {
+		wi := 1.0
+		if w != nil {
+			wi = w[i]
+		}
+		x, y := a.assign[i], b.assign[i]
+		switch mode {
+		case PessimisticUnknown:
+			total += wi
+			if x != Unknown && x == y {
+				match += wi
+			}
+		case KnownOnly:
+			if x == Unknown || y == Unknown {
+				continue
+			}
+			total += wi
+			if x == y {
+				match += wi
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return match / total
+}
+
+// SimMatrix is a symmetric all-pairs similarity matrix over a series —
+// the data behind the paper's heatmaps.
+type SimMatrix struct {
+	Epochs []int // epoch of each row, parallel to the series vectors
+	N      int
+	vals   []float64 // row-major N×N
+}
+
+// SimilarityMatrix computes Φ for every vector pair in the series.
+// Quadratic in series length and linear in networks; this is the
+// pipeline's dominant cost and is benchmarked at several scales.
+func SimilarityMatrix(s *Series, w []float64, mode UnknownMode) *SimMatrix {
+	n := len(s.Vectors)
+	m := &SimMatrix{N: n, Epochs: make([]int, n), vals: make([]float64, n*n)}
+	for i, v := range s.Vectors {
+		m.Epochs[i] = int(v.T)
+	}
+	for i := 0; i < n; i++ {
+		m.vals[i*n+i] = 1
+		for j := i + 1; j < n; j++ {
+			phi := Gower(s.Vectors[i], s.Vectors[j], w, mode)
+			m.vals[i*n+j] = phi
+			m.vals[j*n+i] = phi
+		}
+	}
+	return m
+}
+
+// At returns Φ between rows i and j.
+func (m *SimMatrix) At(i, j int) float64 { return m.vals[i*m.N+j] }
+
+// set is used by tests constructing synthetic matrices.
+func (m *SimMatrix) set(i, j int, v float64) {
+	m.vals[i*m.N+j] = v
+	m.vals[j*m.N+i] = v
+}
+
+// NewSimMatrix builds an empty matrix for n rows (diagonal = 1), used by
+// tests and by tools that load precomputed matrices.
+func NewSimMatrix(n int) *SimMatrix {
+	m := &SimMatrix{N: n, Epochs: make([]int, n), vals: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		m.Epochs[i] = i
+		m.vals[i*n+i] = 1
+	}
+	return m
+}
+
+// Set assigns Φ symmetrically (exported for matrix construction outside
+// the package; analysis code treats matrices as immutable).
+func (m *SimMatrix) Set(i, j int, v float64) { m.set(i, j, v) }
+
+// PhiRange reports the [min,max] similarity between two index sets —
+// the paper's Φ(M_i, M_j) interval notation for comparing modes. When a
+// and b are the same set, the diagonal is excluded.
+func (m *SimMatrix) PhiRange(a, b []int) (lo, hi float64) {
+	lo, hi = 1, 0
+	seen := false
+	for _, i := range a {
+		for _, j := range b {
+			if i == j {
+				continue
+			}
+			v := m.At(i, j)
+			if !seen {
+				lo, hi, seen = v, v, true
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if !seen {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// MeanPhi returns the mean off-diagonal similarity between two index sets.
+func (m *SimMatrix) MeanPhi(a, b []int) float64 {
+	var sum float64
+	var n int
+	for _, i := range a {
+		for _, j := range b {
+			if i == j {
+				continue
+			}
+			sum += m.At(i, j)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

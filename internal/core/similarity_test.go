@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fenrir/internal/rng"
+	"fenrir/internal/timeline"
+)
+
+func TestGowerIdenticalVectors(t *testing.T) {
+	s := NewSpace(nets(10))
+	v := s.NewVector(0)
+	for i := 0; i < 10; i++ {
+		v.Set(i, "A")
+	}
+	if phi := Gower(v, v, nil, PessimisticUnknown); phi != 1 {
+		t.Fatalf("Φ(v,v) = %v", phi)
+	}
+}
+
+func TestGowerDisjointVectors(t *testing.T) {
+	s := NewSpace(nets(10))
+	a, b := s.NewVector(0), s.NewVector(1)
+	for i := 0; i < 10; i++ {
+		a.Set(i, "A")
+		b.Set(i, "B")
+	}
+	if phi := Gower(a, b, nil, PessimisticUnknown); phi != 0 {
+		t.Fatalf("Φ disjoint = %v", phi)
+	}
+}
+
+func TestGowerPartialOverlap(t *testing.T) {
+	s := NewSpace(nets(10))
+	a, b := s.NewVector(0), s.NewVector(1)
+	for i := 0; i < 10; i++ {
+		a.Set(i, "A")
+		if i < 7 {
+			b.Set(i, "A")
+		} else {
+			b.Set(i, "B")
+		}
+	}
+	if phi := Gower(a, b, nil, PessimisticUnknown); math.Abs(phi-0.7) > 1e-12 {
+		t.Fatalf("Φ = %v, want 0.7", phi)
+	}
+}
+
+// The paper's key measurement artefact: unknowns are pessimistic, so a
+// stable catchment with ~50% unknowns shows Φ near 0.5, not 1.0.
+func TestGowerUnknownPessimism(t *testing.T) {
+	s := NewSpace(nets(20))
+	a, b := s.NewVector(0), s.NewVector(1)
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 { // half the networks observed, identical catchments
+			a.Set(i, "A")
+			b.Set(i, "A")
+		}
+	}
+	if phi := Gower(a, b, nil, PessimisticUnknown); math.Abs(phi-0.5) > 1e-12 {
+		t.Fatalf("pessimistic Φ = %v, want 0.5", phi)
+	}
+	if phi := Gower(a, b, nil, KnownOnly); phi != 1 {
+		t.Fatalf("known-only Φ = %v, want 1", phi)
+	}
+}
+
+func TestGowerUnknownOnOneSide(t *testing.T) {
+	s := NewSpace(nets(4))
+	a, b := s.NewVector(0), s.NewVector(1)
+	a.Set(0, "A")
+	a.Set(1, "A")
+	b.Set(0, "A")
+	// net1 known only in a; net2,3 unknown in both.
+	if phi := Gower(a, b, nil, PessimisticUnknown); math.Abs(phi-0.25) > 1e-12 {
+		t.Fatalf("Φ = %v, want 0.25", phi)
+	}
+	if phi := Gower(a, b, nil, KnownOnly); phi != 1 {
+		t.Fatalf("known-only Φ = %v, want 1 (only net0 jointly known)", phi)
+	}
+}
+
+func TestGowerWeighted(t *testing.T) {
+	s := NewSpace(nets(2))
+	a, b := s.NewVector(0), s.NewVector(1)
+	a.Set(0, "A")
+	a.Set(1, "A")
+	b.Set(0, "A")
+	b.Set(1, "B")
+	// net0 matches with weight 3, net1 mismatches with weight 1: Φ=0.75.
+	if phi := Gower(a, b, []float64{3, 1}, PessimisticUnknown); math.Abs(phi-0.75) > 1e-12 {
+		t.Fatalf("weighted Φ = %v, want 0.75", phi)
+	}
+}
+
+func TestGowerAllUnknownKnownOnly(t *testing.T) {
+	s := NewSpace(nets(3))
+	a, b := s.NewVector(0), s.NewVector(1)
+	if phi := Gower(a, b, nil, KnownOnly); phi != 0 {
+		t.Fatalf("Φ of empty overlap = %v, want 0", phi)
+	}
+}
+
+func TestGowerPanicsAcrossSpaces(t *testing.T) {
+	s1, s2 := NewSpace(nets(2)), NewSpace(nets(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-space Gower accepted")
+		}
+	}()
+	Gower(s1.NewVector(0), s2.NewVector(0), nil, PessimisticUnknown)
+}
+
+func TestGowerPanicsOnBadWeights(t *testing.T) {
+	s := NewSpace(nets(3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short weight slice accepted")
+		}
+	}()
+	Gower(s.NewVector(0), s.NewVector(1), []float64{1}, PessimisticUnknown)
+}
+
+// Properties of Φ: symmetry, range, identity.
+func TestQuickGowerProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		s := NewSpace(nets(30))
+		mk := func() *Vector {
+			v := s.NewVector(0)
+			for i := 0; i < 30; i++ {
+				switch r.Intn(4) {
+				case 0: // unknown
+				case 1:
+					v.Set(i, "A")
+				case 2:
+					v.Set(i, "B")
+				case 3:
+					v.Set(i, "C")
+				}
+			}
+			return v
+		}
+		a, b := mk(), mk()
+		for _, mode := range []UnknownMode{PessimisticUnknown, KnownOnly} {
+			ab := Gower(a, b, nil, mode)
+			ba := Gower(b, a, nil, mode)
+			if math.Abs(ab-ba) > 1e-12 {
+				return false
+			}
+			if ab < 0 || ab > 1 {
+				return false
+			}
+			if Gower(a, a, nil, mode) < Gower(a, b, nil, mode)-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimilarityMatrix(t *testing.T) {
+	s := NewSpace(nets(6))
+	mk := func(epoch int, site string) *Vector {
+		v := s.NewVector(timeline.Epoch(epoch))
+		for i := 0; i < 6; i++ {
+			v.Set(i, site)
+		}
+		return v
+	}
+	ser := NewSeries(s, sched(4), []*Vector{mk(0, "A"), mk(1, "A"), mk(2, "B"), mk(3, "B")}, nil)
+	m := SimilarityMatrix(ser, nil, PessimisticUnknown)
+	if m.N != 4 {
+		t.Fatalf("N = %d", m.N)
+	}
+	if m.At(0, 1) != 1 || m.At(2, 3) != 1 {
+		t.Error("same-mode Φ != 1")
+	}
+	if m.At(0, 2) != 0 || m.At(1, 3) != 0 {
+		t.Error("cross-mode Φ != 0")
+	}
+	for i := 0; i < 4; i++ {
+		if m.At(i, i) != 1 {
+			t.Error("diagonal != 1")
+		}
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Error("matrix not symmetric")
+			}
+		}
+	}
+}
+
+func TestPhiRangeAndMean(t *testing.T) {
+	m := NewSimMatrix(4)
+	m.Set(0, 1, 0.9)
+	m.Set(0, 2, 0.2)
+	m.Set(0, 3, 0.3)
+	m.Set(1, 2, 0.25)
+	m.Set(1, 3, 0.35)
+	m.Set(2, 3, 0.8)
+	lo, hi := m.PhiRange([]int{0, 1}, []int{2, 3})
+	if lo != 0.2 || hi != 0.35 {
+		t.Fatalf("PhiRange = [%v,%v]", lo, hi)
+	}
+	// Within-set: excludes diagonal.
+	lo, hi = m.PhiRange([]int{0, 1}, []int{0, 1})
+	if lo != 0.9 || hi != 0.9 {
+		t.Fatalf("internal PhiRange = [%v,%v]", lo, hi)
+	}
+	mean := m.MeanPhi([]int{0, 1}, []int{2, 3})
+	if math.Abs(mean-(0.2+0.3+0.25+0.35)/4) > 1e-12 {
+		t.Fatalf("MeanPhi = %v", mean)
+	}
+	if lo, hi := m.PhiRange([]int{0}, []int{0}); lo != 0 || hi != 0 {
+		t.Fatalf("empty comparison = [%v,%v]", lo, hi)
+	}
+}
+
+func BenchmarkGower1000Networks(b *testing.B) {
+	s := NewSpace(nets(1000))
+	r := rng.New(1)
+	a, v := s.NewVector(0), s.NewVector(1)
+	for i := 0; i < 1000; i++ {
+		a.Set(i, "site"+string(rune('A'+r.Intn(8))))
+		v.Set(i, "site"+string(rune('A'+r.Intn(8))))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gower(a, v, nil, PessimisticUnknown)
+	}
+}
+
+func BenchmarkSimilarityMatrix100x500(b *testing.B) {
+	s := NewSpace(nets(500))
+	r := rng.New(2)
+	var vs []*Vector
+	for e := 0; e < 100; e++ {
+		v := s.NewVector(timeline.Epoch(e))
+		for i := 0; i < 500; i++ {
+			v.Set(i, "s"+string(rune('A'+r.Intn(5))))
+		}
+		vs = append(vs, v)
+	}
+	ser := NewSeries(s, sched(100), vs, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimilarityMatrix(ser, nil, PessimisticUnknown)
+	}
+}

@@ -1,0 +1,335 @@
+package dataplane
+
+import (
+	"testing"
+
+	"fenrir/internal/astopo"
+	"fenrir/internal/bgpsim"
+	"fenrir/internal/netaddr"
+	"fenrir/internal/wire"
+)
+
+// testbed builds a small deterministic world: generated topology, an
+// anycast service with two sites in different regions, and a lossless
+// config so tests are exact.
+func testbed(t testing.TB, cfg Config) (*Net, *bgpsim.Service, []astopo.ASN) {
+	t.Helper()
+	gcfg := astopo.DefaultGenConfig(11)
+	gcfg.StubsPerRegion = 12
+	g := astopo.Generate(gcfg)
+
+	var stubs []astopo.ASN
+	for _, a := range g.ASNs() {
+		if g.AS(a).Tier == astopo.Stub {
+			stubs = append(stubs, a)
+		}
+	}
+	svc := bgpsim.NewService("root", netaddr.MustParsePrefix("198.41.0.0/24"))
+	// Attach sites at two stubs in different regions.
+	svc.AddSite("LAX", stubs[0])
+	svc.AddSite("AMS", stubs[len(stubs)/2])
+
+	n := NewNet(g, nil, cfg)
+	n.AddService(svc, func(q *dnsMessage, site string, client astopo.ASN) *dnsMessage {
+		rr, _ := wire.TXTRecord("hostname.bind", wire.ClassCHAOS, 0, "b-"+site)
+		return &wire.DNSMessage{
+			ID: q.ID, QR: true, AA: true,
+			Questions: q.Questions,
+			Answers:   []wire.RR{rr},
+		}
+	})
+	return n, svc, stubs
+}
+
+func losslessConfig() Config {
+	cfg := DefaultConfig(5)
+	cfg.LossRate = 0
+	cfg.MeanResponsiveness = 1.0
+	cfg.AnonymousRouterProb = 0
+	return cfg
+}
+
+func TestPingUnicast(t *testing.T) {
+	n, _, stubs := testbed(t, losslessConfig())
+	src := stubs[1]
+	dstBlock := n.G.AS(stubs[2]).Prefixes[0].Blocks()[0]
+	dst := dstBlock.Host(1)
+	res := n.Ping(src, n.G.AS(src).Prefixes[0].Blocks()[0].Host(1), dst, 7, 1, 0)
+	if res.Kind != EchoReply {
+		t.Fatalf("ping = %v, want echo reply", res.Kind)
+	}
+	if res.From != dst {
+		t.Fatalf("reply from %v, want %v", res.From, dst)
+	}
+	if res.RTTms <= 0 {
+		t.Fatal("non-positive RTT")
+	}
+	if res.ICMP == nil || res.ICMP.ID != 7 || res.ICMP.Seq != 1 {
+		t.Fatalf("reply ICMP = %+v", res.ICMP)
+	}
+}
+
+func TestPingAnycastSourceSeesCatchment(t *testing.T) {
+	n, svc, stubs := testbed(t, losslessConfig())
+	svcAddr := n.ServiceAddr("root")
+	siteAS := svc.Site("LAX").AS
+
+	// Probe every stub from the LAX site using the anycast source
+	// address; the reported site must match the RIB's catchment.
+	rib := n.ServiceRIB("root")
+	for _, target := range stubs[:8] {
+		dst := n.G.AS(target).Prefixes[0].Blocks()[0].Host(1)
+		res := n.Ping(siteAS, svcAddr, dst, 1, 1, 0)
+		if res.Kind != EchoReply {
+			t.Fatalf("anycast ping to AS%d = %v", target, res.Kind)
+		}
+		if want := rib.Site(target); res.Site != want {
+			t.Fatalf("catchment for AS%d = %q, want %q", target, res.Site, want)
+		}
+	}
+}
+
+func TestPingUnresponsiveBlock(t *testing.T) {
+	cfg := losslessConfig()
+	cfg.MeanResponsiveness = 0 // nothing answers
+	n, _, stubs := testbed(t, cfg)
+	dst := n.G.AS(stubs[2]).Prefixes[0].Blocks()[0].Host(1)
+	res := n.Ping(stubs[1], n.G.AS(stubs[1]).Prefixes[0].Blocks()[0].Host(1), dst, 1, 1, 0)
+	if res.Kind != Timeout {
+		t.Fatalf("ping to dead block = %v", res.Kind)
+	}
+}
+
+func TestPingUnroutedAddress(t *testing.T) {
+	n, _, stubs := testbed(t, losslessConfig())
+	res := n.Ping(stubs[0], 1, netaddr.MustParseAddr("203.0.113.1"), 1, 1, 0)
+	if res.Kind != Timeout {
+		t.Fatalf("ping to unrouted space = %v", res.Kind)
+	}
+}
+
+func TestProbeTTLWalksPath(t *testing.T) {
+	n, _, stubs := testbed(t, losslessConfig())
+	src := stubs[1]
+	srcAddr := n.G.AS(src).Prefixes[0].Blocks()[0].Host(1)
+	dst := n.G.AS(stubs[8]).Prefixes[0].Blocks()[0].Host(1)
+	asPath := n.ASPath(src, dst)
+	if len(asPath) < 3 {
+		t.Skipf("path too short to test: %v", asPath)
+	}
+	for ttl := 1; ttl <= len(asPath); ttl++ {
+		res := n.ProbeTTL(src, srcAddr, dst, 40000, ttl, 0)
+		if res.Kind != TimeExceeded {
+			t.Fatalf("ttl=%d kind=%v", ttl, res.Kind)
+		}
+		owner, ok := n.RouterOwner(res.From)
+		if !ok {
+			t.Fatalf("ttl=%d responder %v not a recognizable router", ttl, res.From)
+		}
+		if owner != asPath[ttl-1] {
+			t.Fatalf("ttl=%d expired at AS%d, want AS%d", ttl, owner, asPath[ttl-1])
+		}
+		// The quotation must identify our probe.
+		ih, _, err := res.ICMP.InvokingHeader()
+		if err != nil {
+			t.Fatalf("ttl=%d quotation: %v", ttl, err)
+		}
+		if netaddr.Addr(ih.Dst) != dst || ih.ID != 40000 {
+			t.Fatalf("ttl=%d quotation mismatch: %+v", ttl, ih)
+		}
+	}
+	// One past the path: destination answers Port Unreachable.
+	res := n.ProbeTTL(src, srcAddr, dst, 40000, len(asPath)+1, 0)
+	if res.Kind != PortUnreachable || res.From != dst {
+		t.Fatalf("destination probe = %v from %v", res.Kind, res.From)
+	}
+}
+
+func TestProbeTTLSilentAndPrivateRouters(t *testing.T) {
+	cfg := losslessConfig()
+	cfg.AnonymousRouterProb = 1.0 // every AS is anonymous
+	cfg.PrivateHopProb = 0.0      // all silent
+	n, _, stubs := testbed(t, cfg)
+	src := stubs[1]
+	srcAddr := n.G.AS(src).Prefixes[0].Blocks()[0].Host(1)
+	dst := n.G.AS(stubs[5]).Prefixes[0].Blocks()[0].Host(1)
+	res := n.ProbeTTL(src, srcAddr, dst, 40000, 2, 0)
+	if res.Kind != Timeout {
+		t.Fatalf("silent router answered: %v", res.Kind)
+	}
+
+	cfg.PrivateHopProb = 1.0 // all private
+	n2, _, _ := testbed(t, cfg)
+	res = n2.ProbeTTL(src, srcAddr, dst, 40000, 2, 0)
+	if res.Kind != TimeExceeded {
+		t.Fatalf("private router did not answer: %v", res.Kind)
+	}
+	if !res.From.IsPrivate() {
+		t.Fatalf("private-hop AS answered from public address %v", res.From)
+	}
+}
+
+func TestRouterAddrRoundTrip(t *testing.T) {
+	n, _, stubs := testbed(t, losslessConfig())
+	for _, asn := range stubs[:5] {
+		addr := n.RouterAddr(asn, 1)
+		got, ok := n.RouterOwner(addr)
+		if !ok || got != asn {
+			t.Fatalf("RouterOwner(RouterAddr(%d)) = %d ok=%v", asn, got, ok)
+		}
+	}
+	if _, ok := n.RouterOwner(netaddr.MustParseAddr("1.2.3.4")); ok {
+		t.Fatal("non-router address claimed an owner")
+	}
+}
+
+func TestQueryDNSAnycastCHAOS(t *testing.T) {
+	n, _, stubs := testbed(t, losslessConfig())
+	rib := n.ServiceRIB("root")
+	q := &wire.DNSMessage{
+		ID:        99,
+		Questions: []wire.Question{{Name: "hostname.bind", Type: wire.TypeTXT, Class: wire.ClassCHAOS}},
+	}
+	for _, client := range stubs[:8] {
+		resp, rtt, err := n.QueryDNS(client, n.ServiceAddr("root"), q, 0)
+		if err != nil {
+			t.Fatalf("QueryDNS from AS%d: %v", client, err)
+		}
+		if rtt <= 0 {
+			t.Fatal("non-positive DNS RTT")
+		}
+		ss, err := wire.TXTStrings(resp.Answers[0])
+		if err != nil || len(ss) != 1 {
+			t.Fatalf("TXT parse: %v %v", ss, err)
+		}
+		if want := "b-" + rib.Site(client); ss[0] != want {
+			t.Fatalf("hostname.bind = %q, want %q", ss[0], want)
+		}
+	}
+}
+
+func TestQueryDNSUnicastHost(t *testing.T) {
+	n, _, stubs := testbed(t, losslessConfig())
+	hostAddr := n.G.AS(stubs[9]).Prefixes[0].Blocks()[0].Host(53)
+	n.AddHost(hostAddr, func(q *dnsMessage, site string, client astopo.ASN) *dnsMessage {
+		return &wire.DNSMessage{ID: q.ID, QR: true, Questions: q.Questions,
+			Answers: []wire.RR{wire.ARecord(q.Questions[0].Name, 60, uint32(hostAddr))}}
+	})
+	q := &wire.DNSMessage{ID: 7, Questions: []wire.Question{{Name: "www.example.org", Type: wire.TypeA, Class: wire.ClassIN}}}
+	resp, _, err := n.QueryDNS(stubs[0], hostAddr, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 7 || len(resp.Answers) != 1 {
+		t.Fatalf("response = %+v", resp)
+	}
+}
+
+func TestQueryDNSNobodyListening(t *testing.T) {
+	n, _, stubs := testbed(t, losslessConfig())
+	q := &wire.DNSMessage{ID: 1, Questions: []wire.Question{{Name: "x", Type: wire.TypeA, Class: wire.ClassIN}}}
+	if _, _, err := n.QueryDNS(stubs[0], netaddr.MustParseAddr("9.9.9.9"), q, 0); err == nil {
+		t.Fatal("query to empty address succeeded")
+	}
+}
+
+func TestDrainShiftsCatchments(t *testing.T) {
+	n, svc, stubs := testbed(t, losslessConfig())
+	before := n.ServiceRIB("root")
+	// Find a stub served by LAX.
+	var client astopo.ASN
+	for _, s := range stubs {
+		if before.Site(s) == "LAX" {
+			client = s
+			break
+		}
+	}
+	if client == 0 {
+		t.Skip("no LAX clients in this topology seed")
+	}
+	svc.Drain("LAX")
+	n.Refresh()
+	after := n.ServiceRIB("root")
+	if after.Site(client) != "AMS" {
+		t.Fatalf("after drain client went to %q, want AMS", after.Site(client))
+	}
+	svc.Enable("LAX")
+	n.Refresh()
+	if n.ServiceRIB("root").Site(client) != "LAX" {
+		t.Fatal("catchment did not revert after re-enable")
+	}
+}
+
+func TestBlockResponsivenessDeterministicAndCalibrated(t *testing.T) {
+	cfg := DefaultConfig(5)
+	n, _, _ := testbed(t, cfg)
+	// Deterministic: same block+epoch yields same answer.
+	b := netaddr.MustParseAddr("1.0.5.0").Block()
+	first := n.BlockResponsive(b, 3)
+	for i := 0; i < 5; i++ {
+		if n.BlockResponsive(b, 3) != first {
+			t.Fatal("responsiveness not deterministic")
+		}
+	}
+	// Calibrated: across many blocks the hit rate is near the mean.
+	hits, total := 0, 0
+	for blk := netaddr.Block(1 << 16); blk < netaddr.Block(1<<16)+4000; blk++ {
+		total++
+		if n.BlockResponsive(blk, 0) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(total)
+	if frac < cfg.MeanResponsiveness-0.08 || frac > cfg.MeanResponsiveness+0.08 {
+		t.Fatalf("responsive fraction %.2f, want near %.2f", frac, cfg.MeanResponsiveness)
+	}
+}
+
+func TestRTTIncreasesWithDistance(t *testing.T) {
+	n, _, stubs := testbed(t, losslessConfig())
+	src := stubs[0]
+	// Same-region neighbour vs cross-region stub.
+	var near, far astopo.ASN
+	srcReg := n.G.AS(src).Region.Name
+	for _, s := range stubs[1:] {
+		if n.G.AS(s).Region.Name == srcReg && near == 0 {
+			near = s
+		}
+		if n.G.AS(s).Region.Name != srcReg {
+			far = s
+		}
+	}
+	if near == 0 || far == 0 {
+		t.Skip("topology lacks near/far pair")
+	}
+	nearRTT, ok1 := n.PathRTTms(src, n.G.AS(near).Prefixes[0].Blocks()[0].Host(1))
+	farRTT, ok2 := n.PathRTTms(src, n.G.AS(far).Prefixes[0].Blocks()[0].Host(1))
+	if !ok1 || !ok2 {
+		t.Fatal("paths missing")
+	}
+	if farRTT <= nearRTT {
+		t.Fatalf("far RTT %.1f <= near RTT %.1f", farRTT, nearRTT)
+	}
+}
+
+func BenchmarkPing(b *testing.B) {
+	n, _, stubs := testbed(b, losslessConfig())
+	src := stubs[1]
+	srcAddr := n.G.AS(src).Prefixes[0].Blocks()[0].Host(1)
+	dst := n.G.AS(stubs[8]).Prefixes[0].Blocks()[0].Host(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Ping(src, srcAddr, dst, 1, uint16(i), 0)
+	}
+}
+
+func BenchmarkProbeTTL(b *testing.B) {
+	n, _, stubs := testbed(b, losslessConfig())
+	src := stubs[1]
+	srcAddr := n.G.AS(src).Prefixes[0].Blocks()[0].Host(1)
+	dst := n.G.AS(stubs[8]).Prefixes[0].Blocks()[0].Host(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.ProbeTTL(src, srcAddr, dst, 40000, 1+i%5, 0)
+	}
+}

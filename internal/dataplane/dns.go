@@ -1,0 +1,75 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"fenrir/internal/astopo"
+	"fenrir/internal/netaddr"
+	"fenrir/internal/wire"
+)
+
+// dnsMessage aliases wire.DNSMessage so handler signatures stay short.
+type dnsMessage = wire.DNSMessage
+
+// QueryDNS sends a DNS query from client toward server and returns the
+// parsed response plus round-trip time. The query is marshalled to bytes
+// and unmarshalled on arrival, so handlers see exactly what crossed the
+// simulated wire. Anycast server addresses are resolved to the site in the
+// client's catchment before the handler runs — which is how CHAOS/NSID
+// site identification works at the real root servers.
+func (n *Net) QueryDNS(client astopo.ASN, server netaddr.Addr, q *wire.DNSMessage, epoch int) (*wire.DNSMessage, float64, error) {
+	raw, err := q.Marshal()
+	if err != nil {
+		return nil, 0, fmt.Errorf("dataplane: bad query: %w", err)
+	}
+	if n.transitLoss() {
+		return nil, 0, fmt.Errorf("dataplane: query lost")
+	}
+	arrived, err := wire.UnmarshalDNS(raw)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dataplane: query corrupt on arrival: %w", err)
+	}
+
+	var (
+		handler DNSHandler
+		site    string
+		path    []astopo.ASN
+	)
+	if svc := n.serviceFor(server); svc != nil {
+		if svc.rib == nil || !svc.rib.Reachable(client) {
+			return nil, 0, fmt.Errorf("dataplane: service %s unreachable from AS%d", svc.svc.Name, client)
+		}
+		site = svc.rib.Site(client)
+		path = svc.rib.Path(client)
+		handler = svc.handler
+	} else if h, ok := n.hosts[server]; ok {
+		path = n.oracle.PathTo(client, server)
+		if path == nil {
+			return nil, 0, fmt.Errorf("dataplane: host %v unreachable from AS%d", server, client)
+		}
+		handler = h
+	} else {
+		return nil, 0, fmt.Errorf("dataplane: nothing listening at %v", server)
+	}
+	if handler == nil {
+		return nil, 0, fmt.Errorf("dataplane: server at %v has no DNS handler", server)
+	}
+
+	resp := handler(arrived, site, client)
+	if resp == nil {
+		return nil, 0, fmt.Errorf("dataplane: server at %v dropped the query", server)
+	}
+	rawResp, err := resp.Marshal()
+	if err != nil {
+		return nil, 0, fmt.Errorf("dataplane: bad response: %w", err)
+	}
+	if n.transitLoss() {
+		return nil, 0, fmt.Errorf("dataplane: response lost")
+	}
+	parsed, err := wire.UnmarshalDNS(rawResp)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dataplane: response corrupt: %w", err)
+	}
+	_ = epoch
+	return parsed, n.pathRTTms(path), nil
+}

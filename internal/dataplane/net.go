@@ -1,0 +1,290 @@
+// Package dataplane simulates the packet forwarding plane on top of the
+// control plane computed by bgpsim. It is the layer the measurement tools
+// talk to: probes are real wire-format packets, forwarding follows the
+// AS-level best paths, TTL expiry produces ICMP Time Exceeded from the
+// expiring router's address, anycast destinations resolve to the site in
+// whose catchment the sender sits, and replies experience loss and
+// latency drawn from deterministic per-seed models.
+//
+// Keeping the probers honest — they must parse the same ICMP quotations
+// and DNS responses a real scamper or dig would — is what makes the
+// cleaning stages in the Fenrir pipeline meaningful: gaps, anonymous
+// hops and unresponsive blocks arise in the forwarding plane, not by
+// injecting labels at the result layer.
+package dataplane
+
+import (
+	"fmt"
+
+	"fenrir/internal/astopo"
+	"fenrir/internal/bgpsim"
+	"fenrir/internal/netaddr"
+	"fenrir/internal/rng"
+)
+
+// Config tunes the forwarding-plane models.
+type Config struct {
+	// Seed drives every stochastic model; same seed, same packets.
+	Seed uint64
+	// LossRate is the per-probe transit loss probability.
+	LossRate float64
+	// MeanResponsiveness is the mean of the per-block responsiveness
+	// distribution: the probability a pingable host exists and answers
+	// in a given /24. The paper reports Verfploeter sees responses from
+	// roughly half its targets; the default models that.
+	MeanResponsiveness float64
+	// AnonymousRouterProb is the probability that a given AS's routers
+	// do not emit ICMP Time Exceeded (filtered) or emit it from private
+	// space, producing the traceroute gaps §2.4 interpolates over.
+	AnonymousRouterProb float64
+	// PrivateHopProb, given an anonymous-ish AS, chooses between fully
+	// silent (timeout) and answering from RFC1918 space.
+	PrivateHopProb float64
+	// LastMileMsMax bounds the per-stub last-mile latency component.
+	LastMileMsMax float64
+	// JitterMs scales per-probe RTT jitter.
+	JitterMs float64
+}
+
+// DefaultConfig returns the model parameters used by the scenarios.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:                seed,
+		LossRate:            0.01,
+		MeanResponsiveness:  0.55,
+		AnonymousRouterProb: 0.08,
+		PrivateHopProb:      0.5,
+		LastMileMsMax:       12,
+		JitterMs:            1.5,
+	}
+}
+
+// DNSHandler produces a response for a query arriving at a service site.
+// site is the anycast site name ("" for unicast hosts); client is the
+// querying AS.
+type DNSHandler func(q *wireMsg, site string, client astopo.ASN) *wireMsg
+
+// wireMsg aliases the DNS message type to keep signatures short.
+type wireMsg = dnsMessage
+
+// Net is the simulated forwarding plane. It is not safe for concurrent
+// mutation; measurement engines run probes concurrently only through
+// methods documented as read-only.
+type Net struct {
+	G   *astopo.Graph
+	Pol *bgpsim.Policy
+	Cfg Config
+
+	oracle   *bgpsim.PathOracle
+	services map[string]*anycast
+	hosts    map[netaddr.Addr]DNSHandler
+
+	// Deterministic model state derived from Seed.
+	lastMile map[astopo.ASN]float64
+	anonAS   map[astopo.ASN]int // 0 normal, 1 silent, 2 private-addr
+	respBase *rng.Source
+	lossBase *rng.Source
+	jitBase  *rng.Source
+}
+
+type anycast struct {
+	svc     *bgpsim.Service
+	rib     *bgpsim.RIB
+	handler DNSHandler
+	// addr is the well-known service address probers target (the first
+	// address of the service prefix).
+	addr netaddr.Addr
+}
+
+// NewNet builds a forwarding plane over g with the given policy.
+func NewNet(g *astopo.Graph, pol *bgpsim.Policy, cfg Config) *Net {
+	n := &Net{
+		G: g, Pol: pol, Cfg: cfg,
+		services: make(map[string]*anycast),
+		hosts:    make(map[netaddr.Addr]DNSHandler),
+		lastMile: make(map[astopo.ASN]float64),
+		anonAS:   make(map[astopo.ASN]int),
+	}
+	root := rng.New(cfg.Seed)
+	lm := root.Split("lastmile")
+	an := root.Split("anonymous")
+	n.respBase = root.Split("responsiveness")
+	n.lossBase = root.Split("loss")
+	n.jitBase = root.Split("jitter")
+	for _, asn := range g.ASNs() {
+		n.lastMile[asn] = lm.Float64() * cfg.LastMileMsMax
+		if an.Bool(cfg.AnonymousRouterProb) {
+			if an.Bool(cfg.PrivateHopProb) {
+				n.anonAS[asn] = 2
+			} else {
+				n.anonAS[asn] = 1
+			}
+		}
+	}
+	n.Refresh()
+	return n
+}
+
+// AddService registers an anycast (or single-site unicast) service and its
+// DNS handler (nil for ping-only services). The service prefix must not
+// overlap previously registered services.
+func (n *Net) AddService(svc *bgpsim.Service, handler DNSHandler) {
+	if _, dup := n.services[svc.Name]; dup {
+		panic(fmt.Sprintf("dataplane: duplicate service %q", svc.Name))
+	}
+	n.services[svc.Name] = &anycast{
+		svc:     svc,
+		handler: handler,
+		addr:    svc.Prefix.Addr,
+	}
+	n.Refresh()
+}
+
+// AddHost registers a unicast DNS listener at addr (e.g. a website's
+// authoritative server). The address must be inside originated space so
+// routes to it exist.
+func (n *Net) AddHost(addr netaddr.Addr, handler DNSHandler) {
+	n.hosts[addr] = handler
+}
+
+// Refresh recomputes all control-plane state. Call after any topology,
+// policy, or service mutation; scenarios call it once per epoch.
+func (n *Net) Refresh() {
+	n.oracle = bgpsim.NewPathOracle(n.G, n.Pol)
+	for _, a := range n.services {
+		rib, err := a.svc.ComputeRIB(n.G, n.Pol)
+		if err != nil {
+			// A fully drained service is legitimate mid-scenario state:
+			// probes to it will simply fail.
+			a.rib = nil
+			continue
+		}
+		a.rib = rib
+	}
+}
+
+// ServiceRIB exposes the current catchment RIB for a service ("" when the
+// service is fully drained). Read-only.
+func (n *Net) ServiceRIB(name string) *bgpsim.RIB {
+	a := n.services[name]
+	if a == nil {
+		return nil
+	}
+	return a.rib
+}
+
+// Service returns the registered service by name, or nil.
+func (n *Net) Service(name string) *bgpsim.Service {
+	a := n.services[name]
+	if a == nil {
+		return nil
+	}
+	return a.svc
+}
+
+// ServiceAddr returns the probe target address for a service.
+func (n *Net) ServiceAddr(name string) netaddr.Addr {
+	a := n.services[name]
+	if a == nil {
+		return 0
+	}
+	return a.addr
+}
+
+// serviceFor returns the anycast service whose prefix covers addr.
+func (n *Net) serviceFor(addr netaddr.Addr) *anycast {
+	for _, a := range n.services {
+		if a.svc.Prefix.Contains(addr) {
+			return a
+		}
+	}
+	return nil
+}
+
+// RouterAddr returns the address router #idx of an AS answers from. The
+// simulator allocates router addresses in 100.64.0.0/10 (CGNAT space —
+// public enough to be identified, guaranteed not to collide with the
+// 1.0.0.0+ space the generator assigns to stubs). ASes marked as
+// private-hop answer from 10.0.0.0/8 instead, which the cleaning stage
+// must discard.
+func (n *Net) RouterAddr(asn astopo.ASN, idx int) netaddr.Addr {
+	base := netaddr.Addr(0x64400000) // 100.64.0.0
+	if n.anonAS[asn] == 2 {
+		base = netaddr.Addr(0x0A000000) // 10.0.0.0
+	}
+	return base | netaddr.Addr(uint32(asn)<<4|uint32(idx&0xf))
+}
+
+// RouterOwner inverts RouterAddr for visible (CGNAT-space) routers.
+func (n *Net) RouterOwner(addr netaddr.Addr) (astopo.ASN, bool) {
+	if addr>>22 != 0x64400000>>22 { // not in 100.64.0.0/10
+		return 0, false
+	}
+	asn := astopo.ASN(uint32(addr) & 0x003fffff >> 4)
+	if n.G.AS(asn) == nil {
+		return 0, false
+	}
+	return asn, true
+}
+
+// silentRouter reports whether an AS's routers are ICMP-silent.
+func (n *Net) silentRouter(asn astopo.ASN) bool { return n.anonAS[asn] == 1 }
+
+// BlockResponsive reports whether the /24 block answers probes at a given
+// epoch. Responsiveness has two deterministic components: a per-block
+// propensity (some blocks are dense and always answer, some are dynamic-
+// addressed and rarely do) and a per-(block, epoch) draw.
+func (n *Net) BlockResponsive(b netaddr.Block, epoch int) bool {
+	if n.Cfg.MeanResponsiveness >= 1 {
+		return true // lossless configurations answer unconditionally
+	}
+	if n.Cfg.MeanResponsiveness <= 0 {
+		return false
+	}
+	// Per-block propensity in [0,1], biased so the mean matches config.
+	pb := rng.New(n.Cfg.Seed ^ uint64(b)*0x9e3779b97f4a7c15).Float64()
+	// Stretch propensity: map through a power curve so mass concentrates
+	// at the extremes (most blocks are reliably-up or reliably-down).
+	p := pb * pb * (3 - 2*pb) // smoothstep, mean 0.5
+	p = p * n.Cfg.MeanResponsiveness / 0.5
+	if p > 1 {
+		p = 1
+	}
+	draw := rng.New(n.Cfg.Seed ^ uint64(b)*0x9e3779b97f4a7c15 ^ uint64(epoch)*0xbf58476d1ce4e5b9)
+	return draw.Bool(p)
+}
+
+// transitLoss draws per-probe loss.
+func (n *Net) transitLoss() bool { return n.lossBase.Bool(n.Cfg.LossRate) }
+
+// EstimateRTTms returns a best-case round-trip estimate between two ASes:
+// great-circle propagation plus both last miles and a nominal forwarding
+// budget for a typical 4-hop path. Analyses that compare measured RTTs
+// against "the best a client could get from site X" (polarization
+// detection) use this floor so the comparison is apples-to-apples with
+// pathRTTms-produced measurements.
+func (n *Net) EstimateRTTms(a, b astopo.ASN) float64 {
+	const kmPerMs = 200.0
+	rtt := 2 * n.G.Distance(a, b) / kmPerMs
+	rtt += n.lastMile[a] + n.lastMile[b]
+	rtt += 2 * 4 * 0.15 // nominal per-hop forwarding, both directions
+	return rtt
+}
+
+// pathRTTms computes round-trip latency along an AS path: great-circle
+// propagation at 200 km/ms (fibre), per-hop forwarding cost, both
+// endpoints' last-mile, and jitter.
+func (n *Net) pathRTTms(path []astopo.ASN) float64 {
+	const kmPerMs = 200.0
+	var oneWay float64
+	for i := 0; i+1 < len(path); i++ {
+		oneWay += n.G.Distance(path[i], path[i+1]) / kmPerMs
+		oneWay += 0.15 // forwarding/queueing per hop
+	}
+	rtt := 2 * oneWay
+	if len(path) > 0 {
+		rtt += n.lastMile[path[0]] + n.lastMile[path[len(path)-1]]
+	}
+	rtt += n.jitBase.Float64() * n.Cfg.JitterMs
+	return rtt
+}

@@ -1,0 +1,218 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"fenrir/internal/astopo"
+	"fenrir/internal/netaddr"
+	"fenrir/internal/wire"
+)
+
+// ProbeKind classifies what came back for a probe.
+type ProbeKind int
+
+const (
+	// Timeout means nothing came back (loss, silent router, or
+	// unresponsive target).
+	Timeout ProbeKind = iota
+	// EchoReply is a ping response from the target.
+	EchoReply
+	// TimeExceeded is the ICMP error from the router where TTL expired.
+	TimeExceeded
+	// PortUnreachable is the ICMP error a host returns for a UDP probe to
+	// a closed port (traceroute reaching its destination).
+	PortUnreachable
+)
+
+func (k ProbeKind) String() string {
+	switch k {
+	case Timeout:
+		return "timeout"
+	case EchoReply:
+		return "echo-reply"
+	case TimeExceeded:
+		return "time-exceeded"
+	case PortUnreachable:
+		return "port-unreachable"
+	}
+	return fmt.Sprintf("probe-kind(%d)", int(k))
+}
+
+// ProbeResult is the outcome of one probe packet.
+type ProbeResult struct {
+	Kind  ProbeKind
+	From  netaddr.Addr // responding address (router or target)
+	RTTms float64
+	// Site is set when the probe's reply was routed to an anycast
+	// service address: the site whose catchment the responder sits in.
+	// This is exactly the signal Verfploeter uses.
+	Site string
+	// ICMP carries the parsed response message for engines that match
+	// quotations (traceroute); nil on timeout.
+	ICMP *wire.ICMP
+}
+
+// Ping sends an ICMP echo request from src (addressed as srcAddr) to dst
+// and reports the reply. When srcAddr belongs to a registered anycast
+// service, the reply is forwarded by the target's best route toward the
+// service prefix and ProbeResult.Site records which site received it —
+// the Verfploeter mechanism. epoch feeds the responsiveness model.
+func (n *Net) Ping(src astopo.ASN, srcAddr, dst netaddr.Addr, id, seq uint16, epoch int) ProbeResult {
+	dstAS, ok := n.G.OriginOf(dst)
+	if !ok {
+		return ProbeResult{Kind: Timeout}
+	}
+	fwdPath := n.oracle.PathTo(src, dst)
+	if fwdPath == nil {
+		return ProbeResult{Kind: Timeout}
+	}
+
+	// Build and "transmit" the request packet; this keeps the probers'
+	// wire formats honest end-to-end.
+	echo := wire.NewEchoRequest(id, seq, []byte("fenrir-probe"))
+	icmpBytes := echo.Marshal()
+	hdr := &wire.IPv4Header{
+		TotalLen: uint16(wire.IPv4HeaderLen + len(icmpBytes)),
+		ID:       id,
+		TTL:      64,
+		Protocol: wire.ProtoICMP,
+		Src:      uint32(srcAddr),
+		Dst:      uint32(dst),
+	}
+	pkt := append(hdr.Marshal(), icmpBytes...)
+	if len(fwdPath) > 64 { // TTL would expire; cannot happen on our graphs
+		return ProbeResult{Kind: Timeout}
+	}
+	if n.transitLoss() {
+		return ProbeResult{Kind: Timeout}
+	}
+	if !n.BlockResponsive(dst.Block(), epoch) {
+		return ProbeResult{Kind: Timeout}
+	}
+
+	// Target parses the request and replies.
+	rhdr, payload, err := wire.UnmarshalIPv4(pkt)
+	if err != nil {
+		return ProbeResult{Kind: Timeout}
+	}
+	req, err := wire.UnmarshalICMP(payload)
+	if err != nil || req.Type != wire.ICMPEchoRequest {
+		return ProbeResult{Kind: Timeout}
+	}
+	reply := wire.EchoReplyTo(req)
+
+	// Route the reply toward rhdr.Src. If that address is an anycast
+	// service address, the reply lands at the site in whose catchment
+	// the *target* sits.
+	var site string
+	var retPath []astopo.ASN
+	if svc := n.serviceFor(netaddr.Addr(rhdr.Src)); svc != nil {
+		if svc.rib == nil || !svc.rib.Reachable(dstAS) {
+			return ProbeResult{Kind: Timeout}
+		}
+		site = svc.rib.Site(dstAS)
+		retPath = svc.rib.Path(dstAS)
+	} else {
+		retPath = n.oracle.PathTo(dstAS, netaddr.Addr(rhdr.Src))
+		if retPath == nil {
+			return ProbeResult{Kind: Timeout}
+		}
+	}
+	if n.transitLoss() {
+		return ProbeResult{Kind: Timeout}
+	}
+	parsed, err := wire.UnmarshalICMP(reply.Marshal())
+	if err != nil {
+		return ProbeResult{Kind: Timeout}
+	}
+	rtt := n.pathRTTms(fwdPath) / 2 // outbound one-way
+	rtt += n.pathRTTms(retPath) / 2 // return one-way (may differ under anycast)
+	return ProbeResult{Kind: EchoReply, From: dst, RTTms: rtt, Site: site, ICMP: parsed}
+}
+
+// ProbeTTL sends a UDP probe with the given TTL from src toward dst, the
+// per-hop primitive under traceroute. The router sequence is the source
+// AS's gateway followed by one router per AS on the forwarding path, then
+// the destination host:
+//
+//	TTL 1       -> gateway router of src's own AS
+//	TTL 2..k    -> routers of transit ASes along the path
+//	TTL k+1     -> the destination host (Port Unreachable)
+//
+// Routers in ICMP-silent ASes time out; routers in private-numbered ASes
+// answer from 10/8, which the cleaner later discards — both artefacts the
+// paper's interpolation stage exists to handle.
+func (n *Net) ProbeTTL(src astopo.ASN, srcAddr, dst netaddr.Addr, srcPort uint16, ttl, epoch int) ProbeResult {
+	if ttl < 1 {
+		return ProbeResult{Kind: Timeout}
+	}
+	asPath := n.oracle.PathTo(src, dst)
+	if asPath == nil {
+		return ProbeResult{Kind: Timeout}
+	}
+	dstPort := uint16(33434 + ttl - 1) // classic traceroute port walk
+	udp := wire.MarshalUDP(uint32(srcAddr), uint32(dst), srcPort, dstPort, []byte("fenrir-tr"))
+	hdr := &wire.IPv4Header{
+		TotalLen: uint16(wire.IPv4HeaderLen + len(udp)),
+		ID:       srcPort,
+		TTL:      uint8(ttl),
+		Protocol: wire.ProtoUDP,
+		Src:      uint32(srcAddr),
+		Dst:      uint32(dst),
+	}
+	pkt := append(hdr.Marshal(), udp...)
+
+	if n.transitLoss() {
+		return ProbeResult{Kind: Timeout}
+	}
+
+	// Walk the router sequence decrementing TTL.
+	hops := len(asPath) // routers: asPath[0..len-1]
+	if ttl <= hops {
+		routerAS := asPath[ttl-1]
+		if n.silentRouter(routerAS) {
+			return ProbeResult{Kind: Timeout}
+		}
+		from := n.RouterAddr(routerAS, 1)
+		te := wire.TimeExceededFor(pkt)
+		if n.transitLoss() {
+			return ProbeResult{Kind: Timeout}
+		}
+		parsed, err := wire.UnmarshalICMP(te.Marshal())
+		if err != nil {
+			return ProbeResult{Kind: Timeout}
+		}
+		rtt := n.pathRTTms(asPath[:ttl])
+		return ProbeResult{Kind: TimeExceeded, From: from, RTTms: rtt, ICMP: parsed}
+	}
+
+	// Reached the destination host.
+	if !n.BlockResponsive(dst.Block(), epoch) {
+		return ProbeResult{Kind: Timeout}
+	}
+	pu := wire.PortUnreachableFor(pkt)
+	if n.transitLoss() {
+		return ProbeResult{Kind: Timeout}
+	}
+	parsed, err := wire.UnmarshalICMP(pu.Marshal())
+	if err != nil {
+		return ProbeResult{Kind: Timeout}
+	}
+	return ProbeResult{Kind: PortUnreachable, From: dst, RTTms: n.pathRTTms(asPath), ICMP: parsed}
+}
+
+// ASPath exposes the current AS-level forwarding path from src to dst
+// (read-only; used by tests and by site-to-client latency estimation).
+func (n *Net) ASPath(src astopo.ASN, dst netaddr.Addr) []astopo.ASN {
+	return n.oracle.PathTo(src, dst)
+}
+
+// PathRTTms estimates round-trip time along the current path from src to
+// the AS originating dst; ok is false when unrouted.
+func (n *Net) PathRTTms(src astopo.ASN, dst netaddr.Addr) (float64, bool) {
+	p := n.oracle.PathTo(src, dst)
+	if p == nil {
+		return 0, false
+	}
+	return n.pathRTTms(p), true
+}

@@ -1,0 +1,146 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"fenrir/internal/core"
+	"fenrir/internal/rng"
+	"fenrir/internal/timeline"
+)
+
+func sched(n int) timeline.Schedule {
+	return timeline.NewSchedule(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC), 24*time.Hour, n)
+}
+
+func randomSeries(t *testing.T, nets, epochs int, seed uint64) *core.Series {
+	t.Helper()
+	r := rng.New(seed)
+	ids := make([]string, nets)
+	for i := range ids {
+		ids[i] = "10." + itoa(i/256) + "." + itoa(i%256) + ".0/24"
+	}
+	space := core.NewSpace(ids)
+	sites := []string{"LAX", "AMS", "SIN", core.SiteError}
+	var vs []*core.Vector
+	e := 0
+	for len(vs) < epochs {
+		// Leave occasional collection gaps in the epoch numbering.
+		if r.Bool(0.15) {
+			e++
+			continue
+		}
+		v := space.NewVector(timeline.Epoch(e))
+		for n := 0; n < nets; n++ {
+			if r.Bool(0.2) {
+				continue
+			}
+			v.Set(n, sites[r.Intn(len(sites))])
+		}
+		vs = append(vs, v)
+		e++
+	}
+	return core.NewSeries(space, sched(e+1), vs, nil)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := randomSeries(t, 40, 15, 3)
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, orig.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("epochs %d != %d", got.Len(), orig.Len())
+	}
+	if got.Space.NumNetworks() != orig.Space.NumNetworks() {
+		t.Fatalf("networks %d != %d", got.Space.NumNetworks(), orig.Space.NumNetworks())
+	}
+	for i := range orig.Vectors {
+		a, b := orig.Vectors[i], got.Vectors[i]
+		if a.T != b.T {
+			t.Fatalf("epoch %d != %d", a.T, b.T)
+		}
+		for n := 0; n < orig.Space.NumNetworks(); n++ {
+			sa, oka := a.Site(n)
+			sb, okb := b.Site(n)
+			if oka != okb || sa != sb {
+				t.Fatalf("cell (%d,%d): %q/%v != %q/%v", i, n, sa, oka, sb, okb)
+			}
+		}
+	}
+	// Analysis results survive the round trip.
+	phiA := core.Gower(orig.Vectors[0], orig.Vectors[1], nil, core.PessimisticUnknown)
+	phiB := core.Gower(got.Vectors[0], got.Vectors[1], nil, core.PessimisticUnknown)
+	if phiA != phiB {
+		t.Fatalf("Phi changed across round trip: %v != %v", phiA, phiB)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad header":       "foo,0,1\nx,A,B\n",
+		"bad epoch":        "network,zero\nx,A\n",
+		"negative epoch":   "network,-1\nx,A\n",
+		"unsorted epochs":  "network,3,1\nx,A,B\n",
+		"ragged row":       "network,0,1\nx,A\n",
+		"no networks":      "network,0,1\n",
+		"duplicate epochs": "network,2,2\nx,A,B\n",
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in), sched(10)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestSaveFormatIsPlainCSV(t *testing.T) {
+	s := core.NewSpace([]string{"a", "b"})
+	v0 := s.NewVector(0)
+	v0.Set(0, "LAX")
+	v2 := s.NewVector(2) // gap at epoch 1
+	v2.Set(1, "AMS")
+	ser := core.NewSeries(s, sched(3), []*core.Vector{v0, v2}, nil)
+	var buf bytes.Buffer
+	if err := Save(&buf, ser); err != nil {
+		t.Fatal(err)
+	}
+	want := "network,0,2\na,LAX,\nb,,AMS\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestLoadPreservesGaps(t *testing.T) {
+	in := "network,0,5\nx,A,B\n"
+	got, err := Load(strings.NewReader(in), sched(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0) == nil || got.At(5) == nil {
+		t.Fatal("epochs 0/5 missing")
+	}
+	for e := 1; e < 5; e++ {
+		if got.At(timeline.Epoch(e)) != nil {
+			t.Fatalf("phantom vector at epoch %d", e)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package events models operator ground truth and the validation study of
+// §3: maintenance log entries grouped into operational events, classified
+// as externally visible or internal-only, and compared against Fenrir's
+// detected changes to produce the confusion matrix of Table 4 — including
+// the paper's subtlety that Fenrir also detects third-party routing
+// changes that no operator log contains.
+package events
+
+import (
+	"fmt"
+	"sort"
+
+	"fenrir/internal/core"
+	"fenrir/internal/timeline"
+)
+
+// Kind classifies a maintenance log entry.
+type Kind int
+
+const (
+	// Internal maintenance has no externally observable routing effect
+	// (replacing one of several replicated servers, cabling, upgrades).
+	Internal Kind = iota
+	// SiteDrain withdraws a site from anycast during the work.
+	SiteDrain
+	// TrafficEngineering shifts catchments while preserving reachability.
+	TrafficEngineering
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Internal:
+		return "internal"
+	case SiteDrain:
+		return "site-drain"
+	case TrafficEngineering:
+		return "traffic-engineering"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Visible reports whether entries of this kind should be observable from
+// outside — the external/invisible split in the ground truth.
+func (k Kind) Visible() bool { return k != Internal }
+
+// LogEntry is one row of an operator maintenance log.
+type LogEntry struct {
+	At       timeline.Epoch
+	Operator string
+	Kind     Kind
+	Site     string
+	Note     string
+}
+
+// Group is a set of log entries that form one operational event: same
+// operator, within the grouping window (§3 groups entries within ten
+// minutes by the same operator).
+type Group struct {
+	Entries []LogEntry
+	// At is the epoch of the first entry.
+	At timeline.Epoch
+	// Kind is the most-visible kind among the entries: one drain inside a
+	// pile of internal steps makes the whole event external.
+	Kind Kind
+}
+
+// GroupEntries folds a log into events: entries by the same operator whose
+// timestamps are within window epochs of the previous entry join the same
+// group.
+func GroupEntries(entries []LogEntry, window timeline.Epoch) []Group {
+	sorted := append([]LogEntry(nil), entries...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	var groups []Group
+	last := make(map[string]int) // operator -> index into groups
+	for _, e := range sorted {
+		if gi, ok := last[e.Operator]; ok {
+			g := &groups[gi]
+			prev := g.Entries[len(g.Entries)-1]
+			if e.At-prev.At <= window {
+				g.Entries = append(g.Entries, e)
+				if visRank(e.Kind) > visRank(g.Kind) {
+					g.Kind = e.Kind
+				}
+				continue
+			}
+		}
+		groups = append(groups, Group{Entries: []LogEntry{e}, At: e.At, Kind: e.Kind})
+		last[e.Operator] = len(groups) - 1
+	}
+	sort.SliceStable(groups, func(i, j int) bool { return groups[i].At < groups[j].At })
+	return groups
+}
+
+// Operator returns the operator who performed the event ("" for an empty
+// group).
+func (g Group) Operator() string {
+	if len(g.Entries) == 0 {
+		return ""
+	}
+	return g.Entries[0].Operator
+}
+
+func visRank(k Kind) int {
+	switch k {
+	case SiteDrain:
+		return 2
+	case TrafficEngineering:
+		return 1
+	}
+	return 0
+}
+
+// Validation is Table 4: the confusion matrix of ground truth against
+// Fenrir detections, plus detections with no ground-truth counterpart
+// (suspected third-party changes).
+type Validation struct {
+	TP int // external groups detected
+	FN int // external groups missed
+	FP int // internal groups coinciding with a detection
+	TN int // internal groups with no detection
+	// Unmatched counts detections matching no group at all — the paper's
+	// "(*) external changes?" row of suspected third-party events.
+	Unmatched int
+}
+
+// Recall is TP/(TP+FN); 0 when undefined.
+func (v Validation) Recall() float64 { return ratio(v.TP, v.TP+v.FN) }
+
+// Precision is TP/(TP+FP) — as in the paper, unmatched detections are not
+// counted against precision because they are (by design) not errors.
+func (v Validation) Precision() float64 { return ratio(v.TP, v.TP+v.FP) }
+
+// Accuracy is (TP+TN)/all groups.
+func (v Validation) Accuracy() float64 { return ratio(v.TP+v.TN, v.TP+v.TN+v.FP+v.FN) }
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Validate compares ground-truth groups against detected change events.
+// A detection matches a group when it falls within window epochs of the
+// group's start. Each detection matches at most one group (the nearest);
+// each group counts once.
+func Validate(groups []Group, detections []core.ChangeEvent, window timeline.Epoch) Validation {
+	matched := make([]bool, len(groups)) // group had a detection
+	used := make([]bool, len(detections))
+	// Nearest-match assignment, detections in time order.
+	for di, d := range detections {
+		best, bestDist := -1, timeline.Epoch(0)
+		for gi, g := range groups {
+			dist := d.At - g.At
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist <= window && (best == -1 || dist < bestDist) {
+				best, bestDist = gi, dist
+			}
+		}
+		if best >= 0 {
+			matched[best] = true
+			used[di] = true
+		}
+	}
+	var v Validation
+	for gi, g := range groups {
+		switch {
+		case g.Kind.Visible() && matched[gi]:
+			v.TP++
+		case g.Kind.Visible() && !matched[gi]:
+			v.FN++
+		case !g.Kind.Visible() && matched[gi]:
+			v.FP++
+		default:
+			v.TN++
+		}
+	}
+	for _, u := range used {
+		if !u {
+			v.Unmatched++
+		}
+	}
+	return v
+}

@@ -1,0 +1,142 @@
+package events
+
+import (
+	"math"
+	"testing"
+
+	"fenrir/internal/core"
+	"fenrir/internal/timeline"
+)
+
+func TestGroupEntriesWindowAndOperator(t *testing.T) {
+	entries := []LogEntry{
+		{At: 10, Operator: "alice", Kind: Internal},
+		{At: 12, Operator: "alice", Kind: SiteDrain}, // same group, upgrades kind
+		{At: 13, Operator: "bob", Kind: Internal},    // different operator
+		{At: 30, Operator: "alice", Kind: Internal},  // outside window
+	}
+	groups := GroupEntries(entries, 5)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	if groups[0].Kind != SiteDrain || len(groups[0].Entries) != 2 {
+		t.Fatalf("group 0 = %+v", groups[0])
+	}
+	if groups[1].Operator() != "bob" {
+		t.Fatalf("group 1 operator = %q", groups[1].Operator())
+	}
+	if groups[2].At != 30 {
+		t.Fatalf("group 2 at %d", groups[2].At)
+	}
+}
+
+func TestGroupEntriesChaining(t *testing.T) {
+	// Entries 2 apart with window 3 chain into one long group.
+	var entries []LogEntry
+	for i := 0; i < 5; i++ {
+		entries = append(entries, LogEntry{At: timelineEpoch(i * 2), Operator: "op", Kind: Internal})
+	}
+	groups := GroupEntries(entries, 3)
+	if len(groups) != 1 || len(groups[0].Entries) != 5 {
+		t.Fatalf("groups = %+v", groups)
+	}
+}
+
+func TestKindVisibility(t *testing.T) {
+	if Internal.Visible() {
+		t.Error("internal visible")
+	}
+	if !SiteDrain.Visible() || !TrafficEngineering.Visible() {
+		t.Error("external kinds not visible")
+	}
+}
+
+func TestValidatePerfectDetector(t *testing.T) {
+	groups := []Group{
+		{At: 10, Kind: SiteDrain},
+		{At: 20, Kind: Internal},
+		{At: 30, Kind: TrafficEngineering},
+	}
+	detections := []core.ChangeEvent{{At: 11}, {At: 31}}
+	v := Validate(groups, detections, 2)
+	if v.TP != 2 || v.FN != 0 || v.FP != 0 || v.TN != 1 || v.Unmatched != 0 {
+		t.Fatalf("v = %+v", v)
+	}
+	if v.Recall() != 1 || v.Precision() != 1 {
+		t.Fatalf("recall %v precision %v", v.Recall(), v.Precision())
+	}
+	if math.Abs(v.Accuracy()-1) > 1e-12 {
+		t.Fatalf("accuracy %v", v.Accuracy())
+	}
+}
+
+func TestValidateTable4Shape(t *testing.T) {
+	// Reconstruct the paper's Table 4 numerically: 19 external all
+	// detected, 8 internal coinciding with detections, 29 internal
+	// undetected, 10 detections with no log entry.
+	var groups []Group
+	var detections []core.ChangeEvent
+	e := 0
+	for i := 0; i < 19; i++ { // external, detected
+		groups = append(groups, Group{At: timelineEpoch(e), Kind: SiteDrain})
+		detections = append(detections, core.ChangeEvent{At: timelineEpoch(e)})
+		e += 10
+	}
+	for i := 0; i < 8; i++ { // internal with coinciding detection
+		groups = append(groups, Group{At: timelineEpoch(e), Kind: Internal})
+		detections = append(detections, core.ChangeEvent{At: timelineEpoch(e + 1)})
+		e += 10
+	}
+	for i := 0; i < 29; i++ { // internal, quiet
+		groups = append(groups, Group{At: timelineEpoch(e), Kind: Internal})
+		e += 10
+	}
+	for i := 0; i < 10; i++ { // third-party detections, no log entries
+		detections = append(detections, core.ChangeEvent{At: timelineEpoch(e)})
+		e += 10
+	}
+	v := Validate(groups, detections, 2)
+	if v.TP != 19 || v.FN != 0 || v.FP != 8 || v.TN != 29 || v.Unmatched != 10 {
+		t.Fatalf("v = %+v", v)
+	}
+	if v.Recall() != 1.0 {
+		t.Errorf("recall = %v", v.Recall())
+	}
+	if math.Abs(v.Precision()-19.0/27.0) > 1e-9 {
+		t.Errorf("precision = %v, want %v", v.Precision(), 19.0/27.0)
+	}
+	if math.Abs(v.Accuracy()-48.0/56.0) > 1e-9 {
+		t.Errorf("accuracy = %v, want %v", v.Accuracy(), 48.0/56.0)
+	}
+}
+
+func TestValidateMissedExternal(t *testing.T) {
+	groups := []Group{{At: 10, Kind: SiteDrain}}
+	v := Validate(groups, nil, 2)
+	if v.FN != 1 || v.Recall() != 0 {
+		t.Fatalf("v = %+v", v)
+	}
+}
+
+func TestValidateNearestMatch(t *testing.T) {
+	// A detection between two groups matches the nearer one.
+	groups := []Group{
+		{At: 10, Kind: SiteDrain},
+		{At: 16, Kind: SiteDrain},
+	}
+	detections := []core.ChangeEvent{{At: 15}}
+	v := Validate(groups, detections, 5)
+	if v.TP != 1 || v.FN != 1 {
+		t.Fatalf("v = %+v", v)
+	}
+}
+
+func TestRatiosUndefined(t *testing.T) {
+	var v Validation
+	if v.Recall() != 0 || v.Precision() != 0 || v.Accuracy() != 0 {
+		t.Fatal("empty validation ratios should be 0")
+	}
+}
+
+// timelineEpoch keeps literals short.
+func timelineEpoch(i int) timeline.Epoch { return timeline.Epoch(i) }

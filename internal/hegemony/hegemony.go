@@ -1,0 +1,106 @@
+// Package hegemony computes the AS-hegemony metric of Fontugne, Shah and
+// Aben (PAM'18), which the paper cites as RIPE's tool for country-level
+// transit analysis (§2.1, §2.3.2): given AS paths toward a destination
+// from many viewpoints, the hegemony of AS x is the trimmed mean, over
+// viewpoints, of the indicator that x appears on the viewpoint's path.
+// Trimming both tails removes viewpoints that see everything through x
+// merely because they are its customers, and viewpoints that never use x
+// for topological quirks.
+//
+// In this repository hegemony scores are computed over bgpfeed snapshots
+// and serve as a per-epoch summary of "who carries the traffic", the
+// control-plane analogue of the USC study's hop-share stack plots.
+package hegemony
+
+import (
+	"sort"
+
+	"fenrir/internal/astopo"
+)
+
+// TrimFraction is the default tail trim (10 % per side, per the paper).
+const TrimFraction = 0.1
+
+// Scores maps an AS to its hegemony in [0, 1].
+type Scores map[astopo.ASN]float64
+
+// Compute calculates hegemony for every transit AS appearing on the given
+// paths. Each path is viewpoint-first, origin-last. The first AS of each
+// path (the viewpoint itself) and the final origin are excluded from
+// scoring: hegemony measures *transit* dependence. trim is the per-tail
+// trim fraction; pass TrimFraction for the published default.
+func Compute(paths [][]astopo.ASN, trim float64) Scores {
+	if trim < 0 || trim >= 0.5 {
+		trim = TrimFraction
+	}
+	n := len(paths)
+	if n == 0 {
+		return Scores{}
+	}
+	// Indicator matrix: for each candidate AS, its per-viewpoint 0/1
+	// presence as transit.
+	presence := make(map[astopo.ASN][]float64)
+	for vi, p := range paths {
+		seen := make(map[astopo.ASN]bool)
+		for i, as := range p {
+			if i == 0 || i == len(p)-1 {
+				continue // viewpoint and origin are not transit
+			}
+			seen[as] = true
+		}
+		for as := range seen {
+			if _, ok := presence[as]; !ok {
+				presence[as] = make([]float64, n)
+			}
+			presence[as][vi] = 1
+		}
+	}
+	out := make(Scores, len(presence))
+	for as, ind := range presence {
+		out[as] = trimmedMean(ind, trim)
+	}
+	return out
+}
+
+// trimmedMean sorts a copy and averages the middle (1-2*trim) fraction.
+func trimmedMean(xs []float64, trim float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	lo := int(float64(len(cp)) * trim)
+	hi := len(cp) - lo
+	if hi <= lo {
+		lo, hi = 0, len(cp)
+	}
+	var sum float64
+	for _, v := range cp[lo:hi] {
+		sum += v
+	}
+	return sum / float64(hi-lo)
+}
+
+// Top returns the k highest-hegemony ASes, ties broken by ASN for
+// deterministic reporting.
+func (s Scores) Top(k int) []astopo.ASN {
+	type row struct {
+		as astopo.ASN
+		h  float64
+	}
+	rows := make([]row, 0, len(s))
+	for as, h := range s {
+		rows = append(rows, row{as, h})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].h != rows[j].h {
+			return rows[i].h > rows[j].h
+		}
+		return rows[i].as < rows[j].as
+	})
+	if k > len(rows) {
+		k = len(rows)
+	}
+	out := make([]astopo.ASN, k)
+	for i := 0; i < k; i++ {
+		out[i] = rows[i].as
+	}
+	return out
+}

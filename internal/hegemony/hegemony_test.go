@@ -1,0 +1,99 @@
+package hegemony
+
+import (
+	"math"
+	"testing"
+
+	"fenrir/internal/astopo"
+)
+
+func TestComputeSimple(t *testing.T) {
+	// Ten viewpoints, all through transit 100; half also through 200.
+	var paths [][]astopo.ASN
+	for i := 0; i < 10; i++ {
+		p := []astopo.ASN{astopo.ASN(1000 + i), 100}
+		if i < 5 {
+			p = append(p, 200)
+		}
+		p = append(p, 9999) // origin
+		paths = append(paths, p)
+	}
+	s := Compute(paths, 0)
+	if math.Abs(s[100]-1.0) > 1e-12 {
+		t.Errorf("hegemony(100) = %v, want 1", s[100])
+	}
+	if math.Abs(s[200]-0.5) > 0.13 { // trimming shifts the mean slightly
+		t.Errorf("hegemony(200) = %v, want about 0.5", s[200])
+	}
+	if _, ok := s[9999]; ok {
+		t.Error("origin scored as transit")
+	}
+	if _, ok := s[1000]; ok {
+		t.Error("viewpoint scored as transit")
+	}
+}
+
+func TestComputeTrimmingRemovesLocalBias(t *testing.T) {
+	// 20 viewpoints; AS 300 appears only on one viewpoint's path (its own
+	// provider). With 10% trim that single viewpoint falls in the tail,
+	// so hegemony is 0.
+	var paths [][]astopo.ASN
+	for i := 0; i < 20; i++ {
+		p := []astopo.ASN{astopo.ASN(1000 + i), 100, 9999}
+		if i == 0 {
+			p = []astopo.ASN{astopo.ASN(1000 + i), 300, 100, 9999}
+		}
+		paths = append(paths, p)
+	}
+	s := Compute(paths, TrimFraction)
+	if s[300] != 0 {
+		t.Errorf("hegemony(300) = %v, want 0 after trimming", s[300])
+	}
+	if s[100] != 1 {
+		t.Errorf("hegemony(100) = %v, want 1", s[100])
+	}
+}
+
+func TestComputeEmpty(t *testing.T) {
+	if len(Compute(nil, TrimFraction)) != 0 {
+		t.Fatal("empty input produced scores")
+	}
+	// Paths too short to have transit.
+	s := Compute([][]astopo.ASN{{1, 2}}, TrimFraction)
+	if len(s) != 0 {
+		t.Fatalf("two-hop path produced transit scores: %v", s)
+	}
+}
+
+func TestComputeBadTrimFallsBack(t *testing.T) {
+	paths := [][]astopo.ASN{{1, 5, 9}, {2, 5, 9}}
+	a := Compute(paths, -1)
+	b := Compute(paths, TrimFraction)
+	if a[5] != b[5] {
+		t.Fatal("invalid trim not normalized to default")
+	}
+}
+
+func TestTop(t *testing.T) {
+	s := Scores{10: 0.9, 20: 0.9, 30: 0.1}
+	top := s.Top(2)
+	if len(top) != 2 || top[0] != 10 || top[1] != 20 {
+		t.Fatalf("Top = %v", top)
+	}
+	if got := s.Top(99); len(got) != 3 {
+		t.Fatalf("Top(99) = %v", got)
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	xs := []float64{0, 0, 1, 1, 1, 1, 1, 1, 1, 100}
+	// 10% trim drops one value each side: the 100 outlier and one 0.
+	got := trimmedMean(xs, 0.1)
+	want := (0.0 + 1 + 1 + 1 + 1 + 1 + 1 + 1) / 8
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("trimmedMean = %v, want %v", got, want)
+	}
+	if trimmedMean([]float64{5}, 0.4) != 5 {
+		t.Fatal("single-element trimmed mean broken")
+	}
+}

@@ -1,0 +1,168 @@
+// Package latency implements §2.8: relating routing modes to the latency
+// operators actually care about. It aggregates per-network RTT samples
+// into per-catchment percentiles (Figure 4's p90-per-site series) and
+// provides a Trinocular-style background prober that collects RTTs from
+// the forwarding plane without extra measurement infrastructure.
+package latency
+
+import (
+	"math"
+	"sort"
+
+	"fenrir/internal/astopo"
+	"fenrir/internal/core"
+	"fenrir/internal/dataplane"
+	"fenrir/internal/netaddr"
+	"fenrir/internal/timeline"
+)
+
+// Percentile returns the p-th percentile (0..100) of xs using nearest-rank
+// on a sorted copy; it returns NaN for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(cp)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return cp[rank]
+}
+
+// BySite groups RTT samples (keyed by network row) by the catchment the
+// vector assigns that network to, then reduces each group with the p-th
+// percentile. Networks without samples or with unknown catchments are
+// skipped. This is exactly Figure 4: p90 latency per catchment.
+func BySite(v *core.Vector, rtts map[int]float64, p float64) map[string]float64 {
+	groups := make(map[string][]float64)
+	for n, rtt := range rtts {
+		if site, ok := v.Site(n); ok {
+			groups[site] = append(groups[site], rtt)
+		}
+	}
+	out := make(map[string]float64, len(groups))
+	for site, xs := range groups {
+		out[site] = Percentile(xs, p)
+	}
+	return out
+}
+
+// MeanWeighted computes the overall mean latency across networks, weighted
+// per §2.5 (w nil = uniform). Networks without samples are skipped; the
+// result is NaN when nothing was sampled.
+func MeanWeighted(rtts map[int]float64, w []float64) float64 {
+	var sum, total float64
+	for n, rtt := range rtts {
+		wi := 1.0
+		if w != nil {
+			wi = w[n]
+		}
+		sum += rtt * wi
+		total += wi
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return sum / total
+}
+
+// SiteSeries is a per-site latency time series, one value per epoch
+// (NaN when the site had no samples that epoch) — the data behind the
+// Figure 4 plot.
+type SiteSeries struct {
+	Sites  []string
+	Epochs []timeline.Epoch
+	vals   map[string][]float64
+}
+
+// NewSiteSeries prepares a series for the given epochs.
+func NewSiteSeries() *SiteSeries {
+	return &SiteSeries{vals: make(map[string][]float64)}
+}
+
+// Append records one epoch's per-site percentile map.
+func (s *SiteSeries) Append(e timeline.Epoch, bySite map[string]float64) {
+	s.Epochs = append(s.Epochs, e)
+	n := len(s.Epochs)
+	for site := range bySite {
+		if _, ok := s.vals[site]; !ok {
+			// Backfill with NaN for epochs before the site appeared.
+			pad := make([]float64, n-1)
+			for i := range pad {
+				pad[i] = math.NaN()
+			}
+			s.vals[site] = pad
+			s.Sites = append(s.Sites, site)
+			sort.Strings(s.Sites)
+		}
+	}
+	for site, vs := range s.vals {
+		if v, ok := bySite[site]; ok {
+			s.vals[site] = append(vs, v)
+		} else {
+			s.vals[site] = append(vs, math.NaN())
+		}
+	}
+}
+
+// Value returns the series value for a site at epoch index i (NaN when
+// absent).
+func (s *SiteSeries) Value(site string, i int) float64 {
+	vs, ok := s.vals[site]
+	if !ok || i < 0 || i >= len(vs) {
+		return math.NaN()
+	}
+	return vs[i]
+}
+
+// Trinocular is a background RTT prober in the style of the Trinocular
+// outage-detection system the paper borrows latency data from: a fixed
+// vantage point probing a handful of addresses per /24 block every cycle.
+type Trinocular struct {
+	Net     *dataplane.Net
+	SrcAS   astopo.ASN
+	SrcAddr netaddr.Addr
+	Targets []netaddr.Block
+	// PerBlock is how many addresses are probed per block each round
+	// (Trinocular probes 1–16).
+	PerBlock int
+}
+
+// Round probes every target block once and returns the mean RTT per block
+// row index; unresponsive blocks are absent from the result.
+func (t *Trinocular) Round(epoch timeline.Epoch) map[int]float64 {
+	per := t.PerBlock
+	if per <= 0 {
+		per = 1
+	}
+	if per > 16 {
+		per = 16
+	}
+	out := make(map[int]float64)
+	for i, b := range t.Targets {
+		var sum float64
+		var n int
+		for k := 0; k < per; k++ {
+			// Trinocular selects targets from a pseudorandom per-block
+			// list; a deterministic stride models that.
+			host := byte(1 + (k*37+int(epoch))%250)
+			res := t.Net.Ping(t.SrcAS, t.SrcAddr, b.Host(host), uint16(i), uint16(k), int(epoch))
+			if res.Kind == dataplane.EchoReply {
+				sum += res.RTTms
+				n++
+			}
+		}
+		if n > 0 {
+			out[i] = sum / float64(n)
+		}
+	}
+	return out
+}

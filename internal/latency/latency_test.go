@@ -1,0 +1,144 @@
+package latency
+
+import (
+	"math"
+	"testing"
+
+	"fenrir/internal/astopo"
+	"fenrir/internal/core"
+	"fenrir/internal/dataplane"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {50, 50}, {90, 90}, {100, 100}, {10, 10},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 90)) {
+		t.Error("empty percentile not NaN")
+	}
+	// Does not mutate input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 {
+		t.Error("Percentile sorted its input in place")
+	}
+}
+
+func TestBySite(t *testing.T) {
+	s := core.NewSpace([]string{"a", "b", "c", "d"})
+	v := s.NewVector(0)
+	v.Set(0, "LAX")
+	v.Set(1, "LAX")
+	v.Set(2, "AMS")
+	// d stays unknown.
+	rtts := map[int]float64{0: 10, 1: 30, 2: 100, 3: 999}
+	got := BySite(v, rtts, 100)
+	if got["LAX"] != 30 || got["AMS"] != 100 {
+		t.Fatalf("BySite = %v", got)
+	}
+	if _, ok := got[""]; ok {
+		t.Fatal("unknown catchment leaked into site map")
+	}
+}
+
+func TestMeanWeighted(t *testing.T) {
+	rtts := map[int]float64{0: 10, 1: 40}
+	if got := MeanWeighted(rtts, nil); got != 25 {
+		t.Fatalf("uniform mean = %v", got)
+	}
+	w := []float64{3, 1}
+	if got := MeanWeighted(rtts, w); got != (30+40)/4.0 {
+		t.Fatalf("weighted mean = %v", got)
+	}
+	if !math.IsNaN(MeanWeighted(nil, nil)) {
+		t.Fatal("empty mean not NaN")
+	}
+}
+
+func TestSiteSeries(t *testing.T) {
+	s := NewSiteSeries()
+	s.Append(0, map[string]float64{"LAX": 20})
+	s.Append(1, map[string]float64{"LAX": 22, "SCL": 15})
+	s.Append(2, map[string]float64{"SCL": 14})
+	if len(s.Sites) != 2 {
+		t.Fatalf("Sites = %v", s.Sites)
+	}
+	if s.Value("LAX", 0) != 20 || s.Value("LAX", 1) != 22 {
+		t.Fatal("LAX series wrong")
+	}
+	if !math.IsNaN(s.Value("LAX", 2)) {
+		t.Fatal("LAX should vanish at epoch 2")
+	}
+	if !math.IsNaN(s.Value("SCL", 0)) {
+		t.Fatal("SCL should be NaN before first appearance")
+	}
+	if s.Value("SCL", 2) != 14 {
+		t.Fatal("SCL series wrong")
+	}
+	if !math.IsNaN(s.Value("XXX", 0)) {
+		t.Fatal("unknown site should be NaN")
+	}
+}
+
+func TestTrinocularRound(t *testing.T) {
+	gcfg := astopo.DefaultGenConfig(61)
+	gcfg.StubsPerRegion = 8
+	g := astopo.Generate(gcfg)
+	cfg := dataplane.DefaultConfig(2)
+	cfg.LossRate = 0
+	cfg.MeanResponsiveness = 1
+	n := dataplane.NewNet(g, nil, cfg)
+	var src astopo.ASN
+	for _, a := range g.ASNs() {
+		if g.AS(a).Tier == astopo.Stub {
+			src = a
+			break
+		}
+	}
+	tri := &Trinocular{
+		Net: n, SrcAS: src,
+		SrcAddr:  g.AS(src).Prefixes[0].Blocks()[0].Host(1),
+		Targets:  g.RoutableBlocks()[:50],
+		PerBlock: 4,
+	}
+	rtts := tri.Round(0)
+	if len(rtts) != 50 {
+		t.Fatalf("responsive blocks %d of 50 under lossless config", len(rtts))
+	}
+	for i, rtt := range rtts {
+		if rtt <= 0 {
+			t.Fatalf("block %d RTT %v", i, rtt)
+		}
+	}
+}
+
+func TestTrinocularUnresponsiveBlocksAbsent(t *testing.T) {
+	gcfg := astopo.DefaultGenConfig(61)
+	gcfg.StubsPerRegion = 8
+	g := astopo.Generate(gcfg)
+	cfg := dataplane.DefaultConfig(2)
+	cfg.MeanResponsiveness = 0
+	n := dataplane.NewNet(g, nil, cfg)
+	var src astopo.ASN
+	for _, a := range g.ASNs() {
+		if g.AS(a).Tier == astopo.Stub {
+			src = a
+			break
+		}
+	}
+	tri := &Trinocular{Net: n, SrcAS: src,
+		SrcAddr: g.AS(src).Prefixes[0].Blocks()[0].Host(1),
+		Targets: g.RoutableBlocks()[:20]}
+	if rtts := tri.Round(0); len(rtts) != 0 {
+		t.Fatalf("dead blocks produced %d RTTs", len(rtts))
+	}
+}

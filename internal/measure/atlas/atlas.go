@@ -1,0 +1,140 @@
+// Package atlas simulates a RIPE-Atlas-style vantage point mesh running
+// the DNSMON measurements the paper's validation (§3) and G-Root case
+// study (Figure 1) use: each VP periodically sends a CHAOS-class TXT query
+// for hostname.bind (with an NSID option) to the anycast service, decodes
+// the per-server identifier into a site, and records the query RTT.
+//
+// Unlike Verfploeter, the networks here are the VPs themselves, so the
+// vector has one element per VP and the universe is a few thousand rather
+// than millions — exactly the trade-off the paper describes between its
+// two B-Root data sources.
+package atlas
+
+import (
+	"fmt"
+	"strings"
+
+	"fenrir/internal/astopo"
+	"fenrir/internal/core"
+	"fenrir/internal/dataplane"
+	"fenrir/internal/rng"
+	"fenrir/internal/timeline"
+	"fenrir/internal/wire"
+)
+
+// VP is one vantage point: an identifier and the AS hosting it.
+type VP struct {
+	ID string
+	AS astopo.ASN
+}
+
+// Mesh is a deployed set of VPs measuring one anycast service.
+type Mesh struct {
+	Net     *dataplane.Net
+	Service string
+	VPs     []VP
+	// DecodeSite maps a hostname.bind/NSID string to a site label.
+	// Real identifiers are operator-specific ("b1-lax", "nnn1-lon-..."),
+	// so the decoder is injected; unknown identifiers become "other",
+	// query failures "err" — the two extra states in Figure 1.
+	DecodeSite func(id string) (string, bool)
+}
+
+// DeployVPs places n vantage points on stub ASes of the topology,
+// round-robin over stubs with deterministic jitter — Atlas VPs are
+// heavily skewed to eyeball networks, which stubs model.
+func DeployVPs(net *dataplane.Net, n int, seed uint64) []VP {
+	var stubs []astopo.ASN
+	for _, a := range net.G.ASNs() {
+		if net.G.AS(a).Tier == astopo.Stub {
+			stubs = append(stubs, a)
+		}
+	}
+	if len(stubs) == 0 {
+		panic("atlas: topology has no stub ASes")
+	}
+	r := rng.New(seed).Split("atlas-vps")
+	vps := make([]VP, n)
+	for i := range vps {
+		vps[i] = VP{
+			ID: fmt.Sprintf("vp-%04d", i),
+			AS: stubs[(i+r.Intn(len(stubs)))%len(stubs)],
+		}
+	}
+	return vps
+}
+
+// DefaultDecoder decodes identifiers of the form "<anything>-<site>" into
+// the upper-cased final token ("b1-lax" → "LAX"), the convention the
+// simulator's root service handlers emit.
+func DefaultDecoder(id string) (string, bool) {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 || i == len(id)-1 {
+		return "", false
+	}
+	return strings.ToUpper(id[i+1:]), true
+}
+
+// Space builds the analysis space: one network per VP.
+func (m *Mesh) Space() *core.Space {
+	ids := make([]string, len(m.VPs))
+	for i, vp := range m.VPs {
+		ids[i] = vp.ID
+	}
+	return core.NewSpace(ids)
+}
+
+// Round runs one measurement round: every VP queries hostname.bind and the
+// vector records the decoded site (or err/other). RTTs for successful
+// queries are returned keyed by VP index for the latency pipeline (§2.8.1).
+func (m *Mesh) Round(space *core.Space, epoch timeline.Epoch) (*core.Vector, map[int]float64) {
+	v := space.NewVector(epoch)
+	rtts := make(map[int]float64)
+	serverAddr := m.Net.ServiceAddr(m.Service)
+	decode := m.DecodeSite
+	if decode == nil {
+		decode = DefaultDecoder
+	}
+	for i, vp := range m.VPs {
+		q := &wire.DNSMessage{
+			ID:         uint16(epoch) ^ uint16(i),
+			Questions:  []wire.Question{{Name: "hostname.bind", Type: wire.TypeTXT, Class: wire.ClassCHAOS}},
+			Additional: []wire.RR{wire.OPTRecord(4096, wire.NSIDOption(""))},
+		}
+		resp, rtt, err := m.Net.QueryDNS(vp.AS, serverAddr, q, int(epoch))
+		if err != nil {
+			v.Set(i, core.SiteError)
+			continue
+		}
+		id, ok := serverIdentifier(resp)
+		if !ok {
+			v.Set(i, core.SiteError)
+			continue
+		}
+		site, ok := decode(id)
+		if !ok {
+			v.Set(i, core.SiteOther)
+			continue
+		}
+		v.Set(i, site)
+		rtts[i] = rtt
+	}
+	return v, rtts
+}
+
+// serverIdentifier extracts the site identifier from a response: NSID if
+// present, else the first hostname.bind TXT string.
+func serverIdentifier(resp *wire.DNSMessage) (string, bool) {
+	if id, ok := wire.NSIDFromMessage(resp); ok && id != "" {
+		return id, true
+	}
+	for _, rr := range resp.Answers {
+		if rr.Type == wire.TypeTXT {
+			ss, err := wire.TXTStrings(rr)
+			if err == nil && len(ss) > 0 && ss[0] != "" {
+				return ss[0], true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,159 @@
+package atlas
+
+import (
+	"testing"
+
+	"fenrir/internal/astopo"
+	"fenrir/internal/bgpsim"
+	"fenrir/internal/core"
+	"fenrir/internal/dataplane"
+	"fenrir/internal/netaddr"
+	"fenrir/internal/wire"
+)
+
+func world(t testing.TB, lossRate float64) (*dataplane.Net, *bgpsim.Service) {
+	t.Helper()
+	gcfg := astopo.DefaultGenConfig(31)
+	gcfg.StubsPerRegion = 10
+	g := astopo.Generate(gcfg)
+	var stubs []astopo.ASN
+	for _, a := range g.ASNs() {
+		if g.AS(a).Tier == astopo.Stub {
+			stubs = append(stubs, a)
+		}
+	}
+	svc := bgpsim.NewService("g-root", netaddr.MustParsePrefix("192.112.36.0/24"))
+	svc.AddSite("NAP", stubs[5])
+	svc.AddSite("STR", stubs[25])
+	svc.AddSite("CMH", stubs[50])
+
+	cfg := dataplane.DefaultConfig(8)
+	cfg.LossRate = lossRate
+	cfg.MeanResponsiveness = 1
+	cfg.AnonymousRouterProb = 0
+	n := dataplane.NewNet(g, nil, cfg)
+	n.AddService(svc, func(q *wire.DNSMessage, site string, client astopo.ASN) *wire.DNSMessage {
+		resp := &wire.DNSMessage{ID: q.ID, QR: true, AA: true, Questions: q.Questions}
+		rr, _ := wire.TXTRecord("hostname.bind", wire.ClassCHAOS, 0, "g1-"+site)
+		resp.Answers = []wire.RR{rr}
+		resp.Additional = []wire.RR{wire.OPTRecord(4096, wire.NSIDOption("g1-"+site))}
+		return resp
+	})
+	return n, svc
+}
+
+func TestRoundMatchesRIB(t *testing.T) {
+	n, _ := world(t, 0)
+	vps := DeployVPs(n, 60, 1)
+	mesh := &Mesh{Net: n, Service: "g-root", VPs: vps}
+	space := mesh.Space()
+	v, rtts := mesh.Round(space, 0)
+	rib := n.ServiceRIB("g-root")
+	for i, vp := range vps {
+		got, ok := v.Site(i)
+		if !ok {
+			t.Fatalf("VP %s unknown", vp.ID)
+		}
+		// Decoded site must be the upper-case site from the RIB.
+		if want := rib.Site(vp.AS); got != want {
+			t.Fatalf("VP %s decoded %q, want %q", vp.ID, got, want)
+		}
+		if rtts[i] <= 0 {
+			t.Fatalf("VP %s missing RTT", vp.ID)
+		}
+	}
+}
+
+func TestRoundLossBecomesErr(t *testing.T) {
+	n, _ := world(t, 1.0) // everything lost
+	vps := DeployVPs(n, 20, 1)
+	mesh := &Mesh{Net: n, Service: "g-root", VPs: vps}
+	space := mesh.Space()
+	v, rtts := mesh.Round(space, 0)
+	for i := range vps {
+		if got, _ := v.Site(i); got != core.SiteError {
+			t.Fatalf("VP %d = %q, want err", i, got)
+		}
+	}
+	if len(rtts) != 0 {
+		t.Fatal("RTTs recorded for failed queries")
+	}
+}
+
+func TestUndcodableIdentifierBecomesOther(t *testing.T) {
+	n, _ := world(t, 0)
+	vps := DeployVPs(n, 5, 1)
+	mesh := &Mesh{Net: n, Service: "g-root", VPs: vps,
+		DecodeSite: func(string) (string, bool) { return "", false }}
+	space := mesh.Space()
+	v, _ := mesh.Round(space, 0)
+	for i := range vps {
+		if got, _ := v.Site(i); got != core.SiteOther {
+			t.Fatalf("VP %d = %q, want other", i, got)
+		}
+	}
+}
+
+func TestDefaultDecoder(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"b1-lax", "LAX", true},
+		{"nnn1-fra", "FRA", true},
+		{"nodash", "", false},
+		{"trailing-", "", false},
+	}
+	for _, c := range cases {
+		got, ok := DefaultDecoder(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("DefaultDecoder(%q) = %q,%v want %q,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestDeployVPsDeterministicAndOnStubs(t *testing.T) {
+	n, _ := world(t, 0)
+	a := DeployVPs(n, 30, 7)
+	b := DeployVPs(n, 30, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("deployment not deterministic")
+		}
+		if n.G.AS(a[i].AS).Tier != astopo.Stub {
+			t.Fatalf("VP %d on non-stub AS%d", i, a[i].AS)
+		}
+	}
+	c := DeployVPs(n, 30, 8)
+	same := 0
+	for i := range a {
+		if a[i].AS == c[i].AS {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds placed identical VPs")
+	}
+}
+
+func TestDrainVisibleThroughMesh(t *testing.T) {
+	n, svc := world(t, 0)
+	vps := DeployVPs(n, 80, 2)
+	mesh := &Mesh{Net: n, Service: "g-root", VPs: vps}
+	space := mesh.Space()
+	before, _ := mesh.Round(space, 0)
+	if before.Aggregate()["STR"] == 0 {
+		t.Skip("seed gave STR no VPs")
+	}
+	svc.Drain("STR")
+	n.Refresh()
+	after, _ := mesh.Round(space, 1)
+	if after.Aggregate()["STR"] != 0 {
+		t.Fatal("STR VPs survived drain")
+	}
+	tm := core.Transition(before, after, nil)
+	if tm.At("STR", "NAP")+tm.At("STR", "CMH") == 0 {
+		t.Fatal("drained VPs did not move to other sites")
+	}
+}

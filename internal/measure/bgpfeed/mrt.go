@@ -1,0 +1,113 @@
+package bgpfeed
+
+import (
+	"fmt"
+	"io"
+
+	"fenrir/internal/astopo"
+	"fenrir/internal/netaddr"
+	"fenrir/internal/wire"
+)
+
+// DumpMRT archives a snapshot as a TABLE_DUMP_V2 MRT stream: one
+// PEER_INDEX_TABLE followed by one RIB_IPV4_UNICAST record carrying every
+// peer's current route to the service prefix. The output is consumable by
+// standard MRT tooling, which is how this repository honours the paper's
+// data-availability commitment for control-plane data.
+func (c *Collector) DumpMRT(w io.Writer, snap *Snapshot, timestamp uint32) error {
+	peers := make([]wire.MRTPeer, len(c.Peers))
+	for i, p := range c.Peers {
+		peers[i] = wire.MRTPeer{BGPID: uint32(p), Addr: uint32(p), ASN: uint32(p)}
+	}
+	if err := wire.WriteMRTPeerIndex(w, timestamp, c.CollectorASN, "fenrir", peers); err != nil {
+		return fmt.Errorf("bgpfeed: peer index: %w", err)
+	}
+	if len(snap.Routes) == 0 {
+		return nil
+	}
+	rib := &wire.MRTRib{
+		Sequence: 0,
+		Prefix: wire.BGPPrefix{
+			Addr: uint32(snap.Routes[0].Prefix.Addr),
+			Bits: uint8(snap.Routes[0].Prefix.Bits),
+		},
+	}
+	for i, r := range snap.Routes {
+		if len(r.ASPath) == 0 {
+			continue // withdrawn peers have no RIB entry
+		}
+		asPath := make([]uint32, len(r.ASPath))
+		for j, as := range r.ASPath {
+			asPath[j] = uint32(as)
+		}
+		rib.Entries = append(rib.Entries, wire.MRTRibEntry{
+			PeerIndex:      uint16(i),
+			OriginatedTime: timestamp,
+			Attrs: wire.BGPUpdateMsg{
+				Origin:  wire.OriginIGP,
+				ASPath:  asPath,
+				NextHop: uint32(r.Peer),
+			},
+		})
+	}
+	if err := wire.WriteMRTRib(w, timestamp, rib); err != nil {
+		return fmt.Errorf("bgpfeed: rib record: %w", err)
+	}
+	return nil
+}
+
+// LoadMRT reads an archive produced by DumpMRT (or any single-prefix
+// TABLE_DUMP_V2 stream) back into a Snapshot. Peers absent from the RIB
+// record come back as withdrawn.
+func LoadMRT(r io.Reader) (*Snapshot, []astopo.ASN, error) {
+	first, err := wire.ReadMRT(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bgpfeed: read peer index: %w", err)
+	}
+	if first.Subtype != wire.MRTPeerIndexTable {
+		return nil, nil, fmt.Errorf("bgpfeed: archive does not start with a peer index")
+	}
+	peers := make([]astopo.ASN, len(first.Peers))
+	for i, p := range first.Peers {
+		peers[i] = astopo.ASN(p.ASN)
+	}
+
+	snap := &Snapshot{Raw: map[astopo.ASN][]byte{}}
+	routeByPeer := make(map[uint16]Route)
+	var prefix netaddr.Prefix
+	for {
+		rec, err := wire.ReadMRT(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("bgpfeed: read rib: %w", err)
+		}
+		if rec.Rib == nil {
+			continue
+		}
+		prefix = netaddr.Prefix{Addr: netaddr.Addr(rec.Rib.Prefix.Addr), Bits: int(rec.Rib.Prefix.Bits)}
+		for _, e := range rec.Rib.Entries {
+			if int(e.PeerIndex) >= len(peers) {
+				return nil, nil, fmt.Errorf("bgpfeed: peer index %d out of range", e.PeerIndex)
+			}
+			path := make([]astopo.ASN, len(e.Attrs.ASPath))
+			for j, as := range e.Attrs.ASPath {
+				path[j] = astopo.ASN(as)
+			}
+			routeByPeer[e.PeerIndex] = Route{
+				Peer:   peers[e.PeerIndex],
+				Prefix: prefix,
+				ASPath: path,
+			}
+		}
+	}
+	for i, p := range peers {
+		if route, ok := routeByPeer[uint16(i)]; ok {
+			snap.Routes = append(snap.Routes, route)
+		} else {
+			snap.Routes = append(snap.Routes, Route{Peer: p, Prefix: prefix})
+		}
+	}
+	return snap, peers, nil
+}

@@ -1,0 +1,173 @@
+package verfploeter
+
+import (
+	"testing"
+
+	"fenrir/internal/astopo"
+	"fenrir/internal/bgpsim"
+	"fenrir/internal/core"
+	"fenrir/internal/dataplane"
+	"fenrir/internal/netaddr"
+)
+
+func world(t testing.TB, cfg dataplane.Config) (*dataplane.Net, *bgpsim.Service, []netaddr.Block) {
+	t.Helper()
+	gcfg := astopo.DefaultGenConfig(21)
+	gcfg.StubsPerRegion = 10
+	g := astopo.Generate(gcfg)
+	var stubs []astopo.ASN
+	for _, a := range g.ASNs() {
+		if g.AS(a).Tier == astopo.Stub {
+			stubs = append(stubs, a)
+		}
+	}
+	svc := bgpsim.NewService("b-root", netaddr.MustParsePrefix("199.9.14.0/24"))
+	svc.AddSite("LAX", stubs[3])
+	svc.AddSite("AMS", stubs[30])
+	svc.AddSite("SIN", stubs[45])
+	n := dataplane.NewNet(g, nil, cfg)
+	n.AddService(svc, nil)
+	return n, svc, g.RoutableBlocks()
+}
+
+func lossless() dataplane.Config {
+	cfg := dataplane.DefaultConfig(3)
+	cfg.LossRate = 0
+	cfg.MeanResponsiveness = 1
+	cfg.AnonymousRouterProb = 0
+	return cfg
+}
+
+func TestCensusMatchesRIB(t *testing.T) {
+	n, _, blocks := world(t, lossless())
+	hitlist := blocks[:200]
+	m := NewMapper(n, "b-root", hitlist)
+	space := m.Space()
+	v, err := m.Census(space, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rib := n.ServiceRIB("b-root")
+	for i, b := range hitlist {
+		origin, _ := n.G.OriginOfBlock(b)
+		want := rib.Site(origin)
+		got, ok := v.Site(i)
+		if !ok {
+			t.Fatalf("block %v unknown under lossless config", b)
+		}
+		if got != want {
+			t.Fatalf("block %v catchment %q, want %q", b, got, want)
+		}
+	}
+}
+
+func TestCensusUnknownRate(t *testing.T) {
+	cfg := dataplane.DefaultConfig(3)
+	cfg.LossRate = 0
+	cfg.AnonymousRouterProb = 0
+	cfg.MeanResponsiveness = 0.55
+	n, _, blocks := world(t, cfg)
+	hitlist := blocks[:400]
+	m := NewMapper(n, "b-root", hitlist)
+	space := m.Space()
+	v, err := m.Census(space, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(v.KnownCount()) / float64(len(hitlist))
+	// The paper reports roughly half of targets responding.
+	if frac < 0.40 || frac > 0.70 {
+		t.Fatalf("known fraction %.2f, want roughly 0.55", frac)
+	}
+}
+
+func TestCensusAfterDrainShiftsCatchments(t *testing.T) {
+	n, svc, blocks := world(t, lossless())
+	hitlist := blocks[:150]
+	m := NewMapper(n, "b-root", hitlist)
+	space := m.Space()
+	before, err := m.Census(space, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Drain("LAX")
+	n.Refresh()
+	after, err := m.Census(space, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggB := before.Aggregate()
+	aggA := after.Aggregate()
+	if aggB["LAX"] == 0 {
+		t.Skip("seed gave LAX no catchment")
+	}
+	if aggA["LAX"] != 0 {
+		t.Fatalf("LAX still serving %d blocks after drain", aggA["LAX"])
+	}
+	// Mass conserved across sites (lossless).
+	totalB := aggB["LAX"] + aggB["AMS"] + aggB["SIN"]
+	totalA := aggA["AMS"] + aggA["SIN"]
+	if totalA != totalB {
+		t.Fatalf("mass not conserved: %d -> %d", totalB, totalA)
+	}
+}
+
+func TestCensusFullyDrainedAllUnknown(t *testing.T) {
+	n, svc, blocks := world(t, lossless())
+	for _, s := range svc.SiteNames() {
+		svc.Drain(s)
+	}
+	n.Refresh()
+	m := NewMapper(n, "b-root", blocks[:50])
+	space := m.Space()
+	v, err := m.Census(space, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.KnownCount() != 0 {
+		t.Fatalf("drained service census has %d known entries", v.KnownCount())
+	}
+}
+
+func TestCensusDeterministic(t *testing.T) {
+	cfg := dataplane.DefaultConfig(3)
+	cfg.MeanResponsiveness = 0.55
+	cfg.LossRate = 0 // loss uses a shared stream; exclude it for equality
+	n1, _, blocks := world(t, cfg)
+	n2, _, _ := world(t, cfg)
+	hitlist := blocks[:100]
+	m1, m2 := NewMapper(n1, "b-root", hitlist), NewMapper(n2, "b-root", hitlist)
+	s1, s2 := m1.Space(), m2.Space()
+	v1, _ := m1.Census(s1, 4)
+	v2, _ := m2.Census(s2, 4)
+	for i := range hitlist {
+		a, okA := v1.Site(i)
+		b, okB := v2.Site(i)
+		if okA != okB || a != b {
+			t.Fatalf("census not deterministic at block %d: %q/%v vs %q/%v", i, a, okA, b, okB)
+		}
+	}
+}
+
+func TestNewMapperUnknownServicePanics(t *testing.T) {
+	n, _, blocks := world(t, lossless())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown service accepted")
+		}
+	}()
+	NewMapper(n, "nope", blocks[:1])
+}
+
+func TestSpaceIDsAreBlocks(t *testing.T) {
+	n, _, blocks := world(t, lossless())
+	m := NewMapper(n, "b-root", blocks[:3])
+	space := m.Space()
+	if space.NumNetworks() != 3 {
+		t.Fatalf("space size %d", space.NumNetworks())
+	}
+	if space.Network(0) != blocks[0].String() {
+		t.Fatalf("network id %q", space.Network(0))
+	}
+	_ = core.Unknown // package linkage sanity
+}

@@ -1,0 +1,188 @@
+// Package playbook searches anycast traffic-engineering configurations —
+// per-site AS-path prepending, the lever real operators pull — against an
+// operator objective. It is the action side of the loop the paper's
+// related work describes ("Anycast Agility: network playbooks to fight
+// DDoS", Rizvi et al.): Fenrir detects that a routing mode is bad; a
+// playbook finds the prepend vector that moves the catchments where the
+// operator wants them; Fenrir then confirms the new mode.
+//
+// The optimizer is greedy coordinate descent over the prepend vector,
+// evaluating each candidate by solving BGP for the whole topology. That
+// mirrors how operators actually explore TE (one knob at a time, observe,
+// keep or revert) and is deterministic, so planned configurations are
+// reproducible.
+package playbook
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fenrir/internal/astopo"
+	"fenrir/internal/bgpsim"
+)
+
+// Objective scores a catchment distribution; lower is better.
+type Objective func(sizes map[string]int) float64
+
+// BalanceObjective targets given per-site load shares (values summing to
+// ~1); the score is the L1 deviation between observed and target shares.
+// Sites absent from target get an implicit share of 0.
+func BalanceObjective(target map[string]float64) Objective {
+	return func(sizes map[string]int) float64 {
+		total := 0
+		for _, n := range sizes {
+			total += n
+		}
+		if total == 0 {
+			return math.Inf(1)
+		}
+		// Collect the union of sites so missing ones count.
+		seen := make(map[string]bool)
+		for s := range sizes {
+			seen[s] = true
+		}
+		for s := range target {
+			seen[s] = true
+		}
+		var dev float64
+		for s := range seen {
+			share := float64(sizes[s]) / float64(total)
+			dev += math.Abs(share - target[s])
+		}
+		return dev
+	}
+}
+
+// EvenObjective balances load evenly across the currently enabled sites.
+func EvenObjective(sites []string) Objective {
+	target := make(map[string]float64, len(sites))
+	for _, s := range sites {
+		target[s] = 1 / float64(len(sites))
+	}
+	return BalanceObjective(target)
+}
+
+// Plan is the result of an optimization: the prepend per site and the
+// achieved objective score.
+type Plan struct {
+	Prepends map[string]int
+	Score    float64
+	// Baseline is the score of the starting configuration.
+	Baseline float64
+	// Evaluations counts BGP solves spent searching.
+	Evaluations int
+}
+
+// Options bounds the search.
+type Options struct {
+	// MaxPrepend caps per-site prepending (operators rarely exceed 3-5;
+	// longer prepends invite route filtering).
+	MaxPrepend int
+	// MaxSweeps bounds the number of full coordinate passes.
+	MaxSweeps int
+}
+
+// DefaultOptions mirrors operational practice.
+func DefaultOptions() Options { return Options{MaxPrepend: 3, MaxSweeps: 4} }
+
+// Optimize searches prepend vectors for svc, scoring catchments over the
+// given networks (typically all stubs). The service's prepends are
+// restored to their starting values before returning; the caller applies
+// the plan explicitly (mirroring a change-management flow where the plan
+// is reviewed before deployment).
+func Optimize(g *astopo.Graph, pol *bgpsim.Policy, svc *bgpsim.Service, over []astopo.ASN, obj Objective, opts Options) (*Plan, error) {
+	if opts.MaxPrepend <= 0 {
+		opts.MaxPrepend = 3
+	}
+	if opts.MaxSweeps <= 0 {
+		opts.MaxSweeps = 4
+	}
+	sites := enabledSites(svc)
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("playbook: service %s has no enabled sites", svc.Name)
+	}
+
+	// Snapshot and always restore.
+	original := make(map[string]int, len(sites))
+	for _, s := range sites {
+		original[s] = svc.Site(s).Prepend
+	}
+	defer func() {
+		for s, p := range original {
+			svc.SetPrepend(s, p)
+		}
+	}()
+
+	plan := &Plan{Prepends: make(map[string]int, len(sites))}
+	current := make(map[string]int, len(sites))
+	for s, p := range original {
+		current[s] = p
+	}
+	evaluate := func() (float64, error) {
+		rib, err := svc.ComputeRIB(g, pol)
+		if err != nil {
+			return 0, err
+		}
+		plan.Evaluations++
+		return obj(rib.CatchmentSizes(over)), nil
+	}
+	score, err := evaluate()
+	if err != nil {
+		return nil, err
+	}
+	plan.Baseline = score
+
+	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		improved := false
+		for _, site := range sites {
+			bestP, bestScore := current[site], score
+			for p := 0; p <= opts.MaxPrepend; p++ {
+				if p == current[site] {
+					continue
+				}
+				svc.SetPrepend(site, p)
+				s, err := evaluate()
+				if err != nil {
+					return nil, err
+				}
+				if s < bestScore-1e-12 {
+					bestP, bestScore = p, s
+				}
+			}
+			svc.SetPrepend(site, bestP)
+			if bestP != current[site] {
+				current[site] = bestP
+				score = bestScore
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	for s, p := range current {
+		plan.Prepends[s] = p
+	}
+	plan.Score = score
+	return plan, nil
+}
+
+// Apply deploys a plan onto the service (the operator pressed the
+// button). It only touches prepends listed in the plan.
+func Apply(svc *bgpsim.Service, plan *Plan) {
+	for site, p := range plan.Prepends {
+		svc.SetPrepend(site, p)
+	}
+}
+
+func enabledSites(svc *bgpsim.Service) []string {
+	var out []string
+	for _, name := range svc.SiteNames() {
+		if svc.Site(name).Enabled {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

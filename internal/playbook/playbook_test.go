@@ -1,0 +1,141 @@
+package playbook
+
+import (
+	"math"
+	"testing"
+
+	"fenrir/internal/astopo"
+	"fenrir/internal/bgpsim"
+	"fenrir/internal/netaddr"
+)
+
+func world(t testing.TB) (*astopo.Graph, *bgpsim.Service, []astopo.ASN) {
+	t.Helper()
+	gcfg := astopo.DefaultGenConfig(13)
+	gcfg.StubsPerRegion = 12
+	g := astopo.Generate(gcfg)
+	var t2NA []astopo.ASN
+	for _, a := range g.ASNs() {
+		as := g.AS(a)
+		if as.Tier == astopo.Tier2 && as.Region.Name == "NA" {
+			t2NA = append(t2NA, a)
+		}
+	}
+	svc := bgpsim.NewService("svc", netaddr.MustParsePrefix("199.9.14.0/24"))
+	svc.AddSite("A", t2NA[0])
+	svc.AddSite("B", t2NA[1])
+	return g, svc, g.ASNs()
+}
+
+func TestBalanceObjective(t *testing.T) {
+	obj := BalanceObjective(map[string]float64{"A": 0.5, "B": 0.5})
+	if got := obj(map[string]int{"A": 50, "B": 50}); got != 0 {
+		t.Fatalf("balanced score = %v", got)
+	}
+	skew := obj(map[string]int{"A": 100, "B": 0})
+	if skew != 1.0 {
+		t.Fatalf("skewed score = %v, want 1.0 (|1-0.5|+|0-0.5|)", skew)
+	}
+	if !math.IsInf(obj(map[string]int{}), 1) {
+		t.Fatal("empty catchments should score +Inf")
+	}
+	// Sites not in target count as share-0 targets.
+	withStray := obj(map[string]int{"A": 50, "B": 25, "C": 25})
+	if withStray <= 0 {
+		t.Fatalf("stray site ignored: %v", withStray)
+	}
+}
+
+func TestOptimizeImprovesBalance(t *testing.T) {
+	g, svc, over := world(t)
+	rib, err := svc.ComputeRIB(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := rib.CatchmentSizes(over)
+	if sizes["A"] == sizes["B"] {
+		t.Skip("seed produced already-balanced catchments")
+	}
+	obj := EvenObjective([]string{"A", "B"})
+	plan, err := Optimize(g, nil, svc, over, obj, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Score > plan.Baseline {
+		t.Fatalf("optimizer regressed: %.3f -> %.3f", plan.Baseline, plan.Score)
+	}
+	if plan.Score >= plan.Baseline-1e-9 && sizes["A"] != sizes["B"] {
+		// A strict improvement is expected when the starting point is
+		// imbalanced and prepending is available.
+		t.Fatalf("no improvement found: baseline %.3f, score %.3f, plan %v",
+			plan.Baseline, plan.Score, plan.Prepends)
+	}
+	if plan.Evaluations == 0 {
+		t.Fatal("no evaluations counted")
+	}
+}
+
+func TestOptimizeRestoresServiceState(t *testing.T) {
+	g, svc, over := world(t)
+	svc.SetPrepend("A", 1)
+	if _, err := Optimize(g, nil, svc, over, EvenObjective([]string{"A", "B"}), DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Site("A").Prepend != 1 || svc.Site("B").Prepend != 0 {
+		t.Fatalf("service state mutated: A=%d B=%d",
+			svc.Site("A").Prepend, svc.Site("B").Prepend)
+	}
+}
+
+func TestApplyDeploysPlan(t *testing.T) {
+	g, svc, over := world(t)
+	plan, err := Optimize(g, nil, svc, over, EvenObjective([]string{"A", "B"}), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	Apply(svc, plan)
+	for site, p := range plan.Prepends {
+		if svc.Site(site).Prepend != p {
+			t.Fatalf("site %s prepend %d, plan %d", site, svc.Site(site).Prepend, p)
+		}
+	}
+	// The deployed configuration reproduces the planned score.
+	rib, err := svc.ComputeRIB(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := EvenObjective([]string{"A", "B"})(rib.CatchmentSizes(over))
+	if math.Abs(got-plan.Score) > 1e-9 {
+		t.Fatalf("deployed score %.4f != planned %.4f", got, plan.Score)
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	g, svc, over := world(t)
+	obj := EvenObjective([]string{"A", "B"})
+	p1, err := Optimize(g, nil, svc, over, obj, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Optimize(g, nil, svc, over, obj, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Score != p2.Score || len(p1.Prepends) != len(p2.Prepends) {
+		t.Fatalf("plans differ: %+v vs %+v", p1, p2)
+	}
+	for s, p := range p1.Prepends {
+		if p2.Prepends[s] != p {
+			t.Fatalf("plans differ at %s", s)
+		}
+	}
+}
+
+func TestOptimizeAllDrainedErrors(t *testing.T) {
+	g, svc, over := world(t)
+	svc.Drain("A")
+	svc.Drain("B")
+	if _, err := Optimize(g, nil, svc, over, EvenObjective(nil), DefaultOptions()); err == nil {
+		t.Fatal("fully drained service optimized")
+	}
+}

@@ -1,0 +1,148 @@
+package report
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"sort"
+
+	"fenrir/internal/core"
+)
+
+// PNG rendering for the paper's two main figure styles: gray-scale
+// all-pairs heatmaps (Figures 2b, 3b, 5, 6b) and catchment stack plots
+// (Figures 1, 2a, 3a, 6a). Rendering is stdlib-only (image/png) and
+// deterministic, so regenerated figures diff cleanly run over run.
+
+// HeatmapImage renders the similarity matrix as a gray-scale image with
+// cellPx pixels per matrix cell (minimum 1). Darker = more similar,
+// matching the paper's convention. Contrast is normalized to the
+// off-diagonal Φ range (published heatmaps do the same): a matrix whose
+// values all sit in [0.8, 0.97] still shows its block structure.
+func HeatmapImage(m *core.SimMatrix, cellPx int) *image.Gray {
+	if cellPx < 1 {
+		cellPx = 1
+	}
+	n := m.N
+	lo, hi := 1.0, 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := m.At(i, j)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi <= lo {
+		lo, hi = 0, 1
+	}
+	img := image.NewGray(image.Rect(0, 0, n*cellPx, n*cellPx))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// Φ=hi → black (0), Φ=lo → white (255).
+			v := (m.At(i, j) - lo) / (hi - lo)
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			g := uint8(255 * (1 - v))
+			for y := i * cellPx; y < (i+1)*cellPx; y++ {
+				for x := j * cellPx; x < (j+1)*cellPx; x++ {
+					img.SetGray(x, y, color.Gray{Y: g})
+				}
+			}
+		}
+	}
+	return img
+}
+
+// palette is a small deterministic categorical palette for stack plots;
+// sites are assigned colors in sorted-label order, wrapping if needed.
+var palette = []color.RGBA{
+	{31, 119, 180, 255},  // blue
+	{255, 127, 14, 255},  // orange
+	{44, 160, 44, 255},   // green
+	{214, 39, 40, 255},   // red
+	{148, 103, 189, 255}, // purple
+	{140, 86, 75, 255},   // brown
+	{227, 119, 194, 255}, // pink
+	{127, 127, 127, 255}, // gray
+	{188, 189, 34, 255},  // olive
+	{23, 190, 207, 255},  // cyan
+}
+
+// StackImage renders the per-epoch catchment aggregates as a stacked area
+// chart of the given pixel size. Sites stack in sorted order from the
+// bottom; unknown mass is left white at the top.
+func StackImage(s *core.Series, width, height int) *image.RGBA {
+	if width < len(s.Vectors) {
+		width = len(s.Vectors)
+	}
+	if height < 50 {
+		height = 50
+	}
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	// White background.
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			img.Set(x, y, color.White)
+		}
+	}
+	if len(s.Vectors) == 0 {
+		return img
+	}
+	siteSet := make(map[string]bool)
+	aggs := make([]map[string]int, len(s.Vectors))
+	for i, v := range s.Vectors {
+		aggs[i] = v.Aggregate()
+		for site := range aggs[i] {
+			siteSet[site] = true
+		}
+	}
+	sites := make([]string, 0, len(siteSet))
+	for site := range siteSet {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	colorOf := make(map[string]color.RGBA, len(sites))
+	for i, site := range sites {
+		colorOf[site] = palette[i%len(palette)]
+	}
+	total := s.Space.NumNetworks()
+	if total == 0 {
+		return img
+	}
+	for x := 0; x < width; x++ {
+		// Map pixel column to vector index.
+		vi := x * len(s.Vectors) / width
+		agg := aggs[vi]
+		y := height // stack from the bottom
+		for _, site := range sites {
+			h := int(math.Round(float64(agg[site]) / float64(total) * float64(height)))
+			for k := 0; k < h && y > 0; k++ {
+				y--
+				img.Set(x, y, colorOf[site])
+			}
+		}
+	}
+	return img
+}
+
+// WritePNG encodes any image to w.
+func WritePNG(w io.Writer, img image.Image) error {
+	if err := png.Encode(w, img); err != nil {
+		return fmt.Errorf("report: encode png: %w", err)
+	}
+	return nil
+}

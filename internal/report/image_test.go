@@ -1,0 +1,87 @@
+package report
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+	"time"
+
+	"fenrir/internal/core"
+	"fenrir/internal/timeline"
+)
+
+func TestHeatmapImageShades(t *testing.T) {
+	m := core.NewSimMatrix(3)
+	m.Set(0, 1, 1.0) // identical
+	m.Set(0, 2, 0.0) // disjoint
+	m.Set(1, 2, 0.5)
+	img := HeatmapImage(m, 2)
+	if img.Bounds().Dx() != 6 || img.Bounds().Dy() != 6 {
+		t.Fatalf("bounds = %v", img.Bounds())
+	}
+	// Diagonal: Φ=1 → black.
+	if g := img.GrayAt(0, 0).Y; g != 0 {
+		t.Errorf("diagonal gray = %d, want 0", g)
+	}
+	// (0,2): Φ=0 → white.
+	if g := img.GrayAt(5, 0).Y; g != 255 {
+		t.Errorf("disjoint gray = %d, want 255", g)
+	}
+	// (1,2): Φ=0.5 → mid gray.
+	if g := img.GrayAt(5, 3).Y; g < 100 || g > 160 {
+		t.Errorf("half-similar gray = %d, want mid", g)
+	}
+	// Symmetric.
+	if img.GrayAt(0, 5) != img.GrayAt(5, 0) {
+		t.Error("image not symmetric")
+	}
+}
+
+func TestStackImageProportions(t *testing.T) {
+	ser := twoModeSeries() // 6 epochs, 4 networks: X then Y
+	img := StackImage(ser, 60, 100)
+	// Epoch 0 columns are entirely site X (one color, full height).
+	c0 := img.RGBAAt(1, 99)
+	cTop := img.RGBAAt(1, 1)
+	if c0 != cTop {
+		t.Errorf("column 1 not solid: %v vs %v", c0, cTop)
+	}
+	// Last column is the other site's color.
+	cLast := img.RGBAAt(58, 99)
+	if cLast == c0 {
+		t.Error("mode change invisible in stack image")
+	}
+}
+
+func TestStackImageUnknownLeavesWhite(t *testing.T) {
+	s := core.NewSpace([]string{"a", "b"})
+	v := s.NewVector(0)
+	v.Set(0, "X") // b stays unknown: top half must stay white
+	schedOne := timeline.NewSchedule(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC), 24*time.Hour, 1)
+	ser := core.NewSeries(s, schedOne, []*core.Vector{v}, nil)
+	img := StackImage(ser, 10, 100)
+	top := img.RGBAAt(5, 10)
+	if top.R != 255 || top.G != 255 || top.B != 255 {
+		t.Errorf("unknown region colored: %v", top)
+	}
+	bottom := img.RGBAAt(5, 95)
+	if bottom.R == 255 && bottom.G == 255 && bottom.B == 255 {
+		t.Error("known region not colored")
+	}
+}
+
+func TestWritePNGRoundTrip(t *testing.T) {
+	m := core.NewSimMatrix(4)
+	img := HeatmapImage(m, 1)
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds() != img.Bounds() {
+		t.Fatalf("decoded bounds %v != %v", decoded.Bounds(), img.Bounds())
+	}
+}

@@ -1,0 +1,278 @@
+// Package report renders Fenrir's analysis artefacts as text: the
+// all-pairs similarity heatmap (the paper's central visualization),
+// catchment stack plots, transition-matrix tables (Table 3), Sankey flow
+// summaries (Figures 7/8), and CSV series for external plotting. All
+// output is deterministic so experiment runs diff cleanly.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"fenrir/internal/core"
+	"fenrir/internal/latency"
+)
+
+// shades maps similarity to a character ramp, dark (high Φ) to light.
+var shades = []rune{' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'}
+
+// Heatmap renders the similarity matrix as an ASCII grid, downsampling to
+// at most maxDim rows/columns (cell value = mean Φ of the covered block).
+// Darker glyphs mean more similar — matching the paper's gray-scale
+// convention where dark triangles are stable modes.
+func Heatmap(m *core.SimMatrix, maxDim int) string {
+	if maxDim <= 0 {
+		maxDim = 60
+	}
+	n := m.N
+	dim := n
+	if dim > maxDim {
+		dim = maxDim
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "similarity heatmap (%d epochs, %dx%d cells, darker = more similar)\n", n, dim, dim)
+	for i := 0; i < dim; i++ {
+		lo1, hi1 := span(i, dim, n)
+		for j := 0; j < dim; j++ {
+			lo2, hi2 := span(j, dim, n)
+			var sum float64
+			var cnt int
+			for x := lo1; x < hi1; x++ {
+				for y := lo2; y < hi2; y++ {
+					sum += m.At(x, y)
+					cnt++
+				}
+			}
+			mean := 0.0
+			if cnt > 0 {
+				mean = sum / float64(cnt)
+			}
+			idx := int(mean * float64(len(shades)))
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			b.WriteRune(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func span(i, dim, n int) (int, int) {
+	lo := i * n / dim
+	hi := (i + 1) * n / dim
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// StackPlot renders per-epoch aggregated catchment counts (A(t)) as a CSV
+// table: epoch, then one column per site — the data behind the paper's
+// stack plots (Figures 1, 2a, 3a, 6a).
+func StackPlot(s *core.Series) string {
+	siteSet := make(map[string]bool)
+	aggs := make([]map[string]int, len(s.Vectors))
+	for i, v := range s.Vectors {
+		aggs[i] = v.Aggregate()
+		for site := range aggs[i] {
+			siteSet[site] = true
+		}
+	}
+	sites := sortedSites(siteSet)
+	var b strings.Builder
+	b.WriteString("epoch")
+	for _, site := range sites {
+		b.WriteByte(',')
+		b.WriteString(site)
+	}
+	b.WriteByte('\n')
+	for i, v := range s.Vectors {
+		fmt.Fprintf(&b, "%d", int(v.T))
+		for _, site := range sites {
+			fmt.Fprintf(&b, ",%d", aggs[i][site])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortedSites(set map[string]bool) []string {
+	var real, special []string
+	for s := range set {
+		if s == core.SiteError || s == core.SiteOther {
+			special = append(special, s)
+		} else {
+			real = append(real, s)
+		}
+	}
+	sort.Strings(real)
+	sort.Strings(special)
+	return append(real, special...)
+}
+
+// TransitionTable renders a transition matrix in the layout of Table 3:
+// initial states as rows, subsequent states as columns.
+func TransitionTable(tm *core.TransitionMatrix, title string) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	w := 9
+	fmt.Fprintf(&b, "%*s", w, "")
+	for _, to := range tm.Sites {
+		fmt.Fprintf(&b, "%*s", w, trunc(to, w-1))
+	}
+	b.WriteByte('\n')
+	for _, from := range tm.Sites {
+		fmt.Fprintf(&b, "%*s", w, trunc(from, w-1))
+		for _, to := range tm.Sites {
+			v := tm.At(from, to)
+			if v == math.Trunc(v) {
+				fmt.Fprintf(&b, "%*d", w, int(v))
+			} else {
+				fmt.Fprintf(&b, "%*.1f", w, v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trunc(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+// ModesSummary renders discovered modes in the paper's narrative style:
+// one line per mode with its ranges and internal Φ, then the cross-mode Φ
+// table for adjacent modes.
+func ModesSummary(res *core.ModesResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "distance threshold: %.2f, %d modes\n", res.Threshold, len(res.Modes))
+	for _, m := range res.Modes {
+		fmt.Fprintf(&b, "mode (%s): %d epochs, ranges ", roman(m.ID), len(m.Epochs))
+		for i, r := range m.Ranges {
+			if i > 0 {
+				b.WriteString(" + ")
+			}
+			fmt.Fprintf(&b, "%v", r)
+		}
+		fmt.Fprintf(&b, ", internal Phi in [%.2f, %.2f]\n", m.InternalLo, m.InternalHi)
+	}
+	for i := 0; i+1 < len(res.Modes); i++ {
+		lo, hi := res.CrossPhi(res.Modes[i], res.Modes[i+1])
+		fmt.Fprintf(&b, "Phi(M%s, M%s) = [%.2f, %.2f]\n",
+			roman(res.Modes[i].ID), roman(res.Modes[i+1].ID), lo, hi)
+	}
+	if rec := res.Recurrences(); len(rec) > 0 {
+		for _, m := range rec {
+			fmt.Fprintf(&b, "mode (%s) recurs across %d disjoint ranges\n", roman(m.ID), len(m.Ranges))
+		}
+	}
+	return b.String()
+}
+
+var romanNumerals = []struct {
+	v int
+	s string
+}{{1000, "m"}, {900, "cm"}, {500, "d"}, {400, "cd"}, {100, "c"}, {90, "xc"},
+	{50, "l"}, {40, "xl"}, {10, "x"}, {9, "ix"}, {5, "v"}, {4, "iv"}, {1, "i"}}
+
+// roman renders lower-case roman numerals, matching the paper's mode
+// labels (i), (ii), ...
+func roman(n int) string {
+	if n <= 0 {
+		return fmt.Sprint(n)
+	}
+	var b strings.Builder
+	for _, rn := range romanNumerals {
+		for n >= rn.v {
+			b.WriteString(rn.s)
+			n -= rn.v
+		}
+	}
+	return b.String()
+}
+
+// Sankey summarizes hop-window flows (from traceroute.FlowsAtHops) as a
+// sorted table with percentages — the textual equivalent of Figures 7/8.
+func Sankey(flows map[string]int, title string) string {
+	type row struct {
+		key string
+		n   int
+	}
+	var rows []row
+	total := 0
+	for k, n := range flows {
+		rows = append(rows, row{k, n})
+		total += n
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].key < rows[j].key
+	})
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s (%d destinations)\n", title, total)
+	}
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(r.n) / float64(total)
+		}
+		fmt.Fprintf(&b, "%7.2f%%  %6d  %s\n", pct, r.n, r.key)
+	}
+	return b.String()
+}
+
+// LatencyCSV renders a SiteSeries as CSV with one column per site; NaNs
+// become empty cells (a site absent that epoch, e.g. ARI after shutdown).
+func LatencyCSV(s *latency.SiteSeries) string {
+	var b strings.Builder
+	b.WriteString("epoch")
+	for _, site := range s.Sites {
+		b.WriteByte(',')
+		b.WriteString(site)
+	}
+	b.WriteByte('\n')
+	for i, e := range s.Epochs {
+		fmt.Fprintf(&b, "%d", int(e))
+		for _, site := range s.Sites {
+			b.WriteByte(',')
+			v := s.Value(site, i)
+			if !math.IsNaN(v) {
+				fmt.Fprintf(&b, "%.2f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MarkdownTable renders rows as a GitHub-flavoured markdown table.
+func MarkdownTable(header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(header, " | ") + " |\n")
+	seps := make([]string, len(header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, r := range rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+// Package scenario scripts the five studies of Table 2 against the
+// simulated Internet: B-Root/Verfploeter (five years of anycast), G-Root/
+// Atlas (ten days at four-minute cadence), USC/traceroute (eight months of
+// enterprise routing), Google/EDNS-CS and Wiki/EDNS-CS (website catchment
+// mapping). Each scenario builds a topology, registers services, walks a
+// schedule applying the paper's narrated events (site adds, drains,
+// traffic engineering, third-party changes, collection outages), drives
+// the corresponding measurement engine every epoch, and returns the
+// series plus the derived Fenrir artefacts for its figures and tables.
+//
+// Everything is deterministic in the scenario seed. Scale knobs shrink
+// the paper's millions-of-networks datasets to laptop size without
+// changing any code path (see DESIGN.md §6).
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"fenrir/internal/astopo"
+	"fenrir/internal/bgpsim"
+	"fenrir/internal/dataplane"
+)
+
+// World bundles the topology, policy, and forwarding plane a scenario
+// runs on.
+type World struct {
+	G   *astopo.Graph
+	Pol *bgpsim.Policy
+	Net *dataplane.Net
+}
+
+// NewWorld generates a topology and forwarding plane. The policy starts
+// empty; scenarios attach local-pref entries before Refresh.
+func NewWorld(gen astopo.GenConfig, dp dataplane.Config) *World {
+	g := astopo.Generate(gen)
+	pol := &bgpsim.Policy{
+		LocalPref: make(map[astopo.ASN]map[astopo.ASN]int),
+		Reject:    make(map[astopo.ASN]map[astopo.ASN]bool),
+	}
+	return &World{G: g, Pol: pol, Net: dataplane.NewNet(g, pol, dp)}
+}
+
+// Stubs returns all stub ASes in ASN order.
+func (w *World) Stubs() []astopo.ASN {
+	var out []astopo.ASN
+	for _, a := range w.G.ASNs() {
+		if w.G.AS(a).Tier == astopo.Stub {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// StubsInRegion returns stubs of one region in ASN order.
+func (w *World) StubsInRegion(region string) []astopo.ASN {
+	var out []astopo.ASN
+	for _, a := range w.Stubs() {
+		if w.G.AS(a).Region.Name == region {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Tier2sInRegion returns the regional transit providers of one region.
+func (w *World) Tier2sInRegion(region string) []astopo.ASN {
+	var out []astopo.ASN
+	for _, a := range w.G.ASNs() {
+		as := w.G.AS(a)
+		if as.Tier == astopo.Tier2 && as.Region.Name == region {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// date parses a YYYY-MM-DD literal; scenarios use it for the paper's
+// event dates and panic on typos at construction time.
+func date(s string) time.Time {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: bad date %q: %v", s, err))
+	}
+	return t
+}

@@ -1,0 +1,193 @@
+// Package udpserve runs wire-format DNS over real UDP sockets. The
+// simulator's measurement engines normally exchange bytes through the
+// simulated forwarding plane; this package closes the loop with the
+// operating system instead, serving the same handlers over net.UDPConn so
+// the wire formats are exercised against a real stack (and so downstream
+// users can expose a simulated website or root server to real dig/kdig
+// clients on localhost).
+package udpserve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fenrir/internal/wire"
+)
+
+// Handler produces a response for a parsed query; returning nil drops the
+// query (the client will time out), which is how simulated loss maps onto
+// a real socket.
+type Handler func(q *wire.DNSMessage, from net.Addr) *wire.DNSMessage
+
+// Server is a UDP DNS server bound to one socket.
+type Server struct {
+	conn    *net.UDPConn
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+
+	// Served counts successfully answered queries (for tests and stats).
+	served atomicCounter
+}
+
+// atomicCounter is a mutex-guarded counter; the server is low-rate enough
+// that a mutex keeps it simple.
+type atomicCounter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *atomicCounter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *atomicCounter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Listen binds a server to addr ("127.0.0.1:0" for an ephemeral test
+// port) and starts serving until Close.
+func Listen(addr string, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("udpserve: nil handler")
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udpserve: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("udpserve: listen: %w", err)
+	}
+	s := &Server{conn: conn, handler: handler, done: make(chan struct{})}
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ephemeral ports).
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Served reports how many queries have been answered.
+func (s *Server) Served() int { return s.served.get() }
+
+// Close stops the server and releases the socket. Safe to call twice.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.conn.Close()
+	<-s.done
+	return err
+}
+
+func (s *Server) serve() {
+	defer close(s.done)
+	buf := make([]byte, 4096)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			// Closed socket or fatal error: stop serving. Transient
+			// per-datagram errors on UDP reads surface here too, but
+			// distinguishing them portably is not worth it for a test
+			// harness server.
+			return
+		}
+		q, err := wire.UnmarshalDNS(buf[:n])
+		if err != nil {
+			// Malformed datagram: a real server answers FORMERR when it
+			// can recover the ID; we need at least two bytes for that.
+			if n >= 2 {
+				resp := &wire.DNSMessage{ID: uint16(buf[0])<<8 | uint16(buf[1]), QR: true, RCode: 1}
+				if out, merr := resp.Marshal(); merr == nil {
+					_, _ = s.conn.WriteToUDP(out, from)
+				}
+			}
+			continue
+		}
+		resp := s.handler(q, from)
+		if resp == nil {
+			continue
+		}
+		out, err := resp.Marshal()
+		if err != nil {
+			continue
+		}
+		if _, err := s.conn.WriteToUDP(out, from); err == nil {
+			s.served.inc()
+		}
+	}
+}
+
+// Client issues DNS queries over UDP with timeout and retry — the shape
+// every stub resolver has.
+type Client struct {
+	// Timeout per attempt.
+	Timeout time.Duration
+	// Retries after the first attempt.
+	Retries int
+}
+
+// Query sends q to server and waits for the matching response (IDs must
+// agree; stray datagrams are discarded). It retries on timeout.
+func (c *Client) Query(server *net.UDPAddr, q *wire.DNSMessage) (*wire.DNSMessage, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	out, err := q.Marshal()
+	if err != nil {
+		return nil, fmt.Errorf("udpserve: marshal query: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		resp, err := c.once(server, q.ID, out, timeout)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (c *Client) once(server *net.UDPAddr, id uint16, out []byte, timeout time.Duration) (*wire.DNSMessage, error) {
+	conn, err := net.DialUDP("udp", nil, server)
+	if err != nil {
+		return nil, fmt.Errorf("udpserve: dial: %w", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(out); err != nil {
+		return nil, fmt.Errorf("udpserve: send: %w", err)
+	}
+	deadline := time.Now().Add(timeout)
+	buf := make([]byte, 4096)
+	for {
+		if err := conn.SetReadDeadline(deadline); err != nil {
+			return nil, err
+		}
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, fmt.Errorf("udpserve: read: %w", err)
+		}
+		resp, err := wire.UnmarshalDNS(buf[:n])
+		if err != nil {
+			continue // garbage datagram; keep waiting until the deadline
+		}
+		if resp.ID != id || !resp.QR {
+			continue // stray or reflected datagram
+		}
+		return resp, nil
+	}
+}

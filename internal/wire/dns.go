@@ -1,0 +1,329 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// DNS record types and classes used by the measurement methods.
+const (
+	TypeA   = 1
+	TypeTXT = 16
+	TypeOPT = 41
+
+	ClassIN    = 1
+	ClassCHAOS = 3
+)
+
+// EDNS0 option codes (RFC 5001 NSID, RFC 7871 Client Subnet).
+const (
+	OptNSID         = 3
+	OptClientSubnet = 8
+)
+
+// DNS response codes.
+const (
+	RCodeNoError  = 0
+	RCodeNXDomain = 3
+	RCodeRefused  = 5
+)
+
+// DNSMessage is a DNS query or response. Only the fields the measurement
+// substrates need are modelled, but the wire encoding is complete enough
+// that a third-party decoder would accept our packets.
+type DNSMessage struct {
+	ID     uint16
+	QR     bool // response flag
+	Opcode uint8
+	AA     bool
+	TC     bool
+	RD     bool
+	RA     bool
+	RCode  uint8
+
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// Question is a DNS question section entry.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// RR is a resource record. For OPT pseudo-records, Class carries the
+// advertised UDP payload size and TTL carries extended flags, per RFC 6891.
+type RR struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	Data  []byte
+}
+
+// EDNSOption is one TLV inside an OPT record.
+type EDNSOption struct {
+	Code uint16
+	Data []byte
+}
+
+// Marshal renders the message. Names are encoded without compression
+// (legal, and what many simple servers emit); the decoder handles
+// compression pointers for completeness.
+func (m *DNSMessage) Marshal() ([]byte, error) {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint16(b[0:], m.ID)
+	var flags uint16
+	if m.QR {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Opcode&0xf) << 11
+	if m.AA {
+		flags |= 1 << 10
+	}
+	if m.TC {
+		flags |= 1 << 9
+	}
+	if m.RD {
+		flags |= 1 << 8
+	}
+	if m.RA {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.RCode & 0xf)
+	binary.BigEndian.PutUint16(b[2:], flags)
+	binary.BigEndian.PutUint16(b[4:], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(b[6:], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(b[8:], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(b[10:], uint16(len(m.Additional)))
+
+	for _, q := range m.Questions {
+		nb, err := encodeName(q.Name)
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, nb...)
+		b = appendU16(b, q.Type)
+		b = appendU16(b, q.Class)
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			nb, err := encodeName(rr.Name)
+			if err != nil {
+				return nil, err
+			}
+			b = append(b, nb...)
+			b = appendU16(b, rr.Type)
+			b = appendU16(b, rr.Class)
+			b = binary.BigEndian.AppendUint32(b, rr.TTL)
+			if len(rr.Data) > 0xffff {
+				return nil, fmt.Errorf("wire: RDATA too long (%d)", len(rr.Data))
+			}
+			b = appendU16(b, uint16(len(rr.Data)))
+			b = append(b, rr.Data...)
+		}
+	}
+	return b, nil
+}
+
+func appendU16(b []byte, v uint16) []byte {
+	return binary.BigEndian.AppendUint16(b, v)
+}
+
+// UnmarshalDNS parses a DNS message, following compression pointers in
+// names.
+func UnmarshalDNS(b []byte) (*DNSMessage, error) {
+	if len(b) < 12 {
+		return nil, fmt.Errorf("wire: DNS truncated (%d bytes)", len(b))
+	}
+	m := &DNSMessage{ID: binary.BigEndian.Uint16(b[0:])}
+	flags := binary.BigEndian.Uint16(b[2:])
+	m.QR = flags&(1<<15) != 0
+	m.Opcode = uint8(flags >> 11 & 0xf)
+	m.AA = flags&(1<<10) != 0
+	m.TC = flags&(1<<9) != 0
+	m.RD = flags&(1<<8) != 0
+	m.RA = flags&(1<<7) != 0
+	m.RCode = uint8(flags & 0xf)
+	qd := int(binary.BigEndian.Uint16(b[4:]))
+	an := int(binary.BigEndian.Uint16(b[6:]))
+	ns := int(binary.BigEndian.Uint16(b[8:]))
+	ar := int(binary.BigEndian.Uint16(b[10:]))
+
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, n, err := decodeName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		off = n
+		if off+4 > len(b) {
+			return nil, fmt.Errorf("wire: DNS question truncated")
+		}
+		m.Questions = append(m.Questions, Question{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(b[off:]),
+			Class: binary.BigEndian.Uint16(b[off+2:]),
+		})
+		off += 4
+	}
+	readRRs := func(count int) ([]RR, error) {
+		var rrs []RR
+		for i := 0; i < count; i++ {
+			name, n, err := decodeName(b, off)
+			if err != nil {
+				return nil, err
+			}
+			off = n
+			if off+10 > len(b) {
+				return nil, fmt.Errorf("wire: DNS RR truncated")
+			}
+			rr := RR{
+				Name:  name,
+				Type:  binary.BigEndian.Uint16(b[off:]),
+				Class: binary.BigEndian.Uint16(b[off+2:]),
+				TTL:   binary.BigEndian.Uint32(b[off+4:]),
+			}
+			rdlen := int(binary.BigEndian.Uint16(b[off+8:]))
+			off += 10
+			if off+rdlen > len(b) {
+				return nil, fmt.Errorf("wire: DNS RDATA truncated")
+			}
+			rr.Data = append([]byte(nil), b[off:off+rdlen]...)
+			off += rdlen
+			rrs = append(rrs, rr)
+		}
+		return rrs, nil
+	}
+	var err error
+	if m.Answers, err = readRRs(an); err != nil {
+		return nil, err
+	}
+	if m.Authority, err = readRRs(ns); err != nil {
+		return nil, err
+	}
+	if m.Additional, err = readRRs(ar); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// encodeName renders a domain name as length-prefixed labels.
+func encodeName(name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return []byte{0}, nil
+	}
+	var b []byte
+	for _, label := range strings.Split(name, ".") {
+		if label == "" {
+			return nil, fmt.Errorf("wire: empty label in %q", name)
+		}
+		if len(label) > 63 {
+			return nil, fmt.Errorf("wire: label %q exceeds 63 bytes", label)
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	if len(b) > 254 {
+		return nil, fmt.Errorf("wire: name %q too long", name)
+	}
+	return append(b, 0), nil
+}
+
+// decodeName reads a (possibly compressed) name starting at off, returning
+// the dotted name and the offset just past it in the original stream.
+func decodeName(b []byte, off int) (string, int, error) {
+	var labels []string
+	jumped := false
+	end := off
+	hops := 0
+	for {
+		if off >= len(b) {
+			return "", 0, fmt.Errorf("wire: name runs past buffer")
+		}
+		l := int(b[off])
+		switch {
+		case l == 0:
+			if !jumped {
+				end = off + 1
+			}
+			name := strings.Join(labels, ".")
+			if name == "" {
+				name = "."
+			}
+			return name, end, nil
+		case l&0xc0 == 0xc0:
+			if off+1 >= len(b) {
+				return "", 0, fmt.Errorf("wire: truncated compression pointer")
+			}
+			ptr := int(binary.BigEndian.Uint16(b[off:]) & 0x3fff)
+			if !jumped {
+				end = off + 2
+				jumped = true
+			}
+			if hops++; hops > 32 {
+				return "", 0, fmt.Errorf("wire: compression pointer loop")
+			}
+			if ptr >= len(b) {
+				return "", 0, fmt.Errorf("wire: compression pointer out of range")
+			}
+			off = ptr
+		case l > 63:
+			return "", 0, fmt.Errorf("wire: bad label length %d", l)
+		default:
+			if off+1+l > len(b) {
+				return "", 0, fmt.Errorf("wire: label runs past buffer")
+			}
+			labels = append(labels, string(b[off+1:off+1+l]))
+			off += 1 + l
+		}
+	}
+}
+
+// ARecord builds an A RR for the given IPv4 address.
+func ARecord(name string, ttl uint32, addr Addr) RR {
+	data := make([]byte, 4)
+	binary.BigEndian.PutUint32(data, addr)
+	return RR{Name: name, Type: TypeA, Class: ClassIN, TTL: ttl, Data: data}
+}
+
+// AAddr extracts the address from an A record.
+func AAddr(rr RR) (Addr, error) {
+	if rr.Type != TypeA || len(rr.Data) != 4 {
+		return 0, fmt.Errorf("wire: not an A record")
+	}
+	return binary.BigEndian.Uint32(rr.Data), nil
+}
+
+// TXTRecord builds a TXT RR holding one character-string. CHAOS-class TXT
+// records are how root server sites answer hostname.bind, the identifier
+// the paper's Atlas method decodes.
+func TXTRecord(name string, class uint16, ttl uint32, text string) (RR, error) {
+	if len(text) > 255 {
+		return RR{}, fmt.Errorf("wire: TXT string exceeds 255 bytes")
+	}
+	data := append([]byte{byte(len(text))}, text...)
+	return RR{Name: name, Type: TypeTXT, Class: class, TTL: ttl, Data: data}, nil
+}
+
+// TXTStrings decodes the character-strings in a TXT record.
+func TXTStrings(rr RR) ([]string, error) {
+	if rr.Type != TypeTXT {
+		return nil, fmt.Errorf("wire: not a TXT record")
+	}
+	var out []string
+	for i := 0; i < len(rr.Data); {
+		l := int(rr.Data[i])
+		if i+1+l > len(rr.Data) {
+			return nil, fmt.Errorf("wire: TXT string truncated")
+		}
+		out = append(out, string(rr.Data[i+1:i+1+l]))
+		i += 1 + l
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// OPTRecord builds an EDNS0 OPT pseudo-record advertising the given UDP
+// payload size and carrying the given options (RFC 6891).
+func OPTRecord(udpSize uint16, opts ...EDNSOption) RR {
+	var data []byte
+	for _, o := range opts {
+		data = appendU16(data, o.Code)
+		data = appendU16(data, uint16(len(o.Data)))
+		data = append(data, o.Data...)
+	}
+	return RR{Name: ".", Type: TypeOPT, Class: udpSize, Data: data}
+}
+
+// EDNSOptions parses the options inside an OPT record.
+func EDNSOptions(rr RR) ([]EDNSOption, error) {
+	if rr.Type != TypeOPT {
+		return nil, fmt.Errorf("wire: not an OPT record")
+	}
+	var out []EDNSOption
+	for i := 0; i < len(rr.Data); {
+		if i+4 > len(rr.Data) {
+			return nil, fmt.Errorf("wire: OPT option header truncated")
+		}
+		code := binary.BigEndian.Uint16(rr.Data[i:])
+		l := int(binary.BigEndian.Uint16(rr.Data[i+2:]))
+		i += 4
+		if i+l > len(rr.Data) {
+			return nil, fmt.Errorf("wire: OPT option data truncated")
+		}
+		out = append(out, EDNSOption{Code: code, Data: append([]byte(nil), rr.Data[i:i+l]...)})
+		i += l
+	}
+	return out, nil
+}
+
+// FindOPT returns the message's OPT record from the additional section.
+func (m *DNSMessage) FindOPT() (RR, bool) {
+	for _, rr := range m.Additional {
+		if rr.Type == TypeOPT {
+			return rr, true
+		}
+	}
+	return RR{}, false
+}
+
+// ClientSubnet is the RFC 7871 EDNS Client Subnet option payload for
+// IPv4. The paper's website-mapping method (after Calder et al.) sets
+// SourcePrefixLen to the target prefix and reads back the answer the
+// load balancer would give clients in that prefix.
+type ClientSubnet struct {
+	Addr            Addr
+	SourcePrefixLen uint8
+	ScopePrefixLen  uint8
+}
+
+// Option renders the ECS payload. Address bytes are truncated to the
+// source prefix length as the RFC requires (a FORMERR trap for sloppy
+// encoders that real resolvers enforce).
+func (cs ClientSubnet) Option() EDNSOption {
+	nbytes := (int(cs.SourcePrefixLen) + 7) / 8
+	data := make([]byte, 4+nbytes)
+	binary.BigEndian.PutUint16(data[0:], 1) // family: IPv4
+	data[2] = cs.SourcePrefixLen
+	data[3] = cs.ScopePrefixLen
+	addr := make([]byte, 4)
+	binary.BigEndian.PutUint32(addr, cs.Addr)
+	// Zero host bits beyond the prefix length inside the last byte.
+	copy(data[4:], addr[:nbytes])
+	if rem := int(cs.SourcePrefixLen) % 8; rem != 0 && nbytes > 0 {
+		data[4+nbytes-1] &= byte(0xff << (8 - rem))
+	}
+	return EDNSOption{Code: OptClientSubnet, Data: data}
+}
+
+// ParseClientSubnet decodes an ECS option payload.
+func ParseClientSubnet(o EDNSOption) (ClientSubnet, error) {
+	if o.Code != OptClientSubnet {
+		return ClientSubnet{}, fmt.Errorf("wire: option code %d is not ECS", o.Code)
+	}
+	if len(o.Data) < 4 {
+		return ClientSubnet{}, fmt.Errorf("wire: ECS payload truncated")
+	}
+	family := binary.BigEndian.Uint16(o.Data[0:])
+	if family != 1 {
+		return ClientSubnet{}, fmt.Errorf("wire: ECS family %d unsupported", family)
+	}
+	cs := ClientSubnet{SourcePrefixLen: o.Data[2], ScopePrefixLen: o.Data[3]}
+	if cs.SourcePrefixLen > 32 {
+		return ClientSubnet{}, fmt.Errorf("wire: ECS prefix length %d invalid", cs.SourcePrefixLen)
+	}
+	nbytes := (int(cs.SourcePrefixLen) + 7) / 8
+	if len(o.Data) != 4+nbytes {
+		return ClientSubnet{}, fmt.Errorf("wire: ECS address length %d, want %d", len(o.Data)-4, nbytes)
+	}
+	addr := make([]byte, 4)
+	copy(addr, o.Data[4:])
+	cs.Addr = binary.BigEndian.Uint32(addr)
+	return cs, nil
+}
+
+// ECSFromMessage extracts the ECS option from a message, if present.
+func ECSFromMessage(m *DNSMessage) (ClientSubnet, bool, error) {
+	opt, ok := m.FindOPT()
+	if !ok {
+		return ClientSubnet{}, false, nil
+	}
+	opts, err := EDNSOptions(opt)
+	if err != nil {
+		return ClientSubnet{}, false, err
+	}
+	for _, o := range opts {
+		if o.Code == OptClientSubnet {
+			cs, err := ParseClientSubnet(o)
+			if err != nil {
+				return ClientSubnet{}, false, err
+			}
+			return cs, true, nil
+		}
+	}
+	return ClientSubnet{}, false, nil
+}
+
+// NSIDOption builds an NSID option: empty in queries (a request for the
+// identifier), and carrying the server identifier in responses (RFC 5001).
+func NSIDOption(id string) EDNSOption {
+	return EDNSOption{Code: OptNSID, Data: []byte(id)}
+}
+
+// NSIDFromMessage extracts the NSID string from a response.
+func NSIDFromMessage(m *DNSMessage) (string, bool) {
+	opt, ok := m.FindOPT()
+	if !ok {
+		return "", false
+	}
+	opts, err := EDNSOptions(opt)
+	if err != nil {
+		return "", false
+	}
+	for _, o := range opts {
+		if o.Code == OptNSID {
+			return string(o.Data), true
+		}
+	}
+	return "", false
+}

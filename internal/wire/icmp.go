@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ICMP types the simulator speaks.
+const (
+	ICMPEchoReply      = 0
+	ICMPDestUnreach    = 3
+	ICMPEchoRequest    = 8
+	ICMPTimeExceeded   = 11
+	ICMPCodePortUnable = 3 // code for port unreachable under type 3
+)
+
+// ICMP is a parsed ICMP message. Echo messages carry ID/Seq/Data; error
+// messages (TimeExceeded, DestUnreach) instead quote the invoking IPv4
+// header plus the first 8 payload bytes, per RFC 792 — traceroute depends
+// on that quotation to match responses to probes, and our engine does the
+// same matching a real scamper does.
+type ICMP struct {
+	Type, Code uint8
+	ID, Seq    uint16 // echo only
+	Data       []byte // echo payload
+	Invoking   []byte // error messages: quoted original datagram
+}
+
+// Marshal renders the message with a correct checksum.
+func (m *ICMP) Marshal() []byte {
+	var body []byte
+	switch m.Type {
+	case ICMPEchoRequest, ICMPEchoReply:
+		body = make([]byte, 4+len(m.Data))
+		binary.BigEndian.PutUint16(body[0:], m.ID)
+		binary.BigEndian.PutUint16(body[2:], m.Seq)
+		copy(body[4:], m.Data)
+	case ICMPTimeExceeded, ICMPDestUnreach:
+		body = make([]byte, 4+len(m.Invoking))
+		copy(body[4:], m.Invoking)
+	default:
+		body = make([]byte, 4)
+	}
+	b := make([]byte, 4+len(body))
+	b[0] = m.Type
+	b[1] = m.Code
+	copy(b[4:], body)
+	binary.BigEndian.PutUint16(b[2:], Checksum(b))
+	return b
+}
+
+// UnmarshalICMP parses an ICMP message and verifies its checksum.
+func UnmarshalICMP(b []byte) (*ICMP, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("wire: ICMP truncated (%d bytes)", len(b))
+	}
+	if Checksum(b) != 0 {
+		return nil, fmt.Errorf("wire: ICMP checksum mismatch")
+	}
+	m := &ICMP{Type: b[0], Code: b[1]}
+	switch m.Type {
+	case ICMPEchoRequest, ICMPEchoReply:
+		m.ID = binary.BigEndian.Uint16(b[4:])
+		m.Seq = binary.BigEndian.Uint16(b[6:])
+		if len(b) > 8 {
+			m.Data = append([]byte(nil), b[8:]...)
+		}
+	case ICMPTimeExceeded, ICMPDestUnreach:
+		if len(b) > 8 {
+			m.Invoking = append([]byte(nil), b[8:]...)
+		}
+	}
+	return m, nil
+}
+
+// NewEchoRequest builds an echo request message.
+func NewEchoRequest(id, seq uint16, data []byte) *ICMP {
+	return &ICMP{Type: ICMPEchoRequest, ID: id, Seq: seq, Data: data}
+}
+
+// EchoReplyTo builds the reply matching req.
+func EchoReplyTo(req *ICMP) *ICMP {
+	return &ICMP{Type: ICMPEchoReply, ID: req.ID, Seq: req.Seq, Data: req.Data}
+}
+
+// TimeExceededFor builds the ICMP error a router sends when the quoted
+// original datagram's TTL expires. original must be the full original IP
+// packet; per RFC 792 only the header + 8 payload bytes are quoted.
+func TimeExceededFor(original []byte) *ICMP {
+	return &ICMP{Type: ICMPTimeExceeded, Invoking: quote(original)}
+}
+
+// PortUnreachableFor builds the ICMP error a host sends for a UDP probe to
+// a closed port — the signal that terminates a classic UDP traceroute.
+func PortUnreachableFor(original []byte) *ICMP {
+	return &ICMP{Type: ICMPDestUnreach, Code: ICMPCodePortUnable, Invoking: quote(original)}
+}
+
+func quote(original []byte) []byte {
+	n := IPv4HeaderLen + 8
+	if n > len(original) {
+		n = len(original)
+	}
+	return append([]byte(nil), original[:n]...)
+}
+
+// InvokingHeader parses the quoted original datagram out of an ICMP error
+// message, returning its IPv4 header and the quoted payload prefix. This
+// is what lets the traceroute engine attribute a TimeExceeded to the probe
+// that triggered it.
+func (m *ICMP) InvokingHeader() (*IPv4Header, []byte, error) {
+	if m.Type != ICMPTimeExceeded && m.Type != ICMPDestUnreach {
+		return nil, nil, fmt.Errorf("wire: ICMP type %d has no invoking packet", m.Type)
+	}
+	if len(m.Invoking) < IPv4HeaderLen {
+		return nil, nil, fmt.Errorf("wire: quoted datagram truncated")
+	}
+	// The quotation contains only a prefix of the original packet, so
+	// TotalLen generally exceeds the quoted bytes; parse leniently.
+	b := m.Invoking
+	if b[0]>>4 != 4 {
+		return nil, nil, fmt.Errorf("wire: quoted datagram not IPv4")
+	}
+	h := &IPv4Header{
+		TOS:      b[1],
+		TotalLen: binary.BigEndian.Uint16(b[2:]),
+		ID:       binary.BigEndian.Uint16(b[4:]),
+		Flags:    uint8(binary.BigEndian.Uint16(b[6:]) >> 13),
+		FragOff:  binary.BigEndian.Uint16(b[6:]) & 0x1fff,
+		TTL:      b[8],
+		Protocol: b[9],
+		Checksum: binary.BigEndian.Uint16(b[10:]),
+		Src:      binary.BigEndian.Uint32(b[12:]),
+		Dst:      binary.BigEndian.Uint32(b[16:]),
+	}
+	return h, b[IPv4HeaderLen:], nil
+}

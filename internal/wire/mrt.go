@@ -1,0 +1,242 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MRT (RFC 6396) TABLE_DUMP_V2 encoding — the archive format RouteViews
+// and RIPE RIS publish their collector snapshots in. The bgpfeed package
+// dumps its snapshots with these records and reads them back, so a
+// scenario's control-plane dataset can be released as a file any standard
+// MRT toolchain understands.
+
+// MRT record types/subtypes used here.
+const (
+	MRTTypeTableDumpV2 = 13
+
+	MRTPeerIndexTable = 1
+	MRTRibIPv4Unicast = 2
+)
+
+const mrtHeaderLen = 12
+
+// MRTPeer is one collector peer in the PEER_INDEX_TABLE.
+type MRTPeer struct {
+	BGPID uint32
+	Addr  Addr
+	ASN   uint32
+}
+
+// MRTRibEntry is one route within a RIB record: the index of the peer
+// that advertised it plus its path attributes.
+type MRTRibEntry struct {
+	PeerIndex      uint16
+	OriginatedTime uint32
+	Attrs          BGPUpdateMsg // only the attribute fields are meaningful
+}
+
+// MRTRib is a RIB_IPV4_UNICAST record: one prefix with the entries all
+// peers hold for it.
+type MRTRib struct {
+	Sequence uint32
+	Prefix   BGPPrefix
+	Entries  []MRTRibEntry
+}
+
+func mrtHeader(ts uint32, mrtType, subtype uint16, payload []byte) []byte {
+	b := make([]byte, mrtHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(b[0:], ts)
+	binary.BigEndian.PutUint16(b[4:], mrtType)
+	binary.BigEndian.PutUint16(b[6:], subtype)
+	binary.BigEndian.PutUint32(b[8:], uint32(len(payload)))
+	copy(b[12:], payload)
+	return b
+}
+
+// WriteMRTPeerIndex writes a PEER_INDEX_TABLE record.
+func WriteMRTPeerIndex(w io.Writer, ts uint32, collectorID uint32, viewName string, peers []MRTPeer) error {
+	if len(viewName) > 0xffff || len(peers) > 0xffff {
+		return fmt.Errorf("wire: peer index table too large")
+	}
+	p := binary.BigEndian.AppendUint32(nil, collectorID)
+	p = appendU16(p, uint16(len(viewName)))
+	p = append(p, viewName...)
+	p = appendU16(p, uint16(len(peers)))
+	for _, peer := range peers {
+		// Peer type: bit 0 = IPv6 address (never set here), bit 1 =
+		// 4-octet ASN (always set).
+		p = append(p, 0x02)
+		p = binary.BigEndian.AppendUint32(p, peer.BGPID)
+		p = binary.BigEndian.AppendUint32(p, peer.Addr)
+		p = binary.BigEndian.AppendUint32(p, peer.ASN)
+	}
+	_, err := w.Write(mrtHeader(ts, MRTTypeTableDumpV2, MRTPeerIndexTable, p))
+	return err
+}
+
+// WriteMRTRib writes one RIB_IPV4_UNICAST record.
+func WriteMRTRib(w io.Writer, ts uint32, rib *MRTRib) error {
+	p := binary.BigEndian.AppendUint32(nil, rib.Sequence)
+	nlri, err := marshalNLRI([]BGPPrefix{rib.Prefix})
+	if err != nil {
+		return err
+	}
+	p = append(p, nlri...)
+	if len(rib.Entries) > 0xffff {
+		return fmt.Errorf("wire: too many RIB entries")
+	}
+	p = appendU16(p, uint16(len(rib.Entries)))
+	for _, e := range rib.Entries {
+		attrs, err := marshalPathAttrs(&e.Attrs)
+		if err != nil {
+			return err
+		}
+		p = appendU16(p, e.PeerIndex)
+		p = binary.BigEndian.AppendUint32(p, e.OriginatedTime)
+		p = appendU16(p, uint16(len(attrs)))
+		p = append(p, attrs...)
+	}
+	_, err = w.Write(mrtHeader(ts, MRTTypeTableDumpV2, MRTRibIPv4Unicast, p))
+	return err
+}
+
+// MRTRecord is one parsed record: exactly one of Peers/Rib is set.
+type MRTRecord struct {
+	Timestamp uint32
+	Subtype   uint16
+	// PEER_INDEX_TABLE fields.
+	CollectorID uint32
+	ViewName    string
+	Peers       []MRTPeer
+	// RIB_IPV4_UNICAST fields.
+	Rib *MRTRib
+}
+
+// ReadMRT parses the next record from r; io.EOF signals a clean end of
+// file.
+func ReadMRT(r io.Reader) (*MRTRecord, error) {
+	hdr := make([]byte, mrtHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: MRT header: %w", err)
+	}
+	rec := &MRTRecord{
+		Timestamp: binary.BigEndian.Uint32(hdr[0:]),
+		Subtype:   binary.BigEndian.Uint16(hdr[6:]),
+	}
+	mrtType := binary.BigEndian.Uint16(hdr[4:])
+	plen := binary.BigEndian.Uint32(hdr[8:])
+	if plen > 1<<20 {
+		return nil, fmt.Errorf("wire: MRT record %d bytes, refusing", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: MRT payload: %w", err)
+	}
+	if mrtType != MRTTypeTableDumpV2 {
+		return nil, fmt.Errorf("wire: unsupported MRT type %d", mrtType)
+	}
+	switch rec.Subtype {
+	case MRTPeerIndexTable:
+		return rec, parsePeerIndex(payload, rec)
+	case MRTRibIPv4Unicast:
+		rib, err := parseMRTRib(payload)
+		if err != nil {
+			return nil, err
+		}
+		rec.Rib = rib
+		return rec, nil
+	default:
+		return nil, fmt.Errorf("wire: unsupported TABLE_DUMP_V2 subtype %d", rec.Subtype)
+	}
+}
+
+func parsePeerIndex(p []byte, rec *MRTRecord) error {
+	if len(p) < 8 {
+		return fmt.Errorf("wire: peer index truncated")
+	}
+	rec.CollectorID = binary.BigEndian.Uint32(p[0:])
+	nameLen := int(binary.BigEndian.Uint16(p[4:]))
+	if 6+nameLen+2 > len(p) {
+		return fmt.Errorf("wire: peer index view name truncated")
+	}
+	rec.ViewName = string(p[6 : 6+nameLen])
+	off := 6 + nameLen
+	count := int(binary.BigEndian.Uint16(p[off:]))
+	off += 2
+	for i := 0; i < count; i++ {
+		if off >= len(p) {
+			return fmt.Errorf("wire: peer %d truncated", i)
+		}
+		ptype := p[off]
+		off++
+		if ptype&0x01 != 0 {
+			return fmt.Errorf("wire: IPv6 peers unsupported")
+		}
+		asnLen := 2
+		if ptype&0x02 != 0 {
+			asnLen = 4
+		}
+		need := 4 + 4 + asnLen
+		if off+need > len(p) {
+			return fmt.Errorf("wire: peer %d fields truncated", i)
+		}
+		peer := MRTPeer{
+			BGPID: binary.BigEndian.Uint32(p[off:]),
+			Addr:  binary.BigEndian.Uint32(p[off+4:]),
+		}
+		if asnLen == 4 {
+			peer.ASN = binary.BigEndian.Uint32(p[off+8:])
+		} else {
+			peer.ASN = uint32(binary.BigEndian.Uint16(p[off+8:]))
+		}
+		rec.Peers = append(rec.Peers, peer)
+		off += need
+	}
+	return nil
+}
+
+func parseMRTRib(p []byte) (*MRTRib, error) {
+	if len(p) < 5 {
+		return nil, fmt.Errorf("wire: RIB record truncated")
+	}
+	rib := &MRTRib{Sequence: binary.BigEndian.Uint32(p[0:])}
+	bits := p[4]
+	if bits > 32 {
+		return nil, fmt.Errorf("wire: RIB prefix length %d", bits)
+	}
+	nbytes := (int(bits) + 7) / 8
+	if 5+nbytes+2 > len(p) {
+		return nil, fmt.Errorf("wire: RIB prefix truncated")
+	}
+	addr := make([]byte, 4)
+	copy(addr, p[5:5+nbytes])
+	rib.Prefix = BGPPrefix{Addr: binary.BigEndian.Uint32(addr), Bits: bits}
+	off := 5 + nbytes
+	count := int(binary.BigEndian.Uint16(p[off:]))
+	off += 2
+	for i := 0; i < count; i++ {
+		if off+8 > len(p) {
+			return nil, fmt.Errorf("wire: RIB entry %d truncated", i)
+		}
+		e := MRTRibEntry{
+			PeerIndex:      binary.BigEndian.Uint16(p[off:]),
+			OriginatedTime: binary.BigEndian.Uint32(p[off+2:]),
+		}
+		alen := int(binary.BigEndian.Uint16(p[off+6:]))
+		off += 8
+		if off+alen > len(p) {
+			return nil, fmt.Errorf("wire: RIB entry %d attributes truncated", i)
+		}
+		if err := parsePathAttrs(p[off:off+alen], &e.Attrs); err != nil {
+			return nil, err
+		}
+		off += alen
+		rib.Entries = append(rib.Entries, e)
+	}
+	return rib, nil
+}

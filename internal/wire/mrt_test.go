@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestMRTPeerIndexRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	peers := []MRTPeer{
+		{BGPID: 1, Addr: 0x0a000001, ASN: 64512},
+		{BGPID: 2, Addr: 0x0a000002, ASN: 401308}, // 4-octet
+	}
+	if err := WriteMRTPeerIndex(&buf, 1700000000, 0xc0a80001, "fenrir-view", peers); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Subtype != MRTPeerIndexTable || rec.Timestamp != 1700000000 {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if rec.CollectorID != 0xc0a80001 || rec.ViewName != "fenrir-view" {
+		t.Fatalf("collector fields = %x %q", rec.CollectorID, rec.ViewName)
+	}
+	if len(rec.Peers) != 2 || rec.Peers[0] != peers[0] || rec.Peers[1] != peers[1] {
+		t.Fatalf("peers = %+v", rec.Peers)
+	}
+}
+
+func TestMRTRibRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rib := &MRTRib{
+		Sequence: 7,
+		Prefix:   BGPPrefix{Addr: 0xc7090e00, Bits: 24},
+		Entries: []MRTRibEntry{
+			{PeerIndex: 0, OriginatedTime: 1700000100, Attrs: BGPUpdateMsg{
+				Origin: OriginIGP, ASPath: []uint32{64512, 2152, 52}, NextHop: 0x0a000001,
+			}},
+			{PeerIndex: 1, OriginatedTime: 1700000200, Attrs: BGPUpdateMsg{
+				Origin: OriginIGP, ASPath: []uint32{401308, 3356, 52}, NextHop: 0x0a000002,
+				LocPref: 200, HasLP: true,
+			}},
+		},
+	}
+	if err := WriteMRTRib(&buf, 1700000300, rib); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Subtype != MRTRibIPv4Unicast || rec.Rib == nil {
+		t.Fatalf("rec = %+v", rec)
+	}
+	got := rec.Rib
+	if got.Sequence != 7 || got.Prefix != rib.Prefix || len(got.Entries) != 2 {
+		t.Fatalf("rib = %+v", got)
+	}
+	e := got.Entries[1]
+	if e.PeerIndex != 1 || e.OriginatedTime != 1700000200 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if len(e.Attrs.ASPath) != 3 || e.Attrs.ASPath[0] != 401308 || e.Attrs.ASPath[2] != 52 {
+		t.Fatalf("AS path = %v", e.Attrs.ASPath)
+	}
+	if !e.Attrs.HasLP || e.Attrs.LocPref != 200 {
+		t.Fatalf("loc pref = %+v", e.Attrs)
+	}
+}
+
+func TestMRTStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMRTPeerIndex(&buf, 1, 9, "v", []MRTPeer{{ASN: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		rib := &MRTRib{Sequence: uint32(i), Prefix: BGPPrefix{Addr: uint32(i) << 24, Bits: 8},
+			Entries: []MRTRibEntry{{Attrs: BGPUpdateMsg{ASPath: []uint32{1, 2}}}}}
+		if err := WriteMRTRib(&buf, 1, rib); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	for {
+		rec, err := ReadMRT(&buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+		if count == 1 && rec.Subtype != MRTPeerIndexTable {
+			t.Fatal("first record not peer index")
+		}
+	}
+	if count != 4 {
+		t.Fatalf("records = %d, want 4", count)
+	}
+}
+
+func TestMRTRejectsGarbage(t *testing.T) {
+	// Truncated header.
+	if _, err := ReadMRT(bytes.NewReader([]byte{1, 2, 3})); err == nil || err == io.EOF {
+		t.Error("truncated header accepted")
+	}
+	// Unknown type.
+	var buf bytes.Buffer
+	buf.Write(mrtHeader(1, 99, 1, []byte{0}))
+	if _, err := ReadMRT(&buf); err == nil {
+		t.Error("unknown MRT type accepted")
+	}
+	// Oversized claimed length.
+	hdr := mrtHeader(1, MRTTypeTableDumpV2, MRTRibIPv4Unicast, nil)
+	hdr[8], hdr[9], hdr[10], hdr[11] = 0xff, 0xff, 0xff, 0xff
+	if _, err := ReadMRT(bytes.NewReader(hdr)); err == nil {
+		t.Error("huge record accepted")
+	}
+	// Clean EOF on empty input.
+	if _, err := ReadMRT(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty input: %v, want io.EOF", err)
+	}
+}

@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// UDPHeaderLen is the fixed UDP header size.
+const UDPHeaderLen = 8
+
+// UDPHeader is a UDP datagram header. The simulator computes the checksum
+// over the RFC 768 pseudo-header so decoders can verify integrity
+// end-to-end like a real stack would.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	Len              uint16
+	Checksum         uint16
+}
+
+// MarshalUDP renders header+payload with a pseudo-header checksum bound to
+// the given IP source and destination.
+func MarshalUDP(src, dst Addr, srcPort, dstPort uint16, payload []byte) []byte {
+	total := UDPHeaderLen + len(payload)
+	b := make([]byte, total)
+	binary.BigEndian.PutUint16(b[0:], srcPort)
+	binary.BigEndian.PutUint16(b[2:], dstPort)
+	binary.BigEndian.PutUint16(b[4:], uint16(total))
+	copy(b[8:], payload)
+	binary.BigEndian.PutUint16(b[6:], udpChecksum(src, dst, b))
+	return b
+}
+
+// UnmarshalUDP parses a UDP datagram and verifies the pseudo-header
+// checksum, returning the header and payload.
+func UnmarshalUDP(src, dst Addr, b []byte) (*UDPHeader, []byte, error) {
+	if len(b) < UDPHeaderLen {
+		return nil, nil, fmt.Errorf("wire: UDP truncated (%d bytes)", len(b))
+	}
+	h := &UDPHeader{
+		SrcPort:  binary.BigEndian.Uint16(b[0:]),
+		DstPort:  binary.BigEndian.Uint16(b[2:]),
+		Len:      binary.BigEndian.Uint16(b[4:]),
+		Checksum: binary.BigEndian.Uint16(b[6:]),
+	}
+	if int(h.Len) != len(b) {
+		return nil, nil, fmt.Errorf("wire: UDP length %d != buffer %d", h.Len, len(b))
+	}
+	if h.Checksum != 0 {
+		cp := append([]byte(nil), b...)
+		cp[6], cp[7] = 0, 0
+		want := udpChecksum(src, dst, cp)
+		if want != h.Checksum {
+			return nil, nil, fmt.Errorf("wire: UDP checksum mismatch")
+		}
+	}
+	return h, b[UDPHeaderLen:], nil
+}
+
+func udpChecksum(src, dst Addr, segment []byte) uint16 {
+	pseudo := make([]byte, 12+len(segment))
+	binary.BigEndian.PutUint32(pseudo[0:], src)
+	binary.BigEndian.PutUint32(pseudo[4:], dst)
+	pseudo[9] = ProtoUDP
+	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(segment)))
+	copy(pseudo[12:], segment)
+	c := Checksum(pseudo)
+	if c == 0 {
+		c = 0xffff // RFC 768: transmitted zero means "no checksum"
+	}
+	return c
+}

@@ -1,0 +1,488 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func addr(a, b, c, d byte) Addr {
+	return Addr(a)<<24 | Addr(b)<<16 | Addr(c)<<8 | Addr(d)
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	h := &IPv4Header{
+		TOS:      0,
+		TotalLen: IPv4HeaderLen + 4,
+		ID:       0xbeef,
+		TTL:      64,
+		Protocol: ProtoICMP,
+		Src:      addr(10, 0, 0, 1),
+		Dst:      addr(192, 0, 2, 7),
+	}
+	buf := append(h.Marshal(), 1, 2, 3, 4)
+	got, payload, err := UnmarshalIPv4(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != h.Src || got.Dst != h.Dst || got.TTL != 64 || got.Protocol != ProtoICMP || got.ID != 0xbeef {
+		t.Fatalf("header round trip mismatch: %+v", got)
+	}
+	if !bytes.Equal(payload, []byte{1, 2, 3, 4}) {
+		t.Fatalf("payload = %v", payload)
+	}
+}
+
+func TestIPv4ChecksumDetectsCorruption(t *testing.T) {
+	h := &IPv4Header{TotalLen: IPv4HeaderLen, TTL: 10, Protocol: ProtoUDP, Src: 1, Dst: 2}
+	buf := h.Marshal()
+	buf[8] = 99 // mutate TTL without fixing checksum
+	if _, _, err := UnmarshalIPv4(buf); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+}
+
+func TestIPv4Truncated(t *testing.T) {
+	if _, _, err := UnmarshalIPv4(make([]byte, 10)); err == nil {
+		t.Fatal("10-byte header accepted")
+	}
+}
+
+func TestIPv4RejectsV6(t *testing.T) {
+	b := make([]byte, IPv4HeaderLen)
+	b[0] = 0x65
+	if _, _, err := UnmarshalIPv4(b); err == nil {
+		t.Fatal("version 6 accepted")
+	}
+}
+
+func TestQuickIPv4RoundTrip(t *testing.T) {
+	f := func(id uint16, ttl uint8, src, dst uint32, payloadLen uint8) bool {
+		pl := int(payloadLen % 64)
+		h := &IPv4Header{
+			TotalLen: uint16(IPv4HeaderLen + pl),
+			ID:       id, TTL: ttl, Protocol: ProtoICMP, Src: src, Dst: dst,
+		}
+		buf := append(h.Marshal(), make([]byte, pl)...)
+		got, payload, err := UnmarshalIPv4(buf)
+		return err == nil && got.ID == id && got.TTL == ttl &&
+			got.Src == src && got.Dst == dst && len(payload) == pl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestICMPEchoRoundTrip(t *testing.T) {
+	req := NewEchoRequest(0x1234, 7, []byte("verfploeter"))
+	got, err := UnmarshalICMP(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != ICMPEchoRequest || got.ID != 0x1234 || got.Seq != 7 || string(got.Data) != "verfploeter" {
+		t.Fatalf("round trip = %+v", got)
+	}
+	rep := EchoReplyTo(got)
+	gotRep, err := UnmarshalICMP(rep.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRep.Type != ICMPEchoReply || gotRep.ID != 0x1234 || gotRep.Seq != 7 {
+		t.Fatalf("reply = %+v", gotRep)
+	}
+}
+
+func TestICMPChecksumDetectsCorruption(t *testing.T) {
+	b := NewEchoRequest(1, 2, nil).Marshal()
+	b[4] ^= 0xff
+	if _, err := UnmarshalICMP(b); err == nil {
+		t.Fatal("corrupted ICMP accepted")
+	}
+}
+
+func TestTimeExceededQuotesInvokingPacket(t *testing.T) {
+	orig := &IPv4Header{
+		TotalLen: IPv4HeaderLen + 12,
+		ID:       0xaaaa, TTL: 1, Protocol: ProtoUDP,
+		Src: addr(10, 0, 0, 1), Dst: addr(1, 2, 3, 0),
+	}
+	origBuf := append(orig.Marshal(), make([]byte, 12)...)
+	binary.BigEndian.PutUint16(origBuf[IPv4HeaderLen:], 33434) // src port area
+
+	te := TimeExceededFor(origBuf)
+	parsed, err := UnmarshalICMP(te.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ih, quoted, err := parsed.InvokingHeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ih.Src != orig.Src || ih.Dst != orig.Dst || ih.ID != 0xaaaa || ih.Protocol != ProtoUDP {
+		t.Fatalf("invoking header = %+v", ih)
+	}
+	if len(quoted) != 8 {
+		t.Fatalf("quoted %d payload bytes, want 8", len(quoted))
+	}
+}
+
+func TestInvokingHeaderRejectsEcho(t *testing.T) {
+	m := NewEchoRequest(1, 1, nil)
+	if _, _, err := m.InvokingHeader(); err == nil {
+		t.Fatal("echo has no invoking packet but parse succeeded")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	src, dst := addr(10, 0, 0, 1), addr(8, 8, 8, 8)
+	seg := MarshalUDP(src, dst, 53000, 53, []byte("payload"))
+	h, payload, err := UnmarshalUDP(src, dst, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SrcPort != 53000 || h.DstPort != 53 || string(payload) != "payload" {
+		t.Fatalf("h=%+v payload=%q", h, payload)
+	}
+}
+
+func TestUDPChecksumBindsAddresses(t *testing.T) {
+	src, dst := addr(10, 0, 0, 1), addr(8, 8, 8, 8)
+	seg := MarshalUDP(src, dst, 1, 2, []byte("x"))
+	// Same bytes presented with a different pseudo-header must fail.
+	if _, _, err := UnmarshalUDP(src, addr(9, 9, 9, 9), seg); err == nil {
+		t.Fatal("UDP accepted with wrong pseudo-header")
+	}
+}
+
+func TestUDPLengthMismatch(t *testing.T) {
+	src, dst := addr(1, 1, 1, 1), addr(2, 2, 2, 2)
+	seg := MarshalUDP(src, dst, 1, 2, []byte("abc"))
+	if _, _, err := UnmarshalUDP(src, dst, seg[:len(seg)-1]); err == nil {
+		t.Fatal("truncated UDP accepted")
+	}
+}
+
+func TestChecksumAlgorithm(t *testing.T) {
+	// RFC 1071 example: checksum of 00 01 f2 03 f4 f5 f6 f7 is 0x220d
+	// (complement of 0xddf2).
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Fatalf("Checksum = %#x, want 0x220d", got)
+	}
+	// Odd length handling.
+	if Checksum([]byte{0xff}) != ^uint16(0xff00) {
+		t.Fatal("odd-length checksum wrong")
+	}
+}
+
+func TestDNSQueryRoundTrip(t *testing.T) {
+	q := &DNSMessage{
+		ID: 0x4242, RD: true,
+		Questions: []Question{{Name: "www.google.com", Type: TypeA, Class: ClassIN}},
+	}
+	buf, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalDNS(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 0x4242 || !got.RD || got.QR {
+		t.Fatalf("flags mismatch: %+v", got)
+	}
+	if len(got.Questions) != 1 || got.Questions[0].Name != "www.google.com" || got.Questions[0].Type != TypeA {
+		t.Fatalf("question = %+v", got.Questions)
+	}
+}
+
+func TestDNSResponseWithAnswer(t *testing.T) {
+	resp := &DNSMessage{
+		ID: 9, QR: true, AA: true, RA: true,
+		Questions: []Question{{Name: "en.wikipedia.org", Type: TypeA, Class: ClassIN}},
+		Answers:   []RR{ARecord("en.wikipedia.org", 300, addr(198, 35, 26, 96))},
+	}
+	buf, err := resp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalDNS(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 1 {
+		t.Fatalf("answers = %d", len(got.Answers))
+	}
+	a, err := AAddr(got.Answers[0])
+	if err != nil || a != addr(198, 35, 26, 96) {
+		t.Fatalf("A = %v err=%v", a, err)
+	}
+}
+
+func TestCHAOSTXTHostnameBind(t *testing.T) {
+	rr, err := TXTRecord("hostname.bind", ClassCHAOS, 0, "b1-lax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := &DNSMessage{
+		ID: 1, QR: true, AA: true,
+		Questions: []Question{{Name: "hostname.bind", Type: TypeTXT, Class: ClassCHAOS}},
+		Answers:   []RR{rr},
+	}
+	buf, err := resp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalDNS(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := TXTStrings(got.Answers[0])
+	if err != nil || len(ss) != 1 || ss[0] != "b1-lax" {
+		t.Fatalf("TXT = %v err=%v", ss, err)
+	}
+	if got.Answers[0].Class != ClassCHAOS {
+		t.Fatal("CHAOS class lost")
+	}
+}
+
+func TestTXTTooLong(t *testing.T) {
+	if _, err := TXTRecord("x", ClassIN, 0, string(make([]byte, 256))); err == nil {
+		t.Fatal("256-byte TXT string accepted")
+	}
+}
+
+func TestNameCompressionDecode(t *testing.T) {
+	// Hand-build a response where the answer name is a pointer to the
+	// question name at offset 12.
+	q := &DNSMessage{ID: 5, Questions: []Question{{Name: "a.example", Type: TypeA, Class: ClassIN}}}
+	buf, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append one answer RR with a compression pointer name 0xc00c.
+	buf[7] = 1 // ANCOUNT = 1
+	rr := []byte{0xc0, 0x0c}
+	rr = appendU16(rr, TypeA)
+	rr = appendU16(rr, ClassIN)
+	rr = binary.BigEndian.AppendUint32(rr, 60)
+	rr = appendU16(rr, 4)
+	rr = append(rr, 1, 2, 3, 4)
+	buf = append(buf, rr...)
+
+	got, err := UnmarshalDNS(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Name != "a.example" {
+		t.Fatalf("compressed name = %q", got.Answers[0].Name)
+	}
+}
+
+func TestNameCompressionLoopRejected(t *testing.T) {
+	q := &DNSMessage{ID: 5, Questions: []Question{{Name: "x", Type: TypeA, Class: ClassIN}}}
+	buf, _ := q.Marshal()
+	buf[7] = 1
+	// Pointer pointing at itself.
+	self := len(buf)
+	rr := []byte{0xc0, byte(self >> 8 & 0x3f), 0}
+	_ = rr
+	loop := []byte{0xc0 | byte(self>>8), byte(self)}
+	loop = appendU16(loop, TypeA)
+	loop = appendU16(loop, ClassIN)
+	loop = binary.BigEndian.AppendUint32(loop, 60)
+	loop = appendU16(loop, 0)
+	buf = append(buf, loop...)
+	if _, err := UnmarshalDNS(buf); err == nil {
+		t.Fatal("pointer loop accepted")
+	}
+}
+
+func TestEncodeNameErrors(t *testing.T) {
+	if _, err := encodeName("a..b"); err == nil {
+		t.Error("empty label accepted")
+	}
+	long := string(make([]byte, 64))
+	if _, err := encodeName(long); err == nil {
+		t.Error("64-byte label accepted")
+	}
+}
+
+func TestRootNameRoundTrip(t *testing.T) {
+	b, err := encodeName(".")
+	if err != nil || len(b) != 1 || b[0] != 0 {
+		t.Fatalf("root name encode = %v err=%v", b, err)
+	}
+	name, _, err := decodeName([]byte{0}, 0)
+	if err != nil || name != "." {
+		t.Fatalf("root name decode = %q err=%v", name, err)
+	}
+}
+
+func TestECSOptionRoundTrip(t *testing.T) {
+	cs := ClientSubnet{Addr: addr(203, 0, 113, 0), SourcePrefixLen: 24}
+	got, err := ParseClientSubnet(cs.Option())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != addr(203, 0, 113, 0) || got.SourcePrefixLen != 24 || got.ScopePrefixLen != 0 {
+		t.Fatalf("ECS round trip = %+v", got)
+	}
+}
+
+func TestECSTruncatesHostBits(t *testing.T) {
+	cs := ClientSubnet{Addr: addr(203, 0, 113, 77), SourcePrefixLen: 24}
+	got, err := ParseClientSubnet(cs.Option())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != addr(203, 0, 113, 0) {
+		t.Fatalf("host bits leaked: %v", got.Addr)
+	}
+	// Non-octet-aligned prefix.
+	cs = ClientSubnet{Addr: addr(203, 0, 255, 0), SourcePrefixLen: 20}
+	got, err = ParseClientSubnet(cs.Option())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != addr(203, 0, 240, 0) {
+		t.Fatalf("/20 truncation = %v", got.Addr)
+	}
+}
+
+func TestECSInMessage(t *testing.T) {
+	q := &DNSMessage{
+		ID:        3,
+		Questions: []Question{{Name: "www.google.com", Type: TypeA, Class: ClassIN}},
+		Additional: []RR{OPTRecord(4096,
+			ClientSubnet{Addr: addr(1, 2, 3, 0), SourcePrefixLen: 24}.Option())},
+	}
+	buf, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalDNS(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ok, err := ECSFromMessage(got)
+	if err != nil || !ok {
+		t.Fatalf("ECS missing: ok=%v err=%v", ok, err)
+	}
+	if cs.Addr != addr(1, 2, 3, 0) || cs.SourcePrefixLen != 24 {
+		t.Fatalf("ECS = %+v", cs)
+	}
+}
+
+func TestECSAbsent(t *testing.T) {
+	m := &DNSMessage{ID: 1, Questions: []Question{{Name: "x", Type: TypeA, Class: ClassIN}}}
+	if _, ok, err := ECSFromMessage(m); ok || err != nil {
+		t.Fatalf("phantom ECS: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestECSBadPayloads(t *testing.T) {
+	if _, err := ParseClientSubnet(EDNSOption{Code: OptClientSubnet, Data: []byte{0, 2, 24, 0, 1, 2, 3}}); err == nil {
+		t.Error("IPv6 family accepted")
+	}
+	if _, err := ParseClientSubnet(EDNSOption{Code: OptClientSubnet, Data: []byte{0, 1, 33, 0}}); err == nil {
+		t.Error("prefix length 33 accepted")
+	}
+	if _, err := ParseClientSubnet(EDNSOption{Code: OptClientSubnet, Data: []byte{0, 1, 24, 0, 1}}); err == nil {
+		t.Error("short address accepted")
+	}
+	if _, err := ParseClientSubnet(EDNSOption{Code: OptNSID}); err == nil {
+		t.Error("wrong option code accepted")
+	}
+}
+
+func TestNSIDRoundTrip(t *testing.T) {
+	resp := &DNSMessage{
+		ID: 2, QR: true,
+		Questions:  []Question{{Name: "hostname.bind", Type: TypeTXT, Class: ClassCHAOS}},
+		Additional: []RR{OPTRecord(4096, NSIDOption("b2-ams"))},
+	}
+	buf, err := resp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalDNS(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := NSIDFromMessage(got)
+	if !ok || id != "b2-ams" {
+		t.Fatalf("NSID = %q ok=%v", id, ok)
+	}
+}
+
+func TestQuickDNSNameRoundTrip(t *testing.T) {
+	f := func(labels []uint8) bool {
+		// Build a syntactic name from the fuzz input.
+		name := ""
+		for i, l := range labels {
+			if i >= 4 {
+				break
+			}
+			n := int(l%20) + 1
+			lbl := make([]byte, n)
+			for j := range lbl {
+				lbl[j] = 'a' + byte((int(l)+j)%26)
+			}
+			if name != "" {
+				name += "."
+			}
+			name += string(lbl)
+		}
+		if name == "" {
+			name = "x"
+		}
+		enc, err := encodeName(name)
+		if err != nil {
+			return false
+		}
+		dec, n, err := decodeName(enc, 0)
+		return err == nil && dec == name && n == len(enc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalDNSGarbage(t *testing.T) {
+	if _, err := UnmarshalDNS([]byte{1, 2, 3}); err == nil {
+		t.Error("3-byte DNS accepted")
+	}
+	// Claimed question but no bytes.
+	b := make([]byte, 12)
+	b[5] = 1
+	if _, err := UnmarshalDNS(b); err == nil {
+		t.Error("missing question accepted")
+	}
+}
+
+func BenchmarkDNSECSQueryMarshal(b *testing.B) {
+	q := &DNSMessage{
+		ID:        3,
+		Questions: []Question{{Name: "www.google.com", Type: TypeA, Class: ClassIN}},
+		Additional: []RR{OPTRecord(4096,
+			ClientSubnet{Addr: addr(1, 2, 3, 0), SourcePrefixLen: 24}.Option())},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkICMPRoundTrip(b *testing.B) {
+	msg := NewEchoRequest(1, 2, []byte("probe")).Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalICMP(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

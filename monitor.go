@@ -1,0 +1,23 @@
+package fenrir
+
+import (
+	"fenrir/internal/core"
+)
+
+// Monitor re-exports the streaming pipeline: append observations as they
+// arrive, get change events immediately, and query the current routing
+// mode without batch recomputation. See examples/monitoring.
+type Monitor = core.Monitor
+
+// NewMonitor starts a streaming monitor over a space. w may be nil for
+// uniform weights; detect tunes the change criterion.
+func NewMonitor(space *Space, sched Schedule, w []float64, mode UnknownMode, detect core.DetectOptions) *Monitor {
+	return core.NewMonitor(space, sched, w, mode, detect)
+}
+
+// DefaultDetectOptions re-exports the detector defaults used in the §3
+// validation.
+var DefaultDetectOptions = core.DefaultDetectOptions
+
+// DefaultAdaptiveOptions re-exports the §2.6.2 clustering defaults.
+var DefaultAdaptiveOptions = core.DefaultAdaptiveOptions
