@@ -1,0 +1,32 @@
+# Build, test, and benchmark entry points. `make test` is the tier-1
+# gate (vet + full test suite); `make race` runs the analysis core under
+# the race detector (the similarity engine is the only concurrent hot
+# path); `make bench` records the core perf trajectory to BENCH_core.json.
+
+GO ?= go
+
+.PHONY: all build vet test race bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/...
+
+# The perf-critical benches: the parallel similarity engine sweep and the
+# incremental threshold sweep. Output is parsed into BENCH_core.json.
+bench:
+	$(GO) test -run '^$$' -bench 'SimilarityMatrixParallel|ClusterAdaptiveIncremental|SimilarityMatrixScaling' -benchmem . \
+		| ./scripts/bench2json.sh > BENCH_core.json
+	@cat BENCH_core.json
+
+clean:
+	rm -f BENCH_core.json

@@ -316,6 +316,42 @@ func BenchmarkSimilarityMatrixScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkSimilarityMatrixParallel sweeps the parallel similarity
+// engine across series lengths, comparing the exact serial reference
+// path (P=1) against the auto-sized worker pool (P=auto =
+// runtime.GOMAXPROCS). Both paths produce bit-identical matrices; the
+// ratio at T=1024 is the headline speedup of the tiled engine.
+func BenchmarkSimilarityMatrixParallel(b *testing.B) {
+	for _, T := range []int{64, 256, 1024} {
+		s := syntheticSeries(T, 256, 0.3, 9)
+		for _, p := range []int{1, 0} {
+			label := "auto"
+			if p == 1 {
+				label = "1"
+			}
+			b.Run(fmt.Sprintf("T=%d/P=%s", T, label), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					core.SimilarityMatrixParallel(s, nil, core.PessimisticUnknown,
+						core.MatrixOptions{Parallelism: p})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkClusterAdaptiveIncremental measures the single-pass
+// threshold sweep (sorted merges + one persistent union-find) that
+// replaced the 101× from-scratch Cut rebuild inside ClusterAdaptive.
+func BenchmarkClusterAdaptiveIncremental(b *testing.B) {
+	s := syntheticSeries(240, 400, 0.2, 10)
+	m := core.SimilarityMatrix(s, nil, core.PessimisticUnknown)
+	opts := core.DefaultAdaptiveOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ClusterAdaptive(m, opts)
+	}
+}
+
 // BenchmarkAnalyzePipeline measures the full facade pipeline end-to-end.
 func BenchmarkAnalyzePipeline(b *testing.B) {
 	s := syntheticSeries(120, 2000, 0.3, 8)

@@ -25,21 +25,22 @@ import (
 
 func main() {
 	var (
-		name    = flag.String("scenario", "broot", "scenario: broot groot usc google wikipedia validation")
-		seed    = flag.Uint64("seed", 42, "root seed")
-		heatmap = flag.Int("heatmap", 60, "heatmap resolution (cells per side)")
-		stack   = flag.Bool("stack", false, "also print the catchment stack plot CSV")
-		export  = flag.String("export", "", "write the scenario's vector dataset to this CSV file")
+		name     = flag.String("scenario", "broot", "scenario: broot groot usc google wikipedia validation")
+		seed     = flag.Uint64("seed", 42, "root seed")
+		heatmap  = flag.Int("heatmap", 60, "heatmap resolution (cells per side)")
+		stack    = flag.Bool("stack", false, "also print the catchment stack plot CSV")
+		export   = flag.String("export", "", "write the scenario's vector dataset to this CSV file")
+		parallel = flag.Int("parallelism", 0, "similarity-matrix workers (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
-	if err := run(*name, *seed, *heatmap, *stack, *export); err != nil {
+	if err := run(*name, *seed, *heatmap, *stack, *export, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "fenrir:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, seed uint64, heatmapDim int, stack bool, export string) error {
+func run(name string, seed uint64, heatmapDim int, stack bool, export string, parallel int) error {
 	var (
 		series *core.Series
 		matrix *core.SimMatrix
@@ -47,7 +48,9 @@ func run(name string, seed uint64, heatmapDim int, stack bool, export string) er
 	)
 	switch name {
 	case "broot":
-		res, err := scenario.RunBRoot(scenario.DefaultBRootConfig(seed))
+		cfg := scenario.DefaultBRootConfig(seed)
+		cfg.Parallelism = parallel
+		res, err := scenario.RunBRoot(cfg)
 		if err != nil {
 			return err
 		}
@@ -60,24 +63,31 @@ func run(name string, seed uint64, heatmapDim int, stack bool, export string) er
 			return err
 		}
 		series = res.Series
-		matrix = core.SimilarityMatrix(series, nil, core.PessimisticUnknown)
+		matrix = core.SimilarityMatrixParallel(series, nil, core.PessimisticUnknown,
+			core.MatrixOptions{Parallelism: parallel})
 		modes = core.DiscoverModes(matrix, core.DefaultAdaptiveOptions())
 		fmt.Print(report.TransitionTable(res.DrainTransitions[0], "transition at first STR drain:"))
 	case "usc":
-		res, err := scenario.RunUSC(scenario.DefaultUSCConfig(seed))
+		cfg := scenario.DefaultUSCConfig(seed)
+		cfg.Parallelism = parallel
+		res, err := scenario.RunUSC(cfg)
 		if err != nil {
 			return err
 		}
 		series, matrix, modes = res.Series, res.Matrix, res.Modes
 	case "google":
-		res, err := scenario.RunGoogle(scenario.DefaultGoogleConfig(seed))
+		cfg := scenario.DefaultGoogleConfig(seed)
+		cfg.Parallelism = parallel
+		res, err := scenario.RunGoogle(cfg)
 		if err != nil {
 			return err
 		}
 		series, matrix = res.Series, res.Matrix
 		modes = core.DiscoverModes(matrix, core.DefaultAdaptiveOptions())
 	case "wikipedia":
-		res, err := scenario.RunWikipedia(scenario.DefaultWikipediaConfig(seed))
+		cfg := scenario.DefaultWikipediaConfig(seed)
+		cfg.Parallelism = parallel
+		res, err := scenario.RunWikipedia(cfg)
 		if err != nil {
 			return err
 		}

@@ -72,6 +72,8 @@ type (
 	Series = core.Series
 	// SimMatrix is an all-pairs Φ matrix.
 	SimMatrix = core.SimMatrix
+	// MatrixOptions tunes the parallel similarity engine.
+	MatrixOptions = core.MatrixOptions
 	// Mode is a recurring routing result discovered by clustering.
 	Mode = core.Mode
 	// ModesResult is the outcome of mode discovery.
@@ -116,6 +118,13 @@ func Gower(a, b *Vector, w []float64, mode UnknownMode) float64 {
 	return core.Gower(a, b, w, mode)
 }
 
+// SimilarityMatrixParallel computes the all-pairs Φ matrix with a tiled
+// worker pool; see MatrixOptions. All parallelism settings produce the
+// bit-identical matrix.
+func SimilarityMatrixParallel(s *Series, w []float64, mode UnknownMode, opts MatrixOptions) *SimMatrix {
+	return core.SimilarityMatrixParallel(s, w, mode, opts)
+}
+
 // Transition computes the transition matrix between two vectors.
 func Transition(a, b *Vector, w []float64) *TransitionMatrix {
 	return core.Transition(a, b, w)
@@ -135,6 +144,10 @@ type AnalysisOptions struct {
 	Weights []float64
 	// Unknowns selects Φ's unknown handling.
 	Unknowns UnknownMode
+	// Parallelism sizes the worker pool of the similarity stage: 0 uses
+	// all cores (GOMAXPROCS), 1 forces the serial reference path. The
+	// result is bit-identical at every setting.
+	Parallelism int
 	// Clean enables the §2.4 cleaning stages before analysis.
 	Clean bool
 	// InterpolateReach bounds temporal interpolation (default 3).
@@ -195,7 +208,8 @@ func Analyze(s *Series, opts AnalysisOptions) *Analysis {
 		a.Series = s
 	}
 	a.Coverage = clean.Coverage(s)
-	a.Matrix = core.SimilarityMatrix(s, opts.Weights, opts.Unknowns)
+	a.Matrix = core.SimilarityMatrixParallel(s, opts.Weights, opts.Unknowns,
+		core.MatrixOptions{Parallelism: opts.Parallelism})
 	a.Modes = core.DiscoverModes(a.Matrix, opts.Clustering)
 	a.Changes = core.DetectChanges(s, opts.Weights, opts.Detection)
 	return a

@@ -109,9 +109,9 @@ func HAC(m *SimMatrix, linkage Linkage) *Dendrogram {
 					var nd float64
 					switch linkage {
 					case SingleLinkage:
-						nd = min2(da, db)
+						nd = min(da, db)
 					case CompleteLinkage:
-						nd = max2(da, db)
+						nd = max(da, db)
 					default:
 						nd = (na*da + nb*db) / (na + nb)
 					}
@@ -133,20 +133,6 @@ func HAC(m *SimMatrix, linkage Linkage) *Dendrogram {
 	// can union any subset of merges with height below the threshold
 	// without caring about order.
 	return dg
-}
-
-func min2(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max2(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Cut slices the dendrogram at a distance threshold, returning clusters as
@@ -223,6 +209,18 @@ func DefaultAdaptiveOptions() AdaptiveOptions {
 // cluster count (earliest run on ties). This skips transient thresholds
 // where modes are only partially merged — the count there changes at every
 // step — and lands where the clustering is stable.
+//
+// The sweep is incremental: instead of rebuilding a union-find per
+// threshold (101 Cut calls), merges are sorted by height once and a
+// single persistent union-find advances through them as the threshold
+// rises. Only the finally chosen threshold materializes cluster lists,
+// via Cut, so the returned (threshold, clusters) is identical to the
+// from-scratch sweep while the sweep itself costs O(M log M + N·α)
+// instead of O(steps · N·α · log N). Threshold admissibility needs only
+// the live cluster count and whether any component has reached
+// MinMembers, both maintained in O(1) per merge; the partition reached
+// by applying a height-filtered merge subset is order-independent, so
+// sorted application matches Cut's execution-order application exactly.
 func ClusterAdaptive(m *SimMatrix, opts AdaptiveOptions) (threshold float64, clusters [][]int) {
 	if opts.MaxClusters <= 0 {
 		opts.MaxClusters = 15
@@ -235,16 +233,67 @@ func ClusterAdaptive(m *SimMatrix, opts AdaptiveOptions) (threshold float64, clu
 	}
 	dg := HAC(m, opts.Linkage)
 
-	admissible := func(cut [][]int) bool {
-		if len(cut) >= opts.MaxClusters {
-			return false
+	// Representative leaf of every dendrogram node, in execution order
+	// (same mapping Cut builds).
+	rep := make([]int, dg.N+len(dg.Merges))
+	for i := 0; i < dg.N; i++ {
+		rep[i] = i
+	}
+	for k, mg := range dg.Merges {
+		rep[dg.N+k] = rep[mg.A]
+	}
+
+	// Merges ordered by height; the persistent union-find consumes them
+	// left to right as the sweep threshold passes each height.
+	order := make([]int, len(dg.Merges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return dg.Merges[order[a]].Height < dg.Merges[order[b]].Height
+	})
+
+	parent := make([]int, dg.N)
+	size := make([]int, dg.N)
+	for i := range parent {
+		parent[i] = i
+		size[i] = 1
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
 		}
-		for _, c := range cut {
-			if len(c) >= opts.MinMembers {
-				return true
+		return x
+	}
+	numClusters := dg.N
+	bigClusters := 0 // components with >= MinMembers members
+	if opts.MinMembers <= 1 {
+		bigClusters = dg.N
+	}
+	next := 0
+	advance := func(t float64) {
+		for next < len(order) && dg.Merges[order[next]].Height <= t {
+			mg := dg.Merges[order[next]]
+			next++
+			ra, rb := find(rep[mg.A]), find(rep[mg.B])
+			if ra == rb {
+				continue
 			}
+			if size[ra] >= opts.MinMembers {
+				bigClusters--
+			}
+			if size[rb] >= opts.MinMembers {
+				bigClusters--
+			}
+			parent[rb] = ra
+			size[ra] += size[rb]
+			if size[ra] >= opts.MinMembers {
+				bigClusters++
+			}
+			numClusters--
 		}
-		return false
 	}
 
 	// minPlateau is how many consecutive sweep steps must agree on the
@@ -260,15 +309,15 @@ func ClusterAdaptive(m *SimMatrix, opts AdaptiveOptions) (threshold float64, clu
 	}
 	var first, longest, cur run
 	for t := 0.0; t <= 1.0+1e-9; t += opts.Step {
-		cut := dg.Cut(t)
-		if !admissible(cut) {
+		advance(t)
+		if numClusters >= opts.MaxClusters || bigClusters == 0 {
 			cur = run{}
 			continue
 		}
-		if cur.len > 0 && cur.count == len(cut) {
+		if cur.len > 0 && cur.count == numClusters {
 			cur.len++
 		} else {
-			cur = run{start: t, count: len(cut), len: 1}
+			cur = run{start: t, count: numClusters, len: 1}
 		}
 		if cur.len >= minPlateau && first.len == 0 {
 			first = cur

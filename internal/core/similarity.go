@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // UnknownMode selects how Φ treats networks whose catchment is unknown in
 // either vector.
@@ -42,27 +47,94 @@ func Gower(a, b *Vector, w []float64, mode UnknownMode) float64 {
 	if w != nil && len(w) != len(a.assign) {
 		panic(fmt.Sprintf("core: weight length %d != networks %d", len(w), len(a.assign)))
 	}
-	var match, total float64
-	for i := range a.assign {
-		wi := 1.0
-		if w != nil {
-			wi = w[i]
+	return gowerKernel(w, mode)(a.assign, b.assign)
+}
+
+// gowerKernel selects one of four monomorphic inner loops, hoisting the
+// UnknownMode switch and the nil-weight branch out of the per-network
+// loop. The pessimistic/uniform kernel — the default in every scenario —
+// reduces to an int32 compare and an integer count; counts below 2^53 are
+// exactly representable, so the final division is bit-identical to the
+// old per-element float accumulation. An out-of-range mode yields the
+// historical behaviour of Φ = 0 for every pair.
+func gowerKernel(w []float64, mode UnknownMode) func(a, b []int32) float64 {
+	switch {
+	case mode == PessimisticUnknown && w == nil:
+		return gowerPessimisticUniform
+	case mode == PessimisticUnknown:
+		return func(a, b []int32) float64 { return gowerPessimisticWeighted(a, b, w) }
+	case mode == KnownOnly && w == nil:
+		return gowerKnownOnlyUniform
+	case mode == KnownOnly:
+		return func(a, b []int32) float64 { return gowerKnownOnlyWeighted(a, b, w) }
+	default:
+		return func(a, b []int32) float64 { return 0 }
+	}
+}
+
+func gowerPessimisticUniform(a, b []int32) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	match := 0
+	b = b[:len(a)]
+	for i, x := range a {
+		if x != Unknown && x == b[i] {
+			match++
 		}
-		x, y := a.assign[i], b.assign[i]
-		switch mode {
-		case PessimisticUnknown:
-			total += wi
-			if x != Unknown && x == y {
-				match += wi
-			}
-		case KnownOnly:
-			if x == Unknown || y == Unknown {
-				continue
-			}
-			total += wi
-			if x == y {
-				match += wi
-			}
+	}
+	return float64(match) / float64(len(a))
+}
+
+func gowerPessimisticWeighted(a, b []int32, w []float64) float64 {
+	var match, total float64
+	b = b[:len(a)]
+	w = w[:len(a)]
+	for i, x := range a {
+		wi := w[i]
+		total += wi
+		if x != Unknown && x == b[i] {
+			match += wi
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return match / total
+}
+
+func gowerKnownOnlyUniform(a, b []int32) float64 {
+	match, total := 0, 0
+	b = b[:len(a)]
+	for i, x := range a {
+		y := b[i]
+		if x == Unknown || y == Unknown {
+			continue
+		}
+		total++
+		if x == y {
+			match++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(match) / float64(total)
+}
+
+func gowerKnownOnlyWeighted(a, b []int32, w []float64) float64 {
+	var match, total float64
+	b = b[:len(a)]
+	w = w[:len(a)]
+	for i, x := range a {
+		y := b[i]
+		if x == Unknown || y == Unknown {
+			continue
+		}
+		wi := w[i]
+		total += wi
+		if x == y {
+			match += wi
 		}
 	}
 	if total == 0 {
@@ -79,23 +151,107 @@ type SimMatrix struct {
 	vals   []float64 // row-major N×N
 }
 
+// MatrixOptions tunes the parallel similarity engine.
+type MatrixOptions struct {
+	// Parallelism is the number of worker goroutines filling the matrix.
+	// 0 (the default) sizes the pool to runtime.GOMAXPROCS(0); 1 runs
+	// the exact serial reference path on the calling goroutine. Values
+	// above the row count are clamped. Every setting produces the
+	// bit-identical matrix: parallelism only changes which goroutine
+	// computes which tile, never the per-pair arithmetic.
+	Parallelism int
+	// TileRows is the number of consecutive matrix rows per work unit.
+	// 0 picks a size yielding several tiles per worker so the atomic
+	// tile counter load-balances the triangular row costs. Rows are
+	// contiguous so each worker streams the same few assign slices.
+	TileRows int
+}
+
 // SimilarityMatrix computes Φ for every vector pair in the series.
 // Quadratic in series length and linear in networks; this is the
-// pipeline's dominant cost and is benchmarked at several scales.
+// pipeline's dominant cost and is benchmarked at several scales. It
+// delegates to SimilarityMatrixParallel with automatic parallelism — the
+// result is deterministic and bit-identical at every worker count.
 func SimilarityMatrix(s *Series, w []float64, mode UnknownMode) *SimMatrix {
+	return SimilarityMatrixParallel(s, w, mode, MatrixOptions{})
+}
+
+// SimilarityMatrixParallel computes the all-pairs Φ matrix by splitting
+// the upper triangle of the T×T pair space into row tiles dispatched to
+// a worker pool over an atomic tile counter. The Gower kernel (mode ×
+// weighting) is selected once, outside the pair loop. All vectors must
+// share the series' Space; a mixed-space series panics here with a clear
+// message rather than deep inside the kernel.
+func SimilarityMatrixParallel(s *Series, w []float64, mode UnknownMode, opts MatrixOptions) *SimMatrix {
 	n := len(s.Vectors)
 	m := &SimMatrix{N: n, Epochs: make([]int, n), vals: make([]float64, n*n)}
+	assigns := make([][]int32, n)
 	for i, v := range s.Vectors {
+		if v.Space != s.Space {
+			panic(fmt.Sprintf("core: SimilarityMatrix: vector %d (epoch %d) belongs to a different Space than its series", i, int(v.T)))
+		}
 		m.Epochs[i] = int(v.T)
+		assigns[i] = v.assign
 	}
-	for i := 0; i < n; i++ {
-		m.vals[i*n+i] = 1
-		for j := i + 1; j < n; j++ {
-			phi := Gower(s.Vectors[i], s.Vectors[j], w, mode)
-			m.vals[i*n+j] = phi
-			m.vals[j*n+i] = phi
+	if n == 0 {
+		return m
+	}
+	if w != nil && len(w) != len(assigns[0]) {
+		panic(fmt.Sprintf("core: weight length %d != networks %d", len(w), len(assigns[0])))
+	}
+	kern := gowerKernel(w, mode)
+
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.vals[i*n+i] = 1
+			ai := assigns[i]
+			for j := i + 1; j < n; j++ {
+				phi := kern(ai, assigns[j])
+				m.vals[i*n+j] = phi
+				m.vals[j*n+i] = phi
+			}
 		}
 	}
+
+	p := opts.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		fill(0, n)
+		return m
+	}
+	tile := opts.TileRows
+	if tile <= 0 {
+		// Aim for ~8 tiles per worker: small enough that the atomic
+		// counter evens out the triangular row costs, large enough to
+		// amortize dispatch.
+		tile = n / (p * 8)
+		if tile < 1 {
+			tile = 1
+		}
+	}
+	numTiles := (n + tile - 1) / tile
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < p; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= numTiles {
+					return
+				}
+				lo := t * tile
+				fill(lo, min(lo+tile, n))
+			}
+		}()
+	}
+	wg.Wait()
 	return m
 }
 
@@ -126,17 +282,28 @@ func (m *SimMatrix) Set(i, j int, v float64) { m.set(i, j, v) }
 // PhiRange reports the [min,max] similarity between two index sets —
 // the paper's Φ(M_i, M_j) interval notation for comparing modes. When a
 // and b are the same set, the diagonal is excluded.
+//
+// When the sets contribute no pairs (either set empty, or only diagonal
+// cells), PhiRange returns the sentinel (0, 0), which is indistinguishable
+// from a real Φ interval of [0,0]; callers that must tell the two apart
+// should use PhiRangeOK.
 func (m *SimMatrix) PhiRange(a, b []int) (lo, hi float64) {
-	lo, hi = 1, 0
-	seen := false
+	lo, hi, _ = m.PhiRangeOK(a, b)
+	return lo, hi
+}
+
+// PhiRangeOK is PhiRange with an explicit ok: ok is false — and lo, hi
+// are 0 — when a×b contains no off-diagonal pairs, so a genuine Φ
+// interval of [0,0] (ok=true) cannot be confused with "no pairs".
+func (m *SimMatrix) PhiRangeOK(a, b []int) (lo, hi float64, ok bool) {
 	for _, i := range a {
 		for _, j := range b {
 			if i == j {
 				continue
 			}
 			v := m.At(i, j)
-			if !seen {
-				lo, hi, seen = v, v, true
+			if !ok {
+				lo, hi, ok = v, v, true
 				continue
 			}
 			if v < lo {
@@ -147,10 +314,10 @@ func (m *SimMatrix) PhiRange(a, b []int) (lo, hi float64) {
 			}
 		}
 	}
-	if !seen {
-		return 0, 0
+	if !ok {
+		return 0, 0, false
 	}
-	return lo, hi
+	return lo, hi, true
 }
 
 // MeanPhi returns the mean off-diagonal similarity between two index sets.

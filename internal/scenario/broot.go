@@ -33,6 +33,9 @@ type BRootConfig struct {
 	LatencyEvery int
 	// AtlasVPs sizes the RTT mesh.
 	AtlasVPs int
+	// Parallelism sizes the similarity-matrix worker pool (0 = all
+	// cores, 1 = serial); the matrix is bit-identical at any setting.
+	Parallelism int
 }
 
 // DefaultBRootConfig returns a configuration that finishes in seconds.
@@ -292,7 +295,8 @@ func RunBRoot(cfg BRootConfig) (*BRootResult, error) {
 	}
 
 	res.Series = core.NewSeries(space, sched, vectors, nil)
-	res.Matrix = core.SimilarityMatrix(res.Series, nil, core.PessimisticUnknown)
+	res.Matrix = core.SimilarityMatrixParallel(res.Series, nil, core.PessimisticUnknown,
+		core.MatrixOptions{Parallelism: cfg.Parallelism})
 	res.Modes = core.DiscoverModes(res.Matrix, core.DefaultAdaptiveOptions())
 	return res, nil
 }

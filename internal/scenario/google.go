@@ -35,6 +35,9 @@ type GoogleConfig struct {
 	// LossRate overrides the forwarding-plane loss probability when > 0
 	// (the ablation harness raises it to exercise interpolation).
 	LossRate float64
+	// Parallelism sizes the similarity-matrix worker pool (0 = all
+	// cores, 1 = serial); the matrix is bit-identical at any setting.
+	Parallelism int
 }
 
 // DefaultGoogleConfig mirrors the paper's proportions at laptop scale.
@@ -130,7 +133,8 @@ func RunGoogle(cfg GoogleConfig) (*GoogleResult, error) {
 
 	res := &GoogleResult{Schedule: sched, Rows2013: cfg.Days2013}
 	res.Series = core.NewSeries(space, sched, vectors, nil)
-	res.Matrix = core.SimilarityMatrix(res.Series, nil, core.PessimisticUnknown)
+	res.Matrix = core.SimilarityMatrixParallel(res.Series, nil, core.PessimisticUnknown,
+		core.MatrixOptions{Parallelism: cfg.Parallelism})
 
 	// Headline Φ summaries over the 2024 rows.
 	o := cfg.Days2013

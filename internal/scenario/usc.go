@@ -40,6 +40,9 @@ type USCConfig struct {
 	// series are never identical day over day; the paper's within-mode
 	// Phi sits in [0.31, 0.65], not at 1.0.
 	ChurnProb float64
+	// Parallelism sizes the similarity-matrix worker pool (0 = all
+	// cores, 1 = serial); the matrix is bit-identical at any setting.
+	Parallelism int
 }
 
 // DefaultUSCConfig finishes in seconds.
@@ -220,7 +223,8 @@ func RunUSC(cfg USCConfig) (*USCResult, error) {
 	}
 
 	res.Series = core.NewSeries(space, sched, vectors, nil)
-	res.Matrix = core.SimilarityMatrix(res.Series, nil, core.PessimisticUnknown)
+	res.Matrix = core.SimilarityMatrixParallel(res.Series, nil, core.PessimisticUnknown,
+		core.MatrixOptions{Parallelism: cfg.Parallelism})
 	res.Modes = core.DiscoverModes(res.Matrix, core.DefaultAdaptiveOptions())
 	res.FlowsBefore = traceroute.FlowsAtHops(tracesBefore, 1, 4)
 	res.FlowsAfter = traceroute.FlowsAtHops(tracesAfter, 1, 4)

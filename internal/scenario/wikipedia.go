@@ -26,6 +26,9 @@ type WikipediaConfig struct {
 	ReturnProb float64
 	// StubsPerRegion scales the topology.
 	StubsPerRegion int
+	// Parallelism sizes the similarity-matrix worker pool (0 = all
+	// cores, 1 = serial); the matrix is bit-identical at any setting.
+	Parallelism int
 }
 
 // DefaultWikipediaConfig mirrors the paper's six weeks.
@@ -143,7 +146,8 @@ func RunWikipedia(cfg WikipediaConfig) (*WikipediaResult, error) {
 
 	res := &WikipediaResult{Schedule: sched, DrainEpoch: drain, RestoreEpoch: restore}
 	res.Series = core.NewSeries(space, sched, vectors, nil)
-	res.Matrix = core.SimilarityMatrix(res.Series, nil, core.PessimisticUnknown)
+	res.Matrix = core.SimilarityMatrixParallel(res.Series, nil, core.PessimisticUnknown,
+		core.MatrixOptions{Parallelism: cfg.Parallelism})
 	res.Modes = core.DiscoverModes(res.Matrix, core.DefaultAdaptiveOptions())
 
 	before := res.Series.At(drain - 1)

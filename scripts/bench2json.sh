@@ -1,0 +1,25 @@
+#!/bin/sh
+# bench2json.sh — parse `go test -bench -benchmem` output on stdin into a
+# JSON array of {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
+# Lines that are not benchmark results (GOMAXPROCS header, PASS, ok) are
+# ignored. Used by `make bench` to write BENCH_core.json.
+exec awk '
+BEGIN { n = 0; print "[" }
+/^Benchmark/ {
+	name = $1
+	iters = $2
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "B/op") bytes = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+	if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	printf "}"
+}
+END { if (n) printf "\n"; print "]" }
+'
