@@ -1,11 +1,12 @@
 # Build, test, and benchmark entry points. `make test` is the tier-1
 # gate (vet + full test suite); `make race` runs the analysis core under
-# the race detector (the similarity engine is the only concurrent hot
-# path); `make bench` records the core perf trajectory to BENCH_core.json.
+# the race detector; `make bench` records the core perf trajectory to
+# BENCH_core.json; `make check` adds per-package coverage and the
+# observability smoke test on top of test + race.
 
 GO ?= go
 
-.PHONY: all build vet test race bench clean
+.PHONY: all build vet test race bench cover obs-smoke check clean
 
 all: build test
 
@@ -22,11 +23,28 @@ race:
 	$(GO) test -race ./internal/core/...
 
 # The perf-critical benches: the parallel similarity engine sweep and the
-# incremental threshold sweep. Output is parsed into BENCH_core.json.
+# incremental threshold sweep. Output is parsed into BENCH_core.json; a
+# failing bench run aborts loudly instead of writing an empty file.
 bench:
-	$(GO) test -run '^$$' -bench 'SimilarityMatrixParallel|ClusterAdaptiveIncremental|SimilarityMatrixScaling' -benchmem . \
-		| ./scripts/bench2json.sh > BENCH_core.json
+	@$(GO) test -run '^$$' -bench 'SimilarityMatrixParallel|ClusterAdaptiveIncremental|SimilarityMatrixScaling' -benchmem . > bench.out 2>&1 \
+		|| { cat bench.out >&2; rm -f bench.out; exit 1; }
+	@./scripts/bench2json.sh < bench.out > BENCH_core.json.tmp \
+		|| { rm -f bench.out BENCH_core.json.tmp; exit 1; }
+	@mv BENCH_core.json.tmp BENCH_core.json
+	@rm -f bench.out
 	@cat BENCH_core.json
 
+# Per-package coverage plus the total summary line.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -1
+
+# End-to-end observability check: run a scenario with -metrics/-manifest
+# and assert the manifest names every pipeline stage.
+obs-smoke:
+	./scripts/obs_smoke.sh
+
+check: test race cover obs-smoke
+
 clean:
-	rm -f BENCH_core.json
+	rm -f BENCH_core.json BENCH_core.json.tmp bench.out cover.out

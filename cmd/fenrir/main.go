@@ -10,104 +10,200 @@
 //	fenrir -scenario usc -stack                # enterprise hop-3 catchments
 //	fenrir -scenario google|wikipedia          # website catchments
 //	fenrir -scenario validation                # Table 4 ground-truth study
+//
+// Observability (see DESIGN.md §6):
+//
+//	fenrir -scenario broot -metrics :9090      # /metrics, /debug/vars, /debug/pprof
+//	fenrir -scenario broot -manifest run.json  # JSON run manifest on exit
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fenrir/internal/core"
 	"fenrir/internal/dataset"
+	"fenrir/internal/obs"
 	"fenrir/internal/report"
 	"fenrir/internal/scenario"
 )
 
+type cliOptions struct {
+	scenario   string
+	seed       uint64
+	heatmapDim int
+	stack      bool
+	export     string
+	parallel   int
+	metrics    string
+	manifest   string
+}
+
 func main() {
-	var (
-		name     = flag.String("scenario", "broot", "scenario: broot groot usc google wikipedia validation")
-		seed     = flag.Uint64("seed", 42, "root seed")
-		heatmap  = flag.Int("heatmap", 60, "heatmap resolution (cells per side)")
-		stack    = flag.Bool("stack", false, "also print the catchment stack plot CSV")
-		export   = flag.String("export", "", "write the scenario's vector dataset to this CSV file")
-		parallel = flag.Int("parallelism", 0, "similarity-matrix workers (0 = all cores, 1 = serial)")
-	)
+	var o cliOptions
+	flag.StringVar(&o.scenario, "scenario", "broot", "scenario: broot groot usc google wikipedia validation")
+	flag.Uint64Var(&o.seed, "seed", 42, "root seed")
+	flag.IntVar(&o.heatmapDim, "heatmap", 60, "heatmap resolution (cells per side)")
+	flag.BoolVar(&o.stack, "stack", false, "also print the catchment stack plot CSV")
+	flag.StringVar(&o.export, "export", "", "write the scenario's vector dataset to this CSV file")
+	flag.IntVar(&o.parallel, "parallelism", 0, "similarity-matrix workers (0 = all cores, 1 = serial)")
+	flag.StringVar(&o.metrics, "metrics", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :9090) while running")
+	flag.StringVar(&o.manifest, "manifest", "", "write a JSON run manifest to this file on completion")
 	flag.Parse()
 
-	if err := run(*name, *seed, *heatmap, *stack, *export, *parallel); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "fenrir:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, seed uint64, heatmapDim int, stack bool, export string, parallel int) error {
+func run(o cliOptions) error {
+	t0 := time.Now()
+	started := t0
+
+	// The registry exists only when some surface will read it; a nil
+	// registry turns every instrumentation point in the pipeline into a
+	// no-op, so the default run is byte-identical to the uninstrumented
+	// binary.
+	var reg *obs.Registry
+	if o.metrics != "" || o.manifest != "" {
+		reg = obs.NewRegistry()
+	}
+	var sampler *obs.RuntimeSampler
+	if o.manifest != "" {
+		sampler = obs.StartRuntimeSampler(0)
+	}
+	if o.metrics != "" {
+		srv, err := obs.NewServer(o.metrics, reg)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fenrir: serving http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
+	}
+
 	var (
 		series *core.Series
 		matrix *core.SimMatrix
 		modes  *core.ModesResult
+		cfgAny any // scenario config, recorded verbatim in the manifest
 	)
-	switch name {
+	// finish writes the manifest; every exit path that has run a scenario
+	// goes through it so -manifest works for all scenarios.
+	finish := func() error {
+		if o.manifest == "" {
+			return nil
+		}
+		m := &obs.Manifest{
+			Scenario:    o.scenario,
+			Seed:        o.seed,
+			Started:     started,
+			WallSeconds: time.Since(t0).Seconds(),
+		}
+		if cfgAny != nil {
+			if raw, err := json.Marshal(cfgAny); err == nil {
+				m.Config = raw
+			}
+		}
+		m.FillFromRegistry(reg)
+		if matrix != nil {
+			m.MatrixRows = matrix.N
+		}
+		if series != nil {
+			m.Networks = series.Space.NumNetworks()
+		}
+		if modes != nil {
+			m.Modes = len(modes.Modes)
+		}
+		m.PeakGoroutines, m.PeakHeapBytes = sampler.Stop()
+		if err := obs.WriteManifest(o.manifest, m); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fenrir: manifest written to %s (%.2fs wall, %.2fs in stages)\n",
+			o.manifest, m.WallSeconds, m.StageSeconds())
+		return nil
+	}
+
+	switch o.scenario {
 	case "broot":
-		cfg := scenario.DefaultBRootConfig(seed)
-		cfg.Parallelism = parallel
+		cfg := scenario.DefaultBRootConfig(o.seed)
+		cfg.Parallelism = o.parallel
+		cfg.Obs = reg
+		cfgAny = cfg
 		res, err := scenario.RunBRoot(cfg)
 		if err != nil {
 			return err
 		}
 		series, matrix, modes = res.Series, res.Matrix, res.Modes
 	case "groot":
-		cfg := scenario.DefaultGRootConfig(seed)
+		cfg := scenario.DefaultGRootConfig(o.seed)
 		cfg.EpochMinutes = 30 // printable scale
+		cfg.Parallelism = o.parallel
+		cfg.Obs = reg
+		cfgAny = cfg
 		res, err := scenario.RunGRoot(cfg)
 		if err != nil {
 			return err
 		}
-		series = res.Series
-		matrix = core.SimilarityMatrixParallel(series, nil, core.PessimisticUnknown,
-			core.MatrixOptions{Parallelism: parallel})
-		modes = core.DiscoverModes(matrix, core.DefaultAdaptiveOptions())
+		series, matrix, modes = res.Series, res.Matrix, res.Modes
 		fmt.Print(report.TransitionTable(res.DrainTransitions[0], "transition at first STR drain:"))
 	case "usc":
-		cfg := scenario.DefaultUSCConfig(seed)
-		cfg.Parallelism = parallel
+		cfg := scenario.DefaultUSCConfig(o.seed)
+		cfg.Parallelism = o.parallel
+		cfg.Obs = reg
+		cfgAny = cfg
 		res, err := scenario.RunUSC(cfg)
 		if err != nil {
 			return err
 		}
 		series, matrix, modes = res.Series, res.Matrix, res.Modes
 	case "google":
-		cfg := scenario.DefaultGoogleConfig(seed)
-		cfg.Parallelism = parallel
+		cfg := scenario.DefaultGoogleConfig(o.seed)
+		cfg.Parallelism = o.parallel
+		cfg.Obs = reg
+		cfgAny = cfg
 		res, err := scenario.RunGoogle(cfg)
 		if err != nil {
 			return err
 		}
-		series, matrix = res.Series, res.Matrix
-		modes = core.DiscoverModes(matrix, core.DefaultAdaptiveOptions())
+		series, matrix, modes = res.Series, res.Matrix, res.Modes
 	case "wikipedia":
-		cfg := scenario.DefaultWikipediaConfig(seed)
-		cfg.Parallelism = parallel
+		cfg := scenario.DefaultWikipediaConfig(o.seed)
+		cfg.Parallelism = o.parallel
+		cfg.Obs = reg
+		cfgAny = cfg
 		res, err := scenario.RunWikipedia(cfg)
 		if err != nil {
 			return err
 		}
 		series, matrix, modes = res.Series, res.Matrix, res.Modes
 	case "validation":
-		res, err := scenario.RunValidation(scenario.DefaultValidationConfig(seed))
+		cfg := scenario.DefaultValidationConfig(o.seed)
+		cfg.Parallelism = o.parallel
+		cfg.Obs = reg
+		cfgAny = cfg
+		res, err := scenario.RunValidation(cfg)
 		if err != nil {
 			return err
 		}
+		series, matrix, modes = res.Series, res.Matrix, res.Modes
+		sp := reg.StartSpan("report")
 		v := res.Validation
 		fmt.Printf("ground-truth groups: %d (from %d raw entries)\n", len(res.Groups), res.RawEntries)
 		fmt.Printf("TP=%d FN=%d FP=%d TN=%d unmatched=%d\n", v.TP, v.FN, v.FP, v.TN, v.Unmatched)
 		fmt.Printf("recall=%.2f precision=%.2f accuracy=%.2f\n", v.Recall(), v.Precision(), v.Accuracy())
-		return nil
+		sp.End()
+		return finish()
 	default:
-		return fmt.Errorf("unknown scenario %q", name)
+		return fmt.Errorf("unknown scenario %q", o.scenario)
 	}
 
-	if export != "" {
-		f, err := os.Create(export)
+	spRep := reg.StartSpan("report")
+	if o.export != "" {
+		f, err := os.Create(o.export)
 		if err != nil {
 			return err
 		}
@@ -119,11 +215,11 @@ func run(name string, seed uint64, heatmapDim int, stack bool, export string, pa
 			return err
 		}
 		fmt.Printf("dataset written to %s (%d networks x %d epochs)\n",
-			export, series.Space.NumNetworks(), series.Len())
+			o.export, series.Space.NumNetworks(), series.Len())
 	}
 	fmt.Print(report.ModesSummary(modes))
-	fmt.Print(report.Heatmap(matrix, heatmapDim))
-	if stack {
+	fmt.Print(report.Heatmap(matrix, o.heatmapDim))
+	if o.stack {
 		fmt.Print(report.StackPlot(series))
 	}
 	changes := core.DetectChanges(series, nil, core.DefaultDetectOptions())
@@ -133,5 +229,7 @@ func run(name string, seed uint64, heatmapDim int, stack bool, export string, pa
 	if len(changes) == 0 {
 		fmt.Println("no change events detected at default sensitivity")
 	}
-	return nil
+	spRep.SetItems(int64(len(changes)))
+	spRep.End()
+	return finish()
 }

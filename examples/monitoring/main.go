@@ -71,7 +71,18 @@ func main() {
 			fmt.Printf("day %d: CHANGE detected — Phi dropped to %.2f (baseline %.2f)\n",
 				int(ev.At), ev.Phi, ev.Baseline)
 		}
+		// An operator dashboard would poll Snapshot from another
+		// goroutine; here we print it every ten days.
+		if (day+1)%10 == 0 {
+			snap := mon.Snapshot()
+			fmt.Printf("day %d: monitor health: %d appends, %d events, mean ingest %v\n",
+				day, snap.Appends, snap.Events, snap.MeanIngest().Round(time.Microsecond))
+		}
 	}
+
+	final := mon.Snapshot()
+	fmt.Printf("\nfinal: %d observations held, last event at epoch %d, total ingest %v\n",
+		final.History, int(final.LastEvent), final.TotalIngest.Round(time.Millisecond))
 
 	cur := mon.CurrentMode(fenrir.DefaultAdaptiveOptions())
 	fmt.Printf("\ncurrent mode: #%d with %d observations across %d range(s)\n",

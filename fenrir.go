@@ -55,6 +55,7 @@ import (
 
 	"fenrir/internal/clean"
 	"fenrir/internal/core"
+	"fenrir/internal/obs"
 	"fenrir/internal/report"
 	"fenrir/internal/timeline"
 	"fenrir/internal/weight"
@@ -159,6 +160,11 @@ type AnalysisOptions struct {
 	Clustering core.AdaptiveOptions
 	// Detection tunes change detection.
 	Detection core.DetectOptions
+	// Obs receives pipeline instrumentation: stage spans (clean,
+	// similarity, cluster, detect) plus the engine's counters and
+	// histograms. nil disables instrumentation with no behavioural
+	// change. See NewRegistry.
+	Obs *obs.Registry
 }
 
 // DefaultAnalysisOptions mirrors the paper's configuration.
@@ -196,6 +202,7 @@ type Analysis struct {
 func Analyze(s *Series, opts AnalysisOptions) *Analysis {
 	a := &Analysis{Series: s}
 	if opts.Clean {
+		spClean := opts.Obs.StartSpan("clean")
 		if opts.MicroCatchmentShare > 0 {
 			a.Suppressed = clean.MicroCatchments(s, opts.MicroCatchmentShare)
 			s = clean.SuppressSites(s, a.Suppressed)
@@ -206,12 +213,25 @@ func Analyze(s *Series, opts AnalysisOptions) *Analysis {
 		}
 		s = clean.Interpolate(s, clean.InterpolateOptions{MaxReach: reach})
 		a.Series = s
+		spClean.SetItems(int64(s.Len()))
+		spClean.End()
 	}
 	a.Coverage = clean.Coverage(s)
+	spSim := opts.Obs.StartSpan("similarity")
 	a.Matrix = core.SimilarityMatrixParallel(s, opts.Weights, opts.Unknowns,
-		core.MatrixOptions{Parallelism: opts.Parallelism})
-	a.Modes = core.DiscoverModes(a.Matrix, opts.Clustering)
+		core.MatrixOptions{Parallelism: opts.Parallelism, Obs: opts.Obs})
+	spSim.SetItems(int64(a.Matrix.N) * int64(a.Matrix.N-1) / 2)
+	spSim.SetWorkers(int(opts.Obs.Gauge("fenrir_similarity_workers").Value()))
+	spSim.End()
+	spCl := opts.Obs.StartSpan("cluster")
+	clOpts := opts.Clustering
+	clOpts.Obs = opts.Obs
+	a.Modes = core.DiscoverModes(a.Matrix, clOpts)
+	spCl.End()
+	spDet := opts.Obs.StartSpan("detect")
 	a.Changes = core.DetectChanges(s, opts.Weights, opts.Detection)
+	spDet.SetItems(int64(len(a.Changes)))
+	spDet.End()
 	return a
 }
 

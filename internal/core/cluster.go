@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"fenrir/internal/obs"
 )
 
 // Linkage selects the Lance–Williams update rule for HAC.
@@ -192,6 +194,10 @@ type AdaptiveOptions struct {
 	Step float64
 	// Linkage for the underlying HAC.
 	Linkage Linkage
+	// Obs receives sweep statistics (merges scanned, per-cut cluster
+	// counts, the chosen threshold); nil disables instrumentation with
+	// no behavioural change.
+	Obs *obs.Registry
 }
 
 // DefaultAdaptiveOptions mirrors §2.6.2 exactly.
@@ -302,6 +308,20 @@ func ClusterAdaptive(m *SimMatrix, opts AdaptiveOptions) (threshold float64, clu
 	// transient thresholds where modes are mid-merge.
 	const minPlateau = 3
 
+	// Sweep statistics: the per-cut cluster-count histogram shows how
+	// fast the dendrogram converges; merges-scanned and the chosen
+	// threshold/count quantify the incremental sweep's work.
+	sweepCounts := opts.Obs.Histogram("fenrir_cluster_sweep_clusters")
+	record := func(th float64, cl [][]int) (float64, [][]int) {
+		if opts.Obs != nil {
+			opts.Obs.Counter("fenrir_cluster_merges_scanned_total").Add(int64(next))
+			opts.Obs.Counter("fenrir_cluster_sweeps_total").Inc()
+			opts.Obs.Gauge("fenrir_cluster_threshold").Set(th)
+			opts.Obs.Gauge("fenrir_cluster_count").Set(float64(len(cl)))
+		}
+		return th, cl
+	}
+
 	type run struct {
 		start float64
 		count int
@@ -310,6 +330,7 @@ func ClusterAdaptive(m *SimMatrix, opts AdaptiveOptions) (threshold float64, clu
 	var first, longest, cur run
 	for t := 0.0; t <= 1.0+1e-9; t += opts.Step {
 		advance(t)
+		sweepCounts.Observe(float64(numClusters))
 		if numClusters >= opts.MaxClusters || bigClusters == 0 {
 			cur = run{}
 			continue
@@ -328,13 +349,13 @@ func ClusterAdaptive(m *SimMatrix, opts AdaptiveOptions) (threshold float64, clu
 	}
 	switch {
 	case first.len > 0:
-		return first.start, dg.Cut(first.start)
+		return record(first.start, dg.Cut(first.start))
 	case longest.len > 0:
 		// No plateau ever formed; take the longest admissible run.
-		return longest.start, dg.Cut(longest.start)
+		return record(longest.start, dg.Cut(longest.start))
 	default:
 		// No admissible cut at any threshold (e.g. a single
 		// observation): fall back to the full merge.
-		return 1.0, dg.Cut(1.0)
+		return record(1.0, dg.Cut(1.0))
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"fenrir/internal/obs"
 	"fenrir/internal/rng"
 	"fenrir/internal/timeline"
 )
@@ -190,6 +191,67 @@ func TestSimilarityMatrixParallelEquivalence(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestSimilarityMatrixInstrumentedEquivalence asserts that attaching an
+// obs registry changes nothing about the output — the nil-registry
+// no-op contract's other half — while the engine metrics come out
+// exact: every off-diagonal pair counted once, one kernel choice, and
+// tile timings covering the whole fill.
+func TestSimilarityMatrixInstrumentedEquivalence(t *testing.T) {
+	s := randomSeries(t, 40, 50, 0.3, 11)
+	ref := naiveSimilarityMatrix(s, nil, PessimisticUnknown)
+	for _, p := range []int{1, 4} {
+		reg := obs.NewRegistry()
+		got := SimilarityMatrixParallel(s, nil, PessimisticUnknown, MatrixOptions{Parallelism: p, Obs: reg})
+		for i := 0; i < ref.N; i++ {
+			for j := 0; j < ref.N; j++ {
+				if got.At(i, j) != ref.At(i, j) {
+					t.Fatalf("P=%d instrumented: Φ(%d,%d) = %v, reference %v", p, i, j, got.At(i, j), ref.At(i, j))
+				}
+			}
+		}
+		wantPairs := int64(ref.N * (ref.N - 1) / 2)
+		if pairs := reg.Counter("fenrir_similarity_pairs_total").Value(); pairs != wantPairs {
+			t.Fatalf("P=%d: pairs counter = %d, want %d", p, pairs, wantPairs)
+		}
+		if k := reg.Counter(`fenrir_gower_kernel_total{kernel="pessimistic-uniform"}`).Value(); k != 1 {
+			t.Fatalf("P=%d: kernel counter = %d, want 1", p, k)
+		}
+		if reg.Histogram("fenrir_similarity_tile_seconds").Count() == 0 {
+			t.Fatalf("P=%d: no tile timings recorded", p)
+		}
+		if w := reg.Gauge("fenrir_similarity_workers").Value(); w != float64(p) {
+			t.Fatalf("P=%d: workers gauge = %v", p, w)
+		}
+	}
+}
+
+// TestClusterAdaptiveInstrumentedEquivalence asserts the sweep returns
+// the identical cut with a registry attached and records its stats.
+func TestClusterAdaptiveInstrumentedEquivalence(t *testing.T) {
+	s := randomSeries(t, 50, 40, 0.3, 12)
+	m := SimilarityMatrix(s, nil, PessimisticUnknown)
+	opts := DefaultAdaptiveOptions()
+	refTh, refCl := ClusterAdaptive(m, opts)
+	reg := obs.NewRegistry()
+	opts.Obs = reg
+	gotTh, gotCl := ClusterAdaptive(m, opts)
+	if gotTh != refTh || !reflect.DeepEqual(gotCl, refCl) {
+		t.Fatalf("instrumented sweep diverged: threshold %v vs %v", gotTh, refTh)
+	}
+	if reg.Counter("fenrir_cluster_merges_scanned_total").Value() <= 0 {
+		t.Fatal("merges-scanned counter not fed")
+	}
+	if got := reg.Gauge("fenrir_cluster_threshold").Value(); got != refTh {
+		t.Fatalf("threshold gauge = %v, want %v", got, refTh)
+	}
+	if got := reg.Gauge("fenrir_cluster_count").Value(); got != float64(len(refCl)) {
+		t.Fatalf("cluster-count gauge = %v, want %d", got, len(refCl))
+	}
+	if reg.Histogram("fenrir_cluster_sweep_clusters").Count() == 0 {
+		t.Fatal("sweep histogram not fed")
 	}
 }
 

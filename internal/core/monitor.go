@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
+	"fenrir/internal/obs"
 	"fenrir/internal/timeline"
 )
 
@@ -13,18 +16,33 @@ import (
 // incrementally (O(history × networks) per append instead of a full
 // O(history² × networks) recompute) and re-runs the cheap stages (HAC,
 // detection) on demand.
+//
+// Monitor is safe for concurrent use: appends serialize behind an
+// internal mutex (epochs must still arrive in increasing order), and
+// Snapshot can be polled from any goroutine while ingestion runs.
 type Monitor struct {
 	space *Space
 	sched timeline.Schedule
 	w     []float64
 	mode  UnknownMode
 
+	mu      sync.Mutex
 	vectors []*Vector
 	// sim holds the lower-triangular similarity values: sim[i][j] for
 	// j < i. Kept triangular so appends never reallocate earlier rows.
 	sim [][]float64
 
 	detect DetectOptions
+
+	// Ingest statistics, guarded by mu; see Snapshot.
+	appends     uint64
+	events      uint64
+	totalIngest time.Duration
+	lastIngest  time.Duration
+	lastEvent   timeline.Epoch
+	hasEvent    bool
+
+	obs *obs.Registry
 }
 
 // NewMonitor starts an empty monitor over a space. w may be nil.
@@ -35,8 +53,22 @@ func NewMonitor(space *Space, sched timeline.Schedule, w []float64, mode Unknown
 	return &Monitor{space: space, sched: sched, w: w, mode: mode, detect: detect}
 }
 
+// Instrument attaches a metrics registry: each append then feeds the
+// fenrir_monitor_appends_total / fenrir_monitor_events_total counters
+// and the fenrir_monitor_ingest_seconds latency histogram. A nil
+// registry detaches (the no-op default).
+func (m *Monitor) Instrument(r *obs.Registry) {
+	m.mu.Lock()
+	m.obs = r
+	m.mu.Unlock()
+}
+
 // Len returns the number of observations appended so far.
-func (m *Monitor) Len() int { return len(m.vectors) }
+func (m *Monitor) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.vectors)
+}
 
 // Append adds the next observation and returns whether it constitutes a
 // change event relative to the trailing window (the same criterion
@@ -46,6 +78,9 @@ func (m *Monitor) Append(v *Vector) (ChangeEvent, bool) {
 	if v.Space != m.space {
 		panic("core: monitor vector from foreign space")
 	}
+	t0 := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if n := len(m.vectors); n > 0 && v.T <= m.vectors[n-1].T {
 		panic(fmt.Sprintf("core: monitor append out of order (epoch %d after %d)", v.T, m.vectors[n-1].T))
 	}
@@ -59,24 +94,95 @@ func (m *Monitor) Append(v *Vector) (ChangeEvent, bool) {
 	// Change check: replay the batch detector over the adjacent-pair
 	// series. The series is short in operational use (bounded history) so
 	// this stays cheap while guaranteeing batch/stream agreement.
-	events := DetectChanges(m.Series(), m.w, m.detect)
+	var event ChangeEvent
+	var changed bool
+	events := DetectChanges(m.seriesLocked(), m.w, m.detect)
 	if len(events) > 0 {
 		last := events[len(events)-1]
 		if last.At == v.T {
-			return last, true
+			event, changed = last, true
 		}
 	}
-	return ChangeEvent{}, false
+
+	ingest := time.Since(t0)
+	m.appends++
+	m.totalIngest += ingest
+	m.lastIngest = ingest
+	if changed {
+		m.events++
+		m.lastEvent = event.At
+		m.hasEvent = true
+	}
+	if m.obs != nil {
+		m.obs.Counter("fenrir_monitor_appends_total").Inc()
+		m.obs.Histogram("fenrir_monitor_ingest_seconds").Observe(ingest.Seconds())
+		m.obs.Gauge("fenrir_monitor_history").Set(float64(len(m.vectors)))
+		if changed {
+			m.obs.Counter("fenrir_monitor_events_total").Inc()
+		}
+	}
+	return event, changed
+}
+
+// MonitorSnapshot is a point-in-time view of a monitor's ingest and
+// detection statistics, safe to collect while appends continue.
+type MonitorSnapshot struct {
+	// Appends and Events count observations ingested and change events
+	// fired since the monitor started (TrimBefore does not reset them).
+	Appends uint64
+	Events  uint64
+	// History is the current observation count (after trims).
+	History int
+	// LastIngest and TotalIngest measure Append latency — the time to
+	// extend the similarity matrix and re-run detection.
+	LastIngest  time.Duration
+	TotalIngest time.Duration
+	// LastEvent is the epoch of the most recent change event; HasEvent
+	// reports whether any event has fired.
+	LastEvent timeline.Epoch
+	HasEvent  bool
+}
+
+// MeanIngest returns the average per-observation ingest latency.
+func (s MonitorSnapshot) MeanIngest() time.Duration {
+	if s.Appends == 0 {
+		return 0
+	}
+	return s.TotalIngest / time.Duration(s.Appends)
+}
+
+// Snapshot returns the monitor's live ingest/detection statistics.
+func (m *Monitor) Snapshot() MonitorSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MonitorSnapshot{
+		Appends:     m.appends,
+		Events:      m.events,
+		History:     len(m.vectors),
+		LastIngest:  m.lastIngest,
+		TotalIngest: m.totalIngest,
+		LastEvent:   m.lastEvent,
+		HasEvent:    m.hasEvent,
+	}
+}
+
+// seriesLocked materializes the history as a Series; callers hold mu.
+func (m *Monitor) seriesLocked() *Series {
+	return NewSeries(m.space, m.sched, m.vectors, nil)
 }
 
 // Series materializes the monitor's history as a Series.
 func (m *Monitor) Series() *Series {
-	return NewSeries(m.space, m.sched, m.vectors, nil)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seriesLocked()
 }
 
 // Matrix materializes the full symmetric similarity matrix. The epochs
 // array mirrors SimilarityMatrix's.
 func (m *Monitor) Matrix() *SimMatrix {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n := len(m.vectors)
 	out := &SimMatrix{N: n, Epochs: make([]int, n), vals: make([]float64, n*n)}
 	for i, v := range m.vectors {
@@ -99,15 +205,18 @@ func (m *Monitor) Modes(opts AdaptiveOptions) *ModesResult {
 // CurrentMode returns the mode containing the latest observation, or nil
 // before any observation arrives.
 func (m *Monitor) CurrentMode(opts AdaptiveOptions) *Mode {
-	if len(m.vectors) == 0 {
+	n := m.Len()
+	if n == 0 {
 		return nil
 	}
-	return m.Modes(opts).ModeOf(len(m.vectors) - 1)
+	return m.Modes(opts).ModeOf(n - 1)
 }
 
 // TrimBefore drops observations older than epoch, bounding memory for
 // long-running monitors. Mode history before the cut is forgotten.
 func (m *Monitor) TrimBefore(epoch timeline.Epoch) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	cut := 0
 	for cut < len(m.vectors) && m.vectors[cut].T < epoch {
 		cut++

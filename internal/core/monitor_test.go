@@ -1,8 +1,10 @@
 package core
 
 import (
+	"sync"
 	"testing"
 
+	"fenrir/internal/obs"
 	"fenrir/internal/rng"
 	"fenrir/internal/timeline"
 )
@@ -139,6 +141,99 @@ func TestMonitorForeignSpacePanics(t *testing.T) {
 		}
 	}()
 	mon.Append(other.NewVector(0))
+}
+
+// TestMonitorConcurrentIngest exercises the monitor's concurrency
+// contract under the race detector: several goroutines take turns
+// appending (epoch order enforced by passing the next index through a
+// channel) while other goroutines hammer Snapshot. Run with -race.
+func TestMonitorConcurrentIngest(t *testing.T) {
+	space, vs := monitorFixtureVectors(64)
+	mon := NewMonitor(space, sched(64), nil, PessimisticUnknown, DefaultDetectOptions())
+	reg := obs.NewRegistry()
+	mon.Instrument(reg)
+
+	const writers = 4
+	next := make(chan int, 1)
+	next <- 0
+	var wg sync.WaitGroup
+	for k := 0; k < writers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := <-next
+				if i >= len(vs) {
+					next <- i
+					return
+				}
+				mon.Append(vs[i])
+				next <- i + 1
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	var pollers sync.WaitGroup
+	for k := 0; k < 3; k++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			var prev uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := mon.Snapshot()
+				if snap.Appends < prev {
+					t.Error("appends went backwards")
+					return
+				}
+				prev = snap.Appends
+				if snap.Appends > 0 && snap.TotalIngest <= 0 {
+					t.Error("appends recorded without ingest time")
+					return
+				}
+				mon.Len()
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	pollers.Wait()
+
+	snap := mon.Snapshot()
+	if snap.Appends != 64 || snap.History != 64 {
+		t.Fatalf("snapshot = %+v, want 64 appends/history", snap)
+	}
+	if snap.Events == 0 || !snap.HasEvent || snap.LastEvent != 32 {
+		t.Fatalf("change event not reflected in snapshot: %+v", snap)
+	}
+	if snap.MeanIngest() <= 0 || snap.LastIngest <= 0 {
+		t.Fatalf("ingest latency not tracked: %+v", snap)
+	}
+	if got := reg.Counter("fenrir_monitor_appends_total").Value(); got != 64 {
+		t.Fatalf("appends counter = %d, want 64", got)
+	}
+	if got := reg.Counter("fenrir_monitor_events_total").Value(); got != int64(snap.Events) {
+		t.Fatalf("events counter = %d, want %d", got, snap.Events)
+	}
+	if reg.Histogram("fenrir_monitor_ingest_seconds").Count() != 64 {
+		t.Fatal("ingest histogram not fed")
+	}
+	// The streamed result must still equal the batch pipeline.
+	batch := SimilarityMatrix(NewSeries(space, sched(64), vs, nil), nil, PessimisticUnknown)
+	inc := mon.Matrix()
+	for i := 0; i < inc.N; i++ {
+		for j := 0; j < inc.N; j++ {
+			if inc.At(i, j) != batch.At(i, j) {
+				t.Fatalf("cell (%d,%d): %v != %v", i, j, inc.At(i, j), batch.At(i, j))
+			}
+		}
+	}
 }
 
 func BenchmarkMonitorAppend(b *testing.B) {

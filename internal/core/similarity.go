@@ -5,6 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"fenrir/internal/obs"
 )
 
 // UnknownMode selects how Φ treats networks whose catchment is unknown in
@@ -165,6 +168,28 @@ type MatrixOptions struct {
 	// tile counter load-balances the triangular row costs. Rows are
 	// contiguous so each worker streams the same few assign slices.
 	TileRows int
+	// Obs receives engine instrumentation: per-tile fill timing, pair
+	// counts, worker/tile gauges, and kernel-choice counters. nil (the
+	// default) disables instrumentation entirely — the hot loop is
+	// untouched and the matrix is bit-identical either way.
+	Obs *obs.Registry
+}
+
+// kernelName labels the monomorphic Gower kernel gowerKernel selects,
+// for the engine's kernel-choice counter.
+func kernelName(w []float64, mode UnknownMode) string {
+	switch {
+	case mode == PessimisticUnknown && w == nil:
+		return "pessimistic-uniform"
+	case mode == PessimisticUnknown:
+		return "pessimistic-weighted"
+	case mode == KnownOnly && w == nil:
+		return "known-only-uniform"
+	case mode == KnownOnly:
+		return "known-only-weighted"
+	default:
+		return "zero"
+	}
 }
 
 // SimilarityMatrix computes Φ for every vector pair in the series.
@@ -220,6 +245,27 @@ func SimilarityMatrixParallel(s *Series, w []float64, mode UnknownMode, opts Mat
 	if p > n {
 		p = n
 	}
+	if opts.Obs != nil {
+		// Instrumentation wraps the tile-fill closure rather than the
+		// per-pair loop: one monotonic time.Since per tile, never per
+		// pair, and only when a registry is attached.
+		opts.Obs.Counter(`fenrir_gower_kernel_total{kernel="` + kernelName(w, mode) + `"}`).Inc()
+		opts.Obs.Counter("fenrir_similarity_matrices_total").Inc()
+		opts.Obs.Gauge("fenrir_similarity_workers").Set(float64(p))
+		tileDur := opts.Obs.Histogram("fenrir_similarity_tile_seconds")
+		pairs := opts.Obs.Counter("fenrir_similarity_pairs_total")
+		base := fill
+		fill = func(lo, hi int) {
+			t0 := time.Now()
+			base(lo, hi)
+			tileDur.ObserveSince(t0)
+			np := 0
+			for i := lo; i < hi; i++ {
+				np += n - i - 1
+			}
+			pairs.Add(int64(np))
+		}
+	}
 	if p <= 1 {
 		fill(0, n)
 		return m
@@ -234,6 +280,7 @@ func SimilarityMatrixParallel(s *Series, w []float64, mode UnknownMode, opts Mat
 			tile = 1
 		}
 	}
+	opts.Obs.Gauge("fenrir_similarity_tile_rows").Set(float64(tile))
 	numTiles := (n + tile - 1) / tile
 	var next atomic.Int64
 	var wg sync.WaitGroup

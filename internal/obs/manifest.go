@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Manifest is the structured record of one pipeline run: what ran, how
+// it was configured, where the wall time went, what the analysis
+// produced, and how hard the runtime worked. It is written as indented
+// JSON so operators can diff manifests across runs.
+type Manifest struct {
+	Scenario string    `json:"scenario"`
+	Seed     uint64    `json:"seed"`
+	Started  time.Time `json:"started"`
+	// WallSeconds is the run's total wall time, measured monotonically
+	// by the caller from process start to manifest write.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Config is the scenario configuration, marshalled verbatim.
+	Config json.RawMessage `json:"config,omitempty"`
+	// Stages are the per-stage rollups (see Registry.StageSummary);
+	// their Seconds sum to ~WallSeconds when the pipeline is fully
+	// instrumented.
+	Stages []StageRecord `json:"stages"`
+	// MatrixRows and Networks give the similarity-matrix shape
+	// (epochs × epochs over this many networks); 0 when no matrix ran.
+	MatrixRows int `json:"matrix_rows,omitempty"`
+	Networks   int `json:"networks,omitempty"`
+	// Modes is the discovered routing-mode count.
+	Modes int `json:"modes,omitempty"`
+	// PeakGoroutines and PeakHeapBytes come from runtime sampling.
+	PeakGoroutines int    `json:"peak_goroutines,omitempty"`
+	PeakHeapBytes  uint64 `json:"peak_heap_bytes,omitempty"`
+	// Counters and Gauges snapshot the registry at write time.
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// StageSeconds sums the recorded stage durations.
+func (m *Manifest) StageSeconds() float64 {
+	var sum float64
+	for _, s := range m.Stages {
+		sum += s.Seconds
+	}
+	return sum
+}
+
+// Stage returns the named stage record, or nil.
+func (m *Manifest) Stage(name string) *StageRecord {
+	for i := range m.Stages {
+		if m.Stages[i].Name == name {
+			return &m.Stages[i]
+		}
+	}
+	return nil
+}
+
+// FillFromRegistry copies the registry's stage summary and metric
+// snapshot into the manifest. No-op on a nil registry.
+func (m *Manifest) FillFromRegistry(r *Registry) {
+	if r == nil {
+		return
+	}
+	m.Stages = r.StageSummary()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m.Counters = make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		m.Counters[k] = v.Value()
+	}
+	m.Gauges = make(map[string]float64, len(r.gauges))
+	for k, v := range r.gauges {
+		m.Gauges[k] = v.Value()
+	}
+}
+
+// WriteManifest writes the manifest as indented JSON to path.
+func WriteManifest(path string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadManifest reads a manifest previously written by WriteManifest.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obs: parse manifest %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// RuntimeSampler polls runtime.NumGoroutine and the heap allocation at
+// a fixed interval, tracking peaks for the manifest. ReadMemStats
+// briefly stops the world, so the interval should stay in the tens of
+// milliseconds.
+type RuntimeSampler struct {
+	stop chan struct{}
+	done chan struct{}
+
+	mu       sync.Mutex
+	peakG    int
+	peakHeap uint64
+}
+
+// StartRuntimeSampler begins sampling in a background goroutine.
+// interval <= 0 defaults to 25ms.
+func StartRuntimeSampler(interval time.Duration) *RuntimeSampler {
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	s := &RuntimeSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			s.sample()
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return s
+}
+
+func (s *RuntimeSampler) sample() {
+	g := runtime.NumGoroutine()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mu.Lock()
+	if g > s.peakG {
+		s.peakG = g
+	}
+	if ms.HeapAlloc > s.peakHeap {
+		s.peakHeap = ms.HeapAlloc
+	}
+	s.mu.Unlock()
+}
+
+// Stop takes a final sample, halts the sampler, and returns the peaks.
+// Safe on a nil sampler (returns zeros).
+func (s *RuntimeSampler) Stop() (peakGoroutines int, peakHeapBytes uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+	s.sample()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peakG, s.peakHeap
+}

@@ -1,0 +1,356 @@
+// Package obs is Fenrir's zero-dependency instrumentation layer: a
+// metrics registry (counters, gauges, log-bucket histograms), stage
+// spans, runtime endpoints (Prometheus text, expvar, pprof on one mux),
+// and structured run manifests.
+//
+// The package is built for a pipeline whose hot paths run at memory
+// speed: every read uses the monotonic clock (time.Since), metric
+// handles are resolved once outside hot loops, and — the load-bearing
+// contract — a nil *Registry is a no-op. Library code threads a
+// *Registry through options structs and instruments unconditionally;
+// when no observer is attached the nil receiver short-circuits every
+// call, so instrumented and uninstrumented runs produce bit-identical
+// results and indistinguishable benchmarks.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named metrics and completed stage spans. All methods
+// are safe for concurrent use, and all methods on a nil *Registry are
+// no-ops returning nil handles (whose methods are in turn no-ops).
+//
+// Metric names follow Prometheus exposition syntax; a name may embed a
+// label set verbatim, e.g. `fenrir_stage_seconds{stage="similarity"}`.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    []StageRecord
+	start    time.Time
+}
+
+// NewRegistry returns an empty registry anchored at the current time.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		start:    time.Now(),
+	}
+}
+
+// Counter returns the named monotonically increasing counter, creating
+// it on first use. Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a no-op handle) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the package's fixed log-scale buckets. Returns nil (a no-op handle)
+// on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil handle.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil handle.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value. No-op on a nil handle.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by delta. No-op on a nil handle.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram buckets: fixed log-scale bounds 1e-9 × 4^i, wide enough to
+// hold both sub-microsecond durations (in seconds) and large counts in
+// the same shape. Fixed bounds keep Observe allocation-free and make
+// every exposition comparable across runs.
+const (
+	histBuckets     = 32
+	histFirstBound  = 1e-9
+	histBucketRatio = 4.0
+)
+
+var histBounds = func() [histBuckets]float64 {
+	var b [histBuckets]float64
+	v := histFirstBound
+	for i := range b {
+		b[i] = v
+		v *= histBucketRatio
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket log-scale histogram. Observations land in
+// the first bucket whose upper bound is >= the value; values beyond the
+// last bound count only toward +Inf (count/sum).
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	over   atomic.Uint64 // observations above the last bound
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value. No-op on a nil handle.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(histBounds[:], v)
+	if idx < histBuckets {
+		h.counts[idx].Add(1)
+	} else {
+		h.over.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed monotonic time since t0, in seconds.
+// No-op on a nil handle.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations (0 on a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on a nil handle).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// splitName splits a metric name into its base and an optional verbatim
+// label block (without braces): `m{a="b"}` → (`m`, `a="b"`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4), sorted by name for stable output. No-op on a
+// nil registry.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	typed := make(map[string]bool)
+	typeLine := func(name, kind string) {
+		base, _ := splitName(name)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		}
+	}
+	for _, name := range sortedKeys(counters) {
+		typeLine(name, "counter")
+		fmt.Fprintf(w, "%s %d\n", name, counters[name].Value())
+	}
+	for _, name := range sortedKeys(gauges) {
+		typeLine(name, "gauge")
+		fmt.Fprintf(w, "%s %g\n", name, gauges[name].Value())
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		base, labels := splitName(name)
+		typeLine(name, "histogram")
+		var cum uint64
+		for i := 0; i < histBuckets; i++ {
+			cum += h.counts[i].Load()
+			if cum == 0 {
+				continue // suppress the empty low tail
+			}
+			fmt.Fprintf(w, "%s_bucket{%s} %d\n", base,
+				joinLabels(labels, fmt.Sprintf("le=%q", formatBound(histBounds[i]))), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, joinLabels(labels, `le="+Inf"`), h.Count())
+		if labels == "" {
+			fmt.Fprintf(w, "%s_sum %g\n", base, h.Sum())
+			fmt.Fprintf(w, "%s_count %d\n", base, h.Count())
+		} else {
+			fmt.Fprintf(w, "%s_sum{%s} %g\n", base, labels, h.Sum())
+			fmt.Fprintf(w, "%s_count{%s} %d\n", base, labels, h.Count())
+		}
+	}
+}
+
+func formatBound(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot returns a plain-data view of the registry (counters, gauges,
+// histogram summaries, and stage records), suitable for expvar.Publish
+// or JSON encoding. Returns nil on a nil registry.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counters := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v.Value()
+	}
+	hists := make(map[string]map[string]any, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = map[string]any{"count": v.Count(), "sum": v.Sum()}
+	}
+	stages := append([]StageRecord(nil), r.spans...)
+	return map[string]any{
+		"counters":       counters,
+		"gauges":         gauges,
+		"histograms":     hists,
+		"stages":         stages,
+		"uptime_seconds": time.Since(r.start).Seconds(),
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fenrir/internal/measure/atlas"
 	"fenrir/internal/measure/verfploeter"
 	"fenrir/internal/netaddr"
+	"fenrir/internal/obs"
 	"fenrir/internal/timeline"
 	"fenrir/internal/wire"
 )
@@ -36,6 +37,9 @@ type BRootConfig struct {
 	// Parallelism sizes the similarity-matrix worker pool (0 = all
 	// cores, 1 = serial); the matrix is bit-identical at any setting.
 	Parallelism int
+	// Obs receives pipeline instrumentation (stage spans and engine
+	// metrics); nil disables it with no behavioural change.
+	Obs *obs.Registry `json:"-"`
 }
 
 // DefaultBRootConfig returns a configuration that finishes in seconds.
@@ -93,6 +97,7 @@ func RunBRoot(cfg BRootConfig) (*BRootResult, error) {
 	if cfg.EpochDays <= 0 {
 		cfg.EpochDays = 7
 	}
+	spGen := cfg.Obs.StartSpan("generate")
 	gen := astopo.DefaultGenConfig(cfg.Seed)
 	if cfg.StubsPerRegion > 0 {
 		gen.StubsPerRegion = cfg.StubsPerRegion
@@ -195,6 +200,8 @@ func RunBRoot(cfg BRootConfig) (*BRootResult, error) {
 		Latency:  latency.NewSiteSeries(),
 		GapRange: timeline.Range{From: ev["gap-start"], To: ev["gap-end"]},
 	}
+	spGen.End()
+	spObs := cfg.Obs.StartSpan("observe")
 	var vectors []*core.Vector
 	sclTransient := false
 	for e := 0; e < n; e++ {
@@ -294,10 +301,10 @@ func RunBRoot(cfg BRootConfig) (*BRootResult, error) {
 		}
 	}
 
+	spObs.SetItems(int64(len(vectors)))
+	spObs.End()
 	res.Series = core.NewSeries(space, sched, vectors, nil)
-	res.Matrix = core.SimilarityMatrixParallel(res.Series, nil, core.PessimisticUnknown,
-		core.MatrixOptions{Parallelism: cfg.Parallelism})
-	res.Modes = core.DiscoverModes(res.Matrix, core.DefaultAdaptiveOptions())
+	res.Matrix, res.Modes = analyze(cfg.Obs, res.Series, cfg.Parallelism)
 	return res, nil
 }
 

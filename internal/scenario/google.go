@@ -8,6 +8,7 @@ import (
 	"fenrir/internal/dataplane"
 	"fenrir/internal/measure/ednscs"
 	"fenrir/internal/netaddr"
+	"fenrir/internal/obs"
 	"fenrir/internal/timeline"
 	"fenrir/internal/websim"
 )
@@ -38,6 +39,9 @@ type GoogleConfig struct {
 	// Parallelism sizes the similarity-matrix worker pool (0 = all
 	// cores, 1 = serial); the matrix is bit-identical at any setting.
 	Parallelism int
+	// Obs receives pipeline instrumentation (stage spans and engine
+	// metrics); nil disables it with no behavioural change.
+	Obs *obs.Registry `json:"-"`
 }
 
 // DefaultGoogleConfig mirrors the paper's proportions at laptop scale.
@@ -55,6 +59,7 @@ type GoogleResult struct {
 	Schedule timeline.Schedule
 	Series   *core.Series
 	Matrix   *core.SimMatrix
+	Modes    *core.ModesResult
 	// Rows2013 is how many leading matrix rows belong to the 2013 era.
 	Rows2013 int
 	// WithinWeekPhi / CrossWeekPhi / CrossEraPhi summarize the three
@@ -71,6 +76,7 @@ func RunGoogle(cfg GoogleConfig) (*GoogleResult, error) {
 	if cfg.Days2024 <= 0 {
 		cfg.Days2024 = 60
 	}
+	spGen := cfg.Obs.StartSpan("generate")
 	gen := astopo.DefaultGenConfig(cfg.Seed)
 	if cfg.StubsPerRegion > 0 {
 		gen.StubsPerRegion = cfg.StubsPerRegion
@@ -119,6 +125,8 @@ func RunGoogle(cfg GoogleConfig) (*GoogleResult, error) {
 	n := cfg.Days2013 + cfg.Days2024
 	sched := timeline.NewSchedule(date("2024-02-17"), daysDur(1), n+1)
 
+	spGen.End()
+	spObs := cfg.Obs.StartSpan("observe")
 	var vectors []*core.Vector
 	for d := 0; d < cfg.Days2013; d++ {
 		site.Policy = pol2013
@@ -131,10 +139,12 @@ func RunGoogle(cfg GoogleConfig) (*GoogleResult, error) {
 		vectors = append(vectors, mapper.Sweep(space, timeline.Epoch(cfg.Days2013+d)))
 	}
 
+	spObs.SetItems(int64(len(vectors)))
+	spObs.End()
+
 	res := &GoogleResult{Schedule: sched, Rows2013: cfg.Days2013}
 	res.Series = core.NewSeries(space, sched, vectors, nil)
-	res.Matrix = core.SimilarityMatrixParallel(res.Series, nil, core.PessimisticUnknown,
-		core.MatrixOptions{Parallelism: cfg.Parallelism})
+	res.Matrix, res.Modes = analyze(cfg.Obs, res.Series, cfg.Parallelism)
 
 	// Headline Φ summaries over the 2024 rows.
 	o := cfg.Days2013

@@ -10,6 +10,7 @@ import (
 	"fenrir/internal/dataplane"
 	"fenrir/internal/measure/atlas"
 	"fenrir/internal/netaddr"
+	"fenrir/internal/obs"
 	"fenrir/internal/rng"
 	"fenrir/internal/timeline"
 )
@@ -31,6 +32,12 @@ type GRootConfig struct {
 	// transient err state that dominates Table 3a before resolving in
 	// Table 3b.
 	ConvergenceErrProb float64
+	// Parallelism sizes the similarity-matrix worker pool (0 = all
+	// cores, 1 = serial); the matrix is bit-identical at any setting.
+	Parallelism int
+	// Obs receives pipeline instrumentation (stage spans and engine
+	// metrics); nil disables it with no behavioural change.
+	Obs *obs.Registry `json:"-"`
 }
 
 // DefaultGRootConfig finishes in a few seconds.
@@ -49,6 +56,8 @@ func DefaultGRootConfig(seed uint64) GRootConfig {
 type GRootResult struct {
 	Schedule timeline.Schedule
 	Series   *core.Series
+	Matrix   *core.SimMatrix
+	Modes    *core.ModesResult
 	// DrainTransitions are the transition matrices at the first STR
 	// drain: [0] the big STR→NAP shift with transient errors (Table 3a),
 	// [1] the completion where errors resolve to NAP (Table 3b).
@@ -72,6 +81,7 @@ func RunGRoot(cfg GRootConfig) (*GRootResult, error) {
 	if cfg.Days <= 0 {
 		cfg.Days = 10
 	}
+	spGen := cfg.Obs.StartSpan("generate")
 	gen := astopo.DefaultGenConfig(cfg.Seed)
 	if cfg.StubsPerRegion > 0 {
 		gen.StubsPerRegion = cfg.StubsPerRegion
@@ -136,6 +146,8 @@ func RunGRoot(cfg GRootConfig) (*GRootResult, error) {
 	}
 
 	res := &GRootResult{Schedule: sched, Events: ev}
+	spGen.End()
+	spObs := cfg.Obs.StartSpan("observe")
 	convRand := rng.New(cfg.Seed ^ 0xc0117e47e)
 	var vectors []*core.Vector
 	var prevRIB, curRIB = (*bgpsim.RIB)(nil), w.Net.ServiceRIB("g-root")
@@ -181,16 +193,23 @@ func RunGRoot(cfg GRootConfig) (*GRootResult, error) {
 		}
 		vectors = append(vectors, v)
 	}
+	spObs.SetItems(int64(len(vectors)))
+	spObs.End()
 	res.Series = core.NewSeries(space, sched, vectors, nil)
+	res.Matrix, res.Modes = analyze(cfg.Obs, res.Series, cfg.Parallelism)
 
 	// Table 3: transitions at the first drain boundary and one epoch
 	// later.
+	spTr := cfg.Obs.StartSpan("transitions")
 	d := ev["drain-1"]
 	va, vb, vc := res.Series.At(d-1), res.Series.At(d), res.Series.At(d+1)
 	if va == nil || vb == nil || vc == nil {
+		spTr.End()
 		return nil, fmt.Errorf("groot: drain boundary vectors missing")
 	}
 	res.DrainTransitions[0] = core.Transition(va, vb, nil)
 	res.DrainTransitions[1] = core.Transition(vb, vc, nil)
+	spTr.SetItems(2)
+	spTr.End()
 	return res, nil
 }

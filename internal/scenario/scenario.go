@@ -10,7 +10,7 @@
 //
 // Everything is deterministic in the scenario seed. Scale knobs shrink
 // the paper's millions-of-networks datasets to laptop size without
-// changing any code path (see DESIGN.md §6).
+// changing any code path (see DESIGN.md §8).
 package scenario
 
 import (
@@ -19,7 +19,9 @@ import (
 
 	"fenrir/internal/astopo"
 	"fenrir/internal/bgpsim"
+	"fenrir/internal/core"
 	"fenrir/internal/dataplane"
+	"fenrir/internal/obs"
 )
 
 // World bundles the topology, policy, and forwarding plane a scenario
@@ -73,6 +75,27 @@ func (w *World) Tier2sInRegion(region string) []astopo.ASN {
 		}
 	}
 	return out
+}
+
+// analyze runs the shared similarity→cluster tail of a scenario under
+// stage spans, threading the registry into the engine so tile timings,
+// kernel counters, and sweep statistics land next to the spans. r may
+// be nil (the un-instrumented default): every obs call then no-ops and
+// the results are bit-identical.
+func analyze(r *obs.Registry, s *core.Series, parallelism int) (*core.SimMatrix, *core.ModesResult) {
+	spSim := r.StartSpan("similarity")
+	m := core.SimilarityMatrixParallel(s, nil, core.PessimisticUnknown,
+		core.MatrixOptions{Parallelism: parallelism, Obs: r})
+	spSim.SetItems(int64(m.N) * int64(m.N-1) / 2)
+	// The engine just published its effective (clamped) pool size.
+	spSim.SetWorkers(int(r.Gauge("fenrir_similarity_workers").Value()))
+	spSim.End()
+	spCl := r.StartSpan("cluster")
+	opts := core.DefaultAdaptiveOptions()
+	opts.Obs = r
+	modes := core.DiscoverModes(m, opts)
+	spCl.End()
+	return m, modes
 }
 
 // date parses a YYYY-MM-DD literal; scenarios use it for the paper's

@@ -8,6 +8,7 @@ import (
 	"fenrir/internal/dataplane"
 	"fenrir/internal/measure/traceroute"
 	"fenrir/internal/netaddr"
+	"fenrir/internal/obs"
 	"fenrir/internal/rng"
 	"fenrir/internal/timeline"
 )
@@ -43,6 +44,9 @@ type USCConfig struct {
 	// Parallelism sizes the similarity-matrix worker pool (0 = all
 	// cores, 1 = serial); the matrix is bit-identical at any setting.
 	Parallelism int
+	// Obs receives pipeline instrumentation (stage spans and engine
+	// metrics); nil disables it with no behavioural change.
+	Obs *obs.Registry `json:"-"`
 }
 
 // DefaultUSCConfig finishes in seconds.
@@ -80,6 +84,7 @@ func RunUSC(cfg USCConfig) (*USCResult, error) {
 	if cfg.FocusHop <= 0 {
 		cfg.FocusHop = 3
 	}
+	spGen := cfg.Obs.StartSpan("generate")
 	gen := astopo.DefaultGenConfig(cfg.Seed)
 	if cfg.StubsPerRegion > 0 {
 		gen.StubsPerRegion = cfg.StubsPerRegion
@@ -165,6 +170,8 @@ func RunUSC(cfg USCConfig) (*USCResult, error) {
 	space := traceroute.Space(hitlist)
 
 	res := &USCResult{Schedule: sched, ChangeEpoch: change}
+	spGen.End()
+	spObs := cfg.Obs.StartSpan("observe")
 	churnRand := rng.New(cfg.Seed ^ 0xc4042)
 	allT2 := func() []astopo.ASN {
 		var out []astopo.ASN
@@ -219,16 +226,20 @@ func RunUSC(cfg USCConfig) (*USCResult, error) {
 		}
 	}
 	if tracesBefore == nil || tracesAfter == nil {
+		spObs.End()
 		return nil, fmt.Errorf("usc: change epoch %d outside schedule", change)
 	}
+	spObs.SetItems(int64(len(vectors)))
+	spObs.End()
 
 	res.Series = core.NewSeries(space, sched, vectors, nil)
-	res.Matrix = core.SimilarityMatrixParallel(res.Series, nil, core.PessimisticUnknown,
-		core.MatrixOptions{Parallelism: cfg.Parallelism})
-	res.Modes = core.DiscoverModes(res.Matrix, core.DefaultAdaptiveOptions())
+	res.Matrix, res.Modes = analyze(cfg.Obs, res.Series, cfg.Parallelism)
+	spTr := cfg.Obs.StartSpan("transitions")
 	res.FlowsBefore = traceroute.FlowsAtHops(tracesBefore, 1, 4)
 	res.FlowsAfter = traceroute.FlowsAtHops(tracesAfter, 1, 4)
 	res.Hop3Before = res.Series.At(change - 1).Aggregate()
 	res.Hop3After = res.Series.At(change + 1).Aggregate()
+	spTr.SetItems(int64(len(tracesBefore) + len(tracesAfter)))
+	spTr.End()
 	return res, nil
 }

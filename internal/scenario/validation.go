@@ -11,6 +11,7 @@ import (
 	"fenrir/internal/events"
 	"fenrir/internal/measure/atlas"
 	"fenrir/internal/netaddr"
+	"fenrir/internal/obs"
 	"fenrir/internal/rng"
 	"fenrir/internal/timeline"
 )
@@ -36,6 +37,12 @@ type ValidationConfig struct {
 	ThirdPartyStandalone int
 	// DetectOpts tunes the detector; zero value uses defaults.
 	DetectOpts core.DetectOptions
+	// Parallelism sizes the similarity-matrix worker pool (0 = all
+	// cores, 1 = serial); the matrix is bit-identical at any setting.
+	Parallelism int
+	// Obs receives pipeline instrumentation (stage spans and engine
+	// metrics); nil disables it with no behavioural change.
+	Obs *obs.Registry `json:"-"`
 }
 
 // DefaultValidationConfig mirrors Table 4's event counts.
@@ -54,6 +61,11 @@ type ValidationResult struct {
 	Validation events.Validation
 	// RawEntries is the ungrouped maintenance-log length (paper: 98).
 	RawEntries int
+	// Series/Matrix/Modes expose the underlying pipeline artefacts so the
+	// CLI can render the usual mode summary and heatmap alongside Table 4.
+	Series *core.Series
+	Matrix *core.SimMatrix
+	Modes  *core.ModesResult
 }
 
 // RunValidation executes the ground-truth study: a B-Root-like anycast
@@ -66,6 +78,7 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 	if cfg.Epochs <= 0 {
 		cfg.Epochs = 1600
 	}
+	spGen := cfg.Obs.StartSpan("generate")
 	gen := astopo.DefaultGenConfig(cfg.Seed)
 	if cfg.StubsPerRegion > 0 {
 		gen.StubsPerRegion = cfg.StubsPerRegion
@@ -221,6 +234,8 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 	}
 
 	// Run the measurement loop.
+	spGen.End()
+	spObs := cfg.Obs.StartSpan("observe")
 	var vectors []*core.Vector
 	drainedUntil := map[string]timeline.Epoch{}
 	teState := 0
@@ -273,20 +288,29 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 		vectors = append(vectors, v)
 	}
 
+	spObs.SetItems(int64(len(vectors)))
+	spObs.End()
 	series := core.NewSeries(space, sched, vectors, nil)
+	matrix, modes := analyze(cfg.Obs, series, cfg.Parallelism)
 	opts := cfg.DetectOpts
 	if opts.Window == 0 {
 		opts = core.DefaultDetectOptions()
 		opts.MinDrop = 0.04
 		opts.Cooldown = 4
 	}
+	spDet := cfg.Obs.StartSpan("detect")
 	detections := core.DetectChanges(series, nil, opts)
 	groups := events.GroupEntries(log, 2)
 	val := events.Validate(groups, detections, 3)
+	spDet.SetItems(int64(len(detections)))
+	spDet.End()
 	return &ValidationResult{
 		Groups:     groups,
 		Detections: detections,
 		Validation: val,
 		RawEntries: len(log),
+		Series:     series,
+		Matrix:     matrix,
+		Modes:      modes,
 	}, nil
 }

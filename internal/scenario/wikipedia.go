@@ -8,6 +8,7 @@ import (
 	"fenrir/internal/dataplane"
 	"fenrir/internal/measure/ednscs"
 	"fenrir/internal/netaddr"
+	"fenrir/internal/obs"
 	"fenrir/internal/timeline"
 	"fenrir/internal/websim"
 )
@@ -29,6 +30,9 @@ type WikipediaConfig struct {
 	// Parallelism sizes the similarity-matrix worker pool (0 = all
 	// cores, 1 = serial); the matrix is bit-identical at any setting.
 	Parallelism int
+	// Obs receives pipeline instrumentation (stage spans and engine
+	// metrics); nil disables it with no behavioural change.
+	Obs *obs.Registry `json:"-"`
 }
 
 // DefaultWikipediaConfig mirrors the paper's six weeks.
@@ -62,6 +66,7 @@ func RunWikipedia(cfg WikipediaConfig) (*WikipediaResult, error) {
 	if cfg.Days <= 0 {
 		cfg.Days = 42
 	}
+	spGen := cfg.Obs.StartSpan("generate")
 	gen := astopo.DefaultGenConfig(cfg.Seed)
 	if cfg.StubsPerRegion > 0 {
 		gen.StubsPerRegion = cfg.StubsPerRegion
@@ -131,6 +136,8 @@ func RunWikipedia(cfg WikipediaConfig) (*WikipediaResult, error) {
 	drain := sched.EpochOn("2025-03-19")
 	restore := sched.EpochOn("2025-03-26")
 
+	spGen.End()
+	spObs := cfg.Obs.StartSpan("observe")
 	var vectors []*core.Vector
 	for e := 0; e < cfg.Days; e++ {
 		epoch := timeline.Epoch(e)
@@ -144,16 +151,19 @@ func RunWikipedia(cfg WikipediaConfig) (*WikipediaResult, error) {
 		vectors = append(vectors, mapper.Sweep(space, epoch))
 	}
 
+	spObs.SetItems(int64(len(vectors)))
+	spObs.End()
+
 	res := &WikipediaResult{Schedule: sched, DrainEpoch: drain, RestoreEpoch: restore}
 	res.Series = core.NewSeries(space, sched, vectors, nil)
-	res.Matrix = core.SimilarityMatrixParallel(res.Series, nil, core.PessimisticUnknown,
-		core.MatrixOptions{Parallelism: cfg.Parallelism})
-	res.Modes = core.DiscoverModes(res.Matrix, core.DefaultAdaptiveOptions())
+	res.Matrix, res.Modes = analyze(cfg.Obs, res.Series, cfg.Parallelism)
 
+	spTr := cfg.Obs.StartSpan("transitions")
 	before := res.Series.At(drain - 1)
 	during := res.Series.At(drain + 1)
 	after := res.Series.At(restore + 1)
 	if before == nil || during == nil || after == nil {
+		spTr.End()
 		return nil, fmt.Errorf("wikipedia: drain epochs outside schedule")
 	}
 	res.CodfwBefore = before.Aggregate()["codfw"]
@@ -163,5 +173,7 @@ func RunWikipedia(cfg WikipediaConfig) (*WikipediaResult, error) {
 		stayed := core.Transition(before, after, nil).At("codfw", "codfw")
 		res.ReturnedFraction = stayed / float64(res.CodfwBefore)
 	}
+	spTr.SetItems(1)
+	spTr.End()
 	return res, nil
 }

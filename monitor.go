@@ -6,8 +6,14 @@ import (
 
 // Monitor re-exports the streaming pipeline: append observations as they
 // arrive, get change events immediately, and query the current routing
-// mode without batch recomputation. See examples/monitoring.
+// mode without batch recomputation. Monitor is safe for concurrent use;
+// poll Snapshot for live ingest statistics, or attach a Registry with
+// Instrument. See examples/monitoring.
 type Monitor = core.Monitor
+
+// MonitorSnapshot is a point-in-time view of a monitor's ingest and
+// detection statistics.
+type MonitorSnapshot = core.MonitorSnapshot
 
 // NewMonitor starts a streaming monitor over a space. w may be nil for
 // uniform weights; detect tunes the change criterion.

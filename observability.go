@@ -1,0 +1,52 @@
+package fenrir
+
+import (
+	"net/http"
+
+	"fenrir/internal/obs"
+)
+
+// Observability re-exports: the zero-dependency instrumentation layer
+// from internal/obs, for users who want the same metrics, spans, and
+// manifests the fenrir CLI produces (see DESIGN.md §6).
+//
+// Everything tolerates a nil *Registry: instrumented code paths then
+// run exactly as if no instrumentation existed, so libraries can
+// instrument unconditionally and let callers opt in.
+type (
+	// Registry holds named counters, gauges, and histograms plus the
+	// stage-span log.
+	Registry = obs.Registry
+	// Span measures one pipeline stage (duration, items, workers).
+	Span = obs.Span
+	// StageRecord is one completed span as reported by StageSummary.
+	StageRecord = obs.StageRecord
+	// Manifest is the structured record of one pipeline run.
+	Manifest = obs.Manifest
+	// RuntimeSampler tracks peak goroutine and heap usage.
+	RuntimeSampler = obs.RuntimeSampler
+	// ObsServer serves /metrics, /debug/vars, and /debug/pprof.
+	ObsServer = obs.Server
+)
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// MetricsHandler returns an http.Handler rendering the registry in
+// Prometheus text exposition format, for mounting on an existing mux.
+func MetricsHandler(r *Registry) http.Handler { return obs.Handler(r) }
+
+// NewObsServer binds addr (":0" picks a free port) and serves /metrics,
+// /debug/vars, and /debug/pprof/ in the background.
+func NewObsServer(addr string, r *Registry) (*ObsServer, error) { return obs.NewServer(addr, r) }
+
+// StartRuntimeSampler begins peak goroutine/heap sampling; interval
+// <= 0 defaults to 25ms. Stop returns the peaks.
+var StartRuntimeSampler = obs.StartRuntimeSampler
+
+// WriteManifest / LoadManifest round-trip run manifests as indented
+// JSON.
+var (
+	WriteManifest = obs.WriteManifest
+	LoadManifest  = obs.LoadManifest
+)

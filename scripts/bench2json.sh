@@ -3,7 +3,27 @@
 # JSON array of {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
 # Lines that are not benchmark results (GOMAXPROCS header, PASS, ok) are
 # ignored. Used by `make bench` to write BENCH_core.json.
-exec awk '
+#
+# A failed run (a FAIL line in the output, or no benchmark results at
+# all) exits 1 and echoes the raw input to stderr, so callers never
+# mistake a broken bench run for an empty result set.
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+cat > "$tmp"
+
+if grep -q '^FAIL' "$tmp"; then
+	echo "bench2json: benchmark run FAILED:" >&2
+	cat "$tmp" >&2
+	exit 1
+fi
+if ! grep -q '^Benchmark' "$tmp"; then
+	echo "bench2json: no benchmark results in input:" >&2
+	cat "$tmp" >&2
+	exit 1
+fi
+
+awk '
 BEGIN { n = 0; print "[" }
 /^Benchmark/ {
 	name = $1
@@ -22,4 +42,4 @@ BEGIN { n = 0; print "[" }
 	printf "}"
 }
 END { if (n) printf "\n"; print "]" }
-'
+' < "$tmp"

@@ -1,0 +1,62 @@
+// Command manifestcheck asserts a fenrir run manifest is well formed:
+// it parses, names every pipeline stage, and its stage durations account
+// for at least 90% of the recorded wall time. Exits non-zero with a
+// diagnostic otherwise; used by scripts/obs_smoke.sh.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fenrir/internal/obs"
+)
+
+var pipelineStages = []string{"generate", "observe", "similarity", "cluster", "transitions", "report"}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck <manifest.json>")
+		os.Exit(2)
+	}
+	m, err := obs.LoadManifest(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	if m.Scenario == "" {
+		fail("manifest has no scenario name")
+	}
+	var have []string
+	for _, s := range m.Stages {
+		have = append(have, s.Name)
+	}
+	for _, stage := range pipelineStages {
+		rec := m.Stage(stage)
+		if rec == nil {
+			fail("stage %q missing from manifest (have %v)", stage, have)
+		}
+		if rec.Seconds < 0 {
+			fail("stage %q has negative duration %v", stage, rec.Seconds)
+		}
+	}
+	if m.WallSeconds <= 0 {
+		fail("wall_seconds = %v", m.WallSeconds)
+	}
+	sum := m.StageSeconds()
+	if sum > 1.05*m.WallSeconds {
+		fail("stage seconds %.3f exceed wall %.3f", sum, m.WallSeconds)
+	}
+	if sum < 0.9*m.WallSeconds {
+		fail("stage seconds %.3f cover only %.0f%% of wall %.3f (want >= 90%%)",
+			sum, 100*sum/m.WallSeconds, m.WallSeconds)
+	}
+	if m.MatrixRows == 0 || m.Networks == 0 {
+		fail("matrix shape missing: rows=%d networks=%d", m.MatrixRows, m.Networks)
+	}
+	fmt.Printf("manifestcheck: %s ok — %d stages, %.2fs wall (%.0f%% in stages), %dx%d matrix, %d modes\n",
+		m.Scenario, len(m.Stages), m.WallSeconds, 100*sum/m.WallSeconds, m.MatrixRows, m.MatrixRows, m.Modes)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "manifestcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

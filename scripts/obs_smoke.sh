@@ -1,0 +1,14 @@
+#!/bin/sh
+# obs_smoke.sh — end-to-end smoke test of the observability layer: run a
+# short scenario with -metrics (on an ephemeral port) and -manifest, then
+# assert the manifest parses, names every pipeline stage, and accounts
+# for the run's wall time. Used by `make obs-smoke` / `make check`.
+set -e
+cd "$(dirname "$0")/.."
+
+m="$(mktemp /tmp/fenrir-manifest.XXXXXX.json)"
+trap 'rm -f "$m"' EXIT
+
+go run ./cmd/fenrir -scenario wikipedia -metrics 127.0.0.1:0 -manifest "$m" > /dev/null
+go run ./scripts/manifestcheck "$m"
+echo "obs-smoke: ok"
