@@ -1,12 +1,13 @@
 # Build, test, and benchmark entry points. `make test` is the tier-1
-# gate (vet + full test suite); `make race` runs the analysis core under
-# the race detector; `make bench` records the core perf trajectory to
-# BENCH_core.json; `make check` adds per-package coverage and the
-# observability smoke test on top of test + race.
+# gate (vet + full test suite); `make race` runs the analysis core, the
+# fault layer, and the UDP server under the race detector; `make bench`
+# records the core perf trajectory to BENCH_core.json; `make check` adds
+# per-package coverage plus the observability and fault-injection smoke
+# tests on top of test + race.
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover obs-smoke check clean
+.PHONY: all build vet test race bench cover obs-smoke faults-smoke check clean
 
 all: build test
 
@@ -20,7 +21,7 @@ test: vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/core/... ./internal/faults/... ./internal/udpserve/...
 
 # The perf-critical benches: the parallel similarity engine sweep and the
 # incremental threshold sweep. Output is parsed into BENCH_core.json; a
@@ -44,7 +45,13 @@ cover:
 obs-smoke:
 	./scripts/obs_smoke.sh
 
-check: test race cover obs-smoke
+# End-to-end fault-injection check: run a scenario under a canned fault
+# profile and assert the injection/quarantine counters land in the
+# manifest.
+faults-smoke:
+	./scripts/faults_smoke.sh
+
+check: test race cover obs-smoke faults-smoke
 
 clean:
 	rm -f BENCH_core.json BENCH_core.json.tmp bench.out cover.out

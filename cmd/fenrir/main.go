@@ -15,6 +15,11 @@
 //
 //	fenrir -scenario broot -metrics :9090      # /metrics, /debug/vars, /debug/pprof
 //	fenrir -scenario broot -manifest run.json  # JSON run manifest on exit
+//
+// Fault injection (see DESIGN.md §7):
+//
+//	fenrir -scenario wikipedia -faults light   # seeded faults on every substrate
+//	fenrir -scenario groot -faults heavy -faultseed 7
 package main
 
 import (
@@ -22,10 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"fenrir/internal/core"
 	"fenrir/internal/dataset"
+	"fenrir/internal/faults"
 	"fenrir/internal/obs"
 	"fenrir/internal/report"
 	"fenrir/internal/scenario"
@@ -40,6 +47,8 @@ type cliOptions struct {
 	parallel   int
 	metrics    string
 	manifest   string
+	faults     string
+	faultSeed  uint64
 }
 
 func main() {
@@ -52,6 +61,8 @@ func main() {
 	flag.IntVar(&o.parallel, "parallelism", 0, "similarity-matrix workers (0 = all cores, 1 = serial)")
 	flag.StringVar(&o.metrics, "metrics", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :9090) while running")
 	flag.StringVar(&o.manifest, "manifest", "", "write a JSON run manifest to this file on completion")
+	flag.StringVar(&o.faults, "faults", "none", "fault-injection profile: "+strings.Join(faults.Names(), " "))
+	flag.Uint64Var(&o.faultSeed, "faultseed", 0, "fault-injector seed (0 derives one from -seed)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -85,15 +96,24 @@ func run(o cliOptions) error {
 		fmt.Fprintf(os.Stderr, "fenrir: serving http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
 	}
 
+	prof, ok := faults.ByName(o.faults)
+	if !ok {
+		return fmt.Errorf("unknown fault profile %q (have: %s)", o.faults, strings.Join(faults.Names(), " "))
+	}
+
 	var (
-		series *core.Series
-		matrix *core.SimMatrix
-		modes  *core.ModesResult
-		cfgAny any // scenario config, recorded verbatim in the manifest
+		series   *core.Series
+		matrix   *core.SimMatrix
+		modes    *core.ModesResult
+		faultRep *faults.Report
+		cfgAny   any // scenario config, recorded verbatim in the manifest
 	)
 	// finish writes the manifest; every exit path that has run a scenario
 	// goes through it so -manifest works for all scenarios.
 	finish := func() error {
+		if faultRep != nil {
+			fmt.Fprintln(os.Stderr, faultRep.String())
+		}
 		if o.manifest == "" {
 			return nil
 		}
@@ -131,65 +151,71 @@ func run(o cliOptions) error {
 	case "broot":
 		cfg := scenario.DefaultBRootConfig(o.seed)
 		cfg.Parallelism = o.parallel
+		cfg.Faults, cfg.FaultSeed = prof, o.faultSeed
 		cfg.Obs = reg
 		cfgAny = cfg
 		res, err := scenario.RunBRoot(cfg)
 		if err != nil {
 			return err
 		}
-		series, matrix, modes = res.Series, res.Matrix, res.Modes
+		series, matrix, modes, faultRep = res.Series, res.Matrix, res.Modes, res.Faults
 	case "groot":
 		cfg := scenario.DefaultGRootConfig(o.seed)
 		cfg.EpochMinutes = 30 // printable scale
 		cfg.Parallelism = o.parallel
+		cfg.Faults, cfg.FaultSeed = prof, o.faultSeed
 		cfg.Obs = reg
 		cfgAny = cfg
 		res, err := scenario.RunGRoot(cfg)
 		if err != nil {
 			return err
 		}
-		series, matrix, modes = res.Series, res.Matrix, res.Modes
+		series, matrix, modes, faultRep = res.Series, res.Matrix, res.Modes, res.Faults
 		fmt.Print(report.TransitionTable(res.DrainTransitions[0], "transition at first STR drain:"))
 	case "usc":
 		cfg := scenario.DefaultUSCConfig(o.seed)
 		cfg.Parallelism = o.parallel
+		cfg.Faults, cfg.FaultSeed = prof, o.faultSeed
 		cfg.Obs = reg
 		cfgAny = cfg
 		res, err := scenario.RunUSC(cfg)
 		if err != nil {
 			return err
 		}
-		series, matrix, modes = res.Series, res.Matrix, res.Modes
+		series, matrix, modes, faultRep = res.Series, res.Matrix, res.Modes, res.Faults
 	case "google":
 		cfg := scenario.DefaultGoogleConfig(o.seed)
 		cfg.Parallelism = o.parallel
+		cfg.Faults, cfg.FaultSeed = prof, o.faultSeed
 		cfg.Obs = reg
 		cfgAny = cfg
 		res, err := scenario.RunGoogle(cfg)
 		if err != nil {
 			return err
 		}
-		series, matrix, modes = res.Series, res.Matrix, res.Modes
+		series, matrix, modes, faultRep = res.Series, res.Matrix, res.Modes, res.Faults
 	case "wikipedia":
 		cfg := scenario.DefaultWikipediaConfig(o.seed)
 		cfg.Parallelism = o.parallel
+		cfg.Faults, cfg.FaultSeed = prof, o.faultSeed
 		cfg.Obs = reg
 		cfgAny = cfg
 		res, err := scenario.RunWikipedia(cfg)
 		if err != nil {
 			return err
 		}
-		series, matrix, modes = res.Series, res.Matrix, res.Modes
+		series, matrix, modes, faultRep = res.Series, res.Matrix, res.Modes, res.Faults
 	case "validation":
 		cfg := scenario.DefaultValidationConfig(o.seed)
 		cfg.Parallelism = o.parallel
+		cfg.Faults, cfg.FaultSeed = prof, o.faultSeed
 		cfg.Obs = reg
 		cfgAny = cfg
 		res, err := scenario.RunValidation(cfg)
 		if err != nil {
 			return err
 		}
-		series, matrix, modes = res.Series, res.Matrix, res.Modes
+		series, matrix, modes, faultRep = res.Series, res.Matrix, res.Modes, res.Faults
 		sp := reg.StartSpan("report")
 		v := res.Validation
 		fmt.Printf("ground-truth groups: %d (from %d raw entries)\n", len(res.Groups), res.RawEntries)

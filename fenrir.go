@@ -151,6 +151,11 @@ type AnalysisOptions struct {
 	Parallelism int
 	// Clean enables the §2.4 cleaning stages before analysis.
 	Clean bool
+	// ValidSites, when non-nil, quarantines observations whose site label
+	// it rejects (replacing them with unknowns) before the other cleaning
+	// stages — the ingest guard for fault-injected or untrusted data (see
+	// DESIGN.md §7). Applied only when Clean is set.
+	ValidSites func(site string) bool
 	// InterpolateReach bounds temporal interpolation (default 3).
 	InterpolateReach int
 	// MicroCatchmentShare marks sites below this mean share of known
@@ -195,6 +200,9 @@ type Analysis struct {
 	// Suppressed lists micro-catchment sites that were folded into
 	// "other".
 	Suppressed []string
+	// Quarantined reports what the ValidSites guard removed; nil when no
+	// guard was configured.
+	Quarantined *QuarantineReport
 }
 
 // Analyze runs the complete pipeline of Table 1 on a series: cleaning,
@@ -203,6 +211,10 @@ func Analyze(s *Series, opts AnalysisOptions) *Analysis {
 	a := &Analysis{Series: s}
 	if opts.Clean {
 		spClean := opts.Obs.StartSpan("clean")
+		if opts.ValidSites != nil {
+			s, a.Quarantined = clean.Quarantine(s, opts.ValidSites, opts.Obs)
+			a.Series = s
+		}
 		if opts.MicroCatchmentShare > 0 {
 			a.Suppressed = clean.MicroCatchments(s, opts.MicroCatchmentShare)
 			s = clean.SuppressSites(s, a.Suppressed)

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"fenrir/internal/faults"
 	"fenrir/internal/netaddr"
 	"fenrir/internal/wire"
 )
@@ -35,6 +36,7 @@ type Collector struct {
 	ASN      uint32
 	BGPID    uint32
 	listener *net.TCPListener
+	faults   *faults.Injector // nil = clean sessions
 
 	mu     sync.Mutex
 	routes map[routeKey]LearnedRoute
@@ -50,6 +52,14 @@ type routeKey struct {
 
 // ListenCollector starts a collector on addr ("127.0.0.1:0" for tests).
 func ListenCollector(addr string, asn, bgpID uint32) (*Collector, error) {
+	return ListenCollectorFaulty(addr, asn, bgpID, nil)
+}
+
+// ListenCollectorFaulty is ListenCollector with a fault injector stressing
+// inbound session bytes: read chunks may be corrupted or truncated, which
+// exercises the NOTIFICATION path on garbled frames. A nil injector serves
+// exactly like ListenCollector.
+func ListenCollectorFaulty(addr string, asn, bgpID uint32, inj *faults.Injector) (*Collector, error) {
 	tcpAddr, err := net.ResolveTCPAddr("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("bgpserve: resolve: %w", err)
@@ -59,7 +69,7 @@ func ListenCollector(addr string, asn, bgpID uint32) (*Collector, error) {
 		return nil, fmt.Errorf("bgpserve: listen: %w", err)
 	}
 	c := &Collector{
-		ASN: asn, BGPID: bgpID, listener: l,
+		ASN: asn, BGPID: bgpID, listener: l, faults: inj,
 		routes: make(map[routeKey]LearnedRoute),
 		peers:  make(map[uint32]bool),
 	}
@@ -129,6 +139,7 @@ func (c *Collector) acceptLoop() {
 // serveSession handles one inbound peer.
 func (c *Collector) serveSession(conn *net.TCPConn) error {
 	fr := newFramer(conn, 5*time.Second)
+	fr.faults = c.faults
 	// Passive side: expect the peer's OPEN first, then respond.
 	msg, err := fr.next()
 	if err != nil {
@@ -195,6 +206,7 @@ type framer struct {
 	conn    net.Conn
 	timeout time.Duration
 	buf     []byte
+	faults  *faults.Injector // nil = bytes pass through untouched
 }
 
 func newFramer(conn net.Conn, timeout time.Duration) *framer {
@@ -228,7 +240,7 @@ func (f *framer) next() (*wire.BGPMessage, error) {
 		if err != nil {
 			return nil, err
 		}
-		f.buf = append(f.buf, chunk[:n]...)
+		f.buf = append(f.buf, f.faults.Stream("bgpserve", chunk[:n])...)
 	}
 }
 

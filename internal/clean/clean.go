@@ -31,10 +31,14 @@ func RemoveIncorrect(s *core.Series, valid func(site string) bool) *core.Series 
 
 // MicroCatchments returns the sites whose mean share of known assignments
 // across the series is below minShare — the local-only anycast sites and
-// intra-enterprise prefixes §2.4 describes. Sites err/other are never
-// reported (they are states, not catchments).
+// intra-enterprise prefixes §2.4 describes. The mean is taken over the
+// epochs that contributed any known assignment: an all-unknown epoch (a
+// collection outage or full blackout) carries no information about a
+// site's share and must not dilute it. Sites err/other are never reported
+// (they are states, not catchments).
 func MicroCatchments(s *core.Series, minShare float64) []string {
 	share := make(map[string]float64)
+	contributing := 0
 	for _, v := range s.Vectors {
 		agg := v.Aggregate()
 		known := 0
@@ -44,16 +48,20 @@ func MicroCatchments(s *core.Series, minShare float64) []string {
 		if known == 0 {
 			continue
 		}
+		contributing++
 		for site, c := range agg {
 			share[site] += float64(c) / float64(known)
 		}
+	}
+	if contributing == 0 {
+		return nil
 	}
 	var out []string
 	for site, sum := range share {
 		if site == core.SiteError || site == core.SiteOther {
 			continue
 		}
-		if sum/float64(s.Len()) < minShare {
+		if sum/float64(contributing) < minShare {
 			out = append(out, site)
 		}
 	}

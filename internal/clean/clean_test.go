@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fenrir/internal/core"
+	"fenrir/internal/faults"
 	"fenrir/internal/timeline"
 )
 
@@ -100,6 +101,38 @@ func TestMicroCatchmentsIgnoresErrOther(t *testing.T) {
 	ser := seriesOf(sp, 10, rows)
 	if got := MicroCatchments(ser, 0.5); len(got) != 0 {
 		t.Fatalf("err flagged as micro-catchment: %v", got)
+	}
+}
+
+// TestMicroCatchmentsAllUnknownEpochs pins the denominator: an epoch with
+// no known assignment (a collection outage or a full blackout) carries no
+// information about any site's share and must not dilute the mean. The
+// historical bug divided by the series length, so two unknown epochs out
+// of three deflated every share by 3x and flagged healthy sites as
+// micro-catchments.
+func TestMicroCatchmentsAllUnknownEpochs(t *testing.T) {
+	sp := space(10)
+	rows := make(map[int][]string)
+	for i := 0; i < 9; i++ {
+		rows[i] = []string{"BIG", "", ""}
+	}
+	rows[9] = []string{"TINY", "", ""}
+	ser := seriesOf(sp, 10, rows)
+	// TINY's share in the one contributing epoch is 0.10; the buggy mean
+	// over all three epochs was 0.033.
+	if got := MicroCatchments(ser, 0.05); len(got) != 0 {
+		t.Fatalf("unknown epochs diluted shares: flagged %v", got)
+	}
+	if got := MicroCatchments(ser, 0.2); len(got) != 1 || got[0] != "TINY" {
+		t.Fatalf("contributing-epoch mean broken: %v", got)
+	}
+}
+
+func TestMicroCatchmentsAllEpochsUnknown(t *testing.T) {
+	sp := space(3)
+	ser := seriesOf(sp, 3, map[int][]string{0: {"", "", ""}, 1: {"", "", ""}, 2: {"", "", ""}})
+	if got := MicroCatchments(ser, 0.5); got != nil {
+		t.Fatalf("all-unknown series flagged %v, want nil", got)
 	}
 }
 
@@ -210,6 +243,74 @@ func TestInterpolateDoesNotCrossCollectionGaps(t *testing.T) {
 	}
 }
 
+func TestInterpolateMaxReachExactlyAtDonorDistance(t *testing.T) {
+	// A run of 4 unknowns between donors: the half boundary puts positions
+	// 1,2 on the left donor and 3,4 on the right, each at distance ≤ 2.
+	// MaxReach 2 is exactly the donor distance of the innermost positions,
+	// and "within reach" is inclusive — all four must fill.
+	sp := space(1)
+	ser := seriesOf(sp, 1, map[int][]string{
+		0: {"A", "", "", "", "", "B"},
+	})
+	out := Interpolate(ser, InterpolateOptions{MaxReach: 2})
+	want := []string{"A", "A", "A", "B", "B", "B"}
+	for e, w := range want {
+		if got := siteAt(out, timeline.Epoch(e), 0); got != w {
+			t.Errorf("epoch %d = %q, want %q", e, got, w)
+		}
+	}
+	// One epoch longer and the innermost positions sit at distance 3:
+	// beyond MaxReach 2, they must stay unknown.
+	ser = seriesOf(sp, 1, map[int][]string{
+		0: {"A", "", "", "", "", "", "B"},
+	})
+	out = Interpolate(ser, InterpolateOptions{MaxReach: 2})
+	want = []string{"A", "A", "A", "", "B", "B", "B"}
+	for e, w := range want {
+		if got := siteAt(out, timeline.Epoch(e), 0); got != w {
+			t.Errorf("long run: epoch %d = %q, want %q", e, got, w)
+		}
+	}
+}
+
+func TestInterpolateSingleSidedRunsAtSegmentEdges(t *testing.T) {
+	// Vectors exist for epochs 0-2 and 6-8 with a collection gap between.
+	// The run trailing the first segment has only a left donor; the run
+	// leading the second segment has only a right donor. Each side must
+	// fill from its lone donor without borrowing across the gap.
+	sp := space(1)
+	mk := func(e timeline.Epoch, site string) *core.Vector {
+		v := sp.NewVector(e)
+		if site != "" {
+			v.Set(0, site)
+		}
+		return v
+	}
+	ser := core.NewSeries(sp, sched(9), []*core.Vector{
+		mk(0, "A"), mk(1, ""), mk(2, ""),
+		mk(6, ""), mk(7, ""), mk(8, "B"),
+	}, nil)
+	out := Interpolate(ser, InterpolateOptions{MaxReach: 3})
+	for _, c := range []struct {
+		e    timeline.Epoch
+		want string
+	}{{1, "A"}, {2, "A"}, {6, "B"}, {7, "B"}} {
+		if got := siteAt(out, c.e, 0); got != c.want {
+			t.Errorf("epoch %d = %q, want %q", c.e, got, c.want)
+		}
+	}
+	// With MaxReach 1 only the positions adjacent to a donor fill.
+	out = Interpolate(ser, InterpolateOptions{MaxReach: 1})
+	for _, c := range []struct {
+		e    timeline.Epoch
+		want string
+	}{{1, "A"}, {2, ""}, {6, ""}, {7, "B"}} {
+		if got := siteAt(out, c.e, 0); got != c.want {
+			t.Errorf("reach 1: epoch %d = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
 func TestCoverage(t *testing.T) {
 	sp := space(2)
 	ser := seriesOf(sp, 2, map[int][]string{
@@ -234,6 +335,98 @@ func TestGapEpochs(t *testing.T) {
 	for i := range want {
 		if gaps[i] != want[i] {
 			t.Fatalf("gaps = %v, want %v", gaps, want)
+		}
+	}
+}
+
+// TestInterpolateUnderBlackoutFaults drives the unknown pattern from the
+// fault layer's vantage-point blackouts instead of hand-placed gaps: dark
+// windows arrive in aligned runs of BlackoutLen epochs, and interpolation
+// with MaxReach of half a window must fill exactly the single-window
+// outages while leaving the middles of multi-window outages unknown.
+func TestInterpolateUnderBlackoutFaults(t *testing.T) {
+	prof, ok := faults.ByName("blackout")
+	if !ok {
+		t.Fatal("blackout profile missing")
+	}
+	inj := faults.New(prof, 99, nil)
+	if inj == nil {
+		t.Fatal("blackout profile produced a nil injector")
+	}
+	const nets, epochs = 20, 40
+	dark := func(n, e int) bool {
+		return inj.Blackout("atlas", uint64(n), e)
+	}
+	sp := space(nets)
+	var vs []*core.Vector
+	for e := 0; e < epochs; e++ {
+		v := sp.NewVector(timeline.Epoch(e))
+		for n := 0; n < nets; n++ {
+			if !dark(n, e) {
+				v.Set(n, "A")
+			}
+		}
+		vs = append(vs, v)
+	}
+	ser := core.NewSeries(sp, sched(epochs), vs, nil)
+
+	// Blackout decisions are stateless per (entity, window): the pattern
+	// must be window-aligned, and re-querying must reproduce it exactly.
+	sawBlackout := false
+	for n := 0; n < nets; n++ {
+		for e := 0; e < epochs; e++ {
+			if dark(n, e) != dark(n, e) {
+				t.Fatal("blackout decision not reproducible")
+			}
+			if dark(n, e) {
+				sawBlackout = true
+				if dark(n, e) != dark(n, e-e%prof.BlackoutLen) {
+					t.Fatalf("net %d epoch %d: blackout not window-aligned", n, e)
+				}
+			}
+		}
+	}
+	if !sawBlackout {
+		t.Fatal("blackout profile injected no blackouts over 800 cells")
+	}
+
+	out := Interpolate(ser, InterpolateOptions{MaxReach: prof.BlackoutLen / 2})
+	for n := 0; n < nets; n++ {
+		for e := 0; e < epochs; e++ {
+			if !dark(n, e) {
+				continue
+			}
+			// Length of the maximal dark run around e, and e's position.
+			lo, hi := e, e
+			for lo > 0 && dark(n, lo-1) {
+				lo--
+			}
+			for hi < epochs-1 && dark(n, hi+1) {
+				hi++
+			}
+			runLen := hi - lo + 1
+			got := siteAt(out, timeline.Epoch(e), n)
+			switch {
+			case lo == 0 || hi == epochs-1:
+				// Series-edge runs are single-sided; reach still bounds
+				// the fill, anything further stays unknown.
+				donorDist := e - lo + 1
+				if lo == 0 {
+					donorDist = hi - e + 1
+				}
+				if donorDist > prof.BlackoutLen/2 && got != "" {
+					t.Errorf("net %d epoch %d: edge run filled beyond reach", n, e)
+				}
+			case runLen == prof.BlackoutLen:
+				if got != "A" {
+					t.Errorf("net %d epoch %d: single-window blackout not healed", n, e)
+				}
+			case runLen >= 2*prof.BlackoutLen:
+				mid := lo + runLen/2
+				if e == mid && got != "" {
+					t.Errorf("net %d epoch %d: multi-window blackout middle filled", n, e)
+				}
+			}
 		}
 	}
 }

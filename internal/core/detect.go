@@ -80,13 +80,16 @@ func DetectChanges(s *Series, w []float64, opts DetectOptions) []ChangeEvent {
 			// Do not feed the anomalous pair into the baseline; the next
 			// pairs (new-mode internal similarity) re-establish it.
 		} else {
+			// The cooldown counts down only on non-event iterations, so
+			// Cooldown: N suppresses detection for exactly the N epochs
+			// following an event.
+			if cooldown > 0 {
+				cooldown--
+			}
 			history = append(history, phi)
 			if len(history) > opts.Window {
 				history = history[1:]
 			}
-		}
-		if cooldown > 0 {
-			cooldown--
 		}
 	}
 	return events

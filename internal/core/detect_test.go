@@ -126,6 +126,64 @@ func TestDetectChangesThresholdSensitivity(t *testing.T) {
 	}
 }
 
+// flappySeries builds the fixture for the cooldown table: five identical
+// epochs establish the baseline, then every odd epoch ≥ 5 flips half the
+// networks to B and every even epoch flips them back, so every adjacent
+// pair from (4,5) on has Φ = 0.5 against a baseline of 1.0.
+func flappySeries(n, epochs int) *Series {
+	s := NewSpace(nets(n))
+	var vs []*Vector
+	for e := 0; e < epochs; e++ {
+		v := s.NewVector(timeline.Epoch(e))
+		for i := 0; i < n; i++ {
+			site := "A"
+			if e >= 5 && e%2 == 1 && i < n/2 {
+				site = "B"
+			}
+			v.Set(i, site)
+		}
+		vs = append(vs, v)
+	}
+	return NewSeries(s, sched(epochs), vs, nil)
+}
+
+// TestDetectChangesCooldownSemantics pins the cooldown contract: after an
+// event at epoch t, Cooldown: N suppresses detection for exactly epochs
+// t+1 .. t+N and no further. A decrement on the event iteration itself
+// (the historical off-by-one) shortens the window to N-1 and produces a
+// different event set for every N ≥ 2.
+func TestDetectChangesCooldownSemantics(t *testing.T) {
+	ser := flappySeries(100, 13)
+	opts := DetectOptions{Window: 30, MinDrop: 0.2, Mode: PessimisticUnknown}
+	cases := []struct {
+		cooldown int
+		want     []timeline.Epoch
+	}{
+		{0, []timeline.Epoch{5, 6, 7, 8, 9, 10, 11, 12}},
+		{1, []timeline.Epoch{5, 7, 9, 11}},
+		{2, []timeline.Epoch{5, 8, 11}},
+		{3, []timeline.Epoch{5, 9}},
+	}
+	for _, c := range cases {
+		opts.Cooldown = c.cooldown
+		events := DetectChanges(ser, nil, opts)
+		var got []timeline.Epoch
+		for _, ev := range events {
+			got = append(got, ev.At)
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("cooldown %d: events at %v, want %v", c.cooldown, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("cooldown %d: events at %v, want %v", c.cooldown, got, c.want)
+				break
+			}
+		}
+	}
+}
+
 func TestMedian(t *testing.T) {
 	cases := []struct {
 		in   []float64

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fenrir/internal/timeline"
+)
+
+// ErrForeignSpace reports a vector assembled into a series whose space it
+// does not belong to — an ingest wiring error.
+var ErrForeignSpace = errors.New("core: vector from foreign space")
+
+// DuplicateEpochError reports two vectors claiming the same epoch — a
+// double collection, or a replayed/duplicated observation batch.
+type DuplicateEpochError struct {
+	Epoch timeline.Epoch
+}
+
+func (e *DuplicateEpochError) Error() string {
+	return fmt.Sprintf("core: duplicate vector for epoch %d", e.Epoch)
+}
+
+// TryNewSeries assembles a series, sorting vectors by epoch, and returns a
+// typed error instead of panicking on bad input: ErrForeignSpace for a
+// vector from another space, *DuplicateEpochError for an epoch collision.
+// Ingest boundaries that consume untrusted observation batches use this so
+// they can quarantine the batch rather than crash the pipeline.
+func TryNewSeries(space *Space, sched timeline.Schedule, vs []*Vector, gaps *timeline.Gaps) (*Series, error) {
+	sorted := append([]*Vector(nil), vs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].T < sorted[j].T })
+	for i, v := range sorted {
+		if v.Space != space {
+			return nil, ErrForeignSpace
+		}
+		if i > 0 && sorted[i-1].T == v.T {
+			return nil, &DuplicateEpochError{Epoch: v.T}
+		}
+	}
+	return &Series{Space: space, Schedule: sched, Vectors: sorted, Gaps: gaps}, nil
+}

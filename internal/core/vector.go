@@ -205,19 +205,14 @@ type Series struct {
 }
 
 // NewSeries assembles a series, sorting vectors by epoch. It panics if two
-// vectors share an epoch or belong to a different space.
+// vectors share an epoch or belong to a different space — use TryNewSeries
+// at ingest boundaries that must survive bad batches.
 func NewSeries(space *Space, sched timeline.Schedule, vs []*Vector, gaps *timeline.Gaps) *Series {
-	sorted := append([]*Vector(nil), vs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].T < sorted[j].T })
-	for i, v := range sorted {
-		if v.Space != space {
-			panic("core: vector from foreign space")
-		}
-		if i > 0 && sorted[i-1].T == v.T {
-			panic(fmt.Sprintf("core: duplicate vector for epoch %d", v.T))
-		}
+	s, err := TryNewSeries(space, sched, vs, gaps)
+	if err != nil {
+		panic(err.Error())
 	}
-	return &Series{Space: space, Schedule: sched, Vectors: sorted, Gaps: gaps}
+	return s
 }
 
 // Len returns the number of vectors.

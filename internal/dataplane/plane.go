@@ -1,0 +1,36 @@
+package dataplane
+
+import (
+	"fenrir/internal/astopo"
+	"fenrir/internal/bgpsim"
+	"fenrir/internal/netaddr"
+	"fenrir/internal/wire"
+)
+
+// Plane is the forwarding-plane surface the measurement engines probe
+// through. *Net implements it directly; internal/faults wraps a Plane to
+// inject deterministic wire faults between the engines and the simulated
+// Internet without either side knowing. Engines hold a Plane, never a
+// *Net, so every probe path can be stressed.
+type Plane interface {
+	// Graph exposes the AS topology (read-only).
+	Graph() *astopo.Graph
+	// Service returns a registered service by name, or nil.
+	Service(name string) *bgpsim.Service
+	// ServiceAddr returns the probe target address for a service.
+	ServiceAddr(name string) netaddr.Addr
+	// RouterOwner inverts RouterAddr for publicly numbered routers.
+	RouterOwner(addr netaddr.Addr) (astopo.ASN, bool)
+	// Ping sends an ICMP echo request and reports the reply.
+	Ping(src astopo.ASN, srcAddr, dst netaddr.Addr, id, seq uint16, epoch int) ProbeResult
+	// ProbeTTL sends a TTL-limited UDP probe (the traceroute primitive).
+	ProbeTTL(src astopo.ASN, srcAddr, dst netaddr.Addr, srcPort uint16, ttl, epoch int) ProbeResult
+	// QueryDNS sends a DNS query and returns the parsed response plus RTT.
+	QueryDNS(client astopo.ASN, server netaddr.Addr, q *wire.DNSMessage, epoch int) (*wire.DNSMessage, float64, error)
+}
+
+// Graph returns the AS topology the plane forwards over.
+func (n *Net) Graph() *astopo.Graph { return n.G }
+
+// Net satisfies Plane.
+var _ Plane = (*Net)(nil)

@@ -1,0 +1,232 @@
+package faults
+
+import (
+	"encoding/binary"
+
+	"fenrir/internal/astopo"
+	"fenrir/internal/dataplane"
+	"fenrir/internal/netaddr"
+	"fenrir/internal/wire"
+)
+
+// Wrap interposes the injector between a measurement engine and the
+// forwarding plane: probes and DNS queries pass through the fault model on
+// their way in and out. substrate labels the statistics. A nil injector
+// returns p itself — no wrapper object, no behavioural change, preserving
+// zero-fault byte identity by construction.
+func (inj *Injector) Wrap(p dataplane.Plane, substrate string) dataplane.Plane {
+	if inj == nil {
+		return p
+	}
+	return &faultyPlane{Plane: p, inj: inj, substrate: substrate}
+}
+
+// faultyPlane wraps a Plane, intercepting the three wire methods. All
+// read-only topology methods pass through via embedding.
+type faultyPlane struct {
+	dataplane.Plane
+	inj       *Injector
+	substrate string
+}
+
+func (f *faultyPlane) Ping(src astopo.ASN, srcAddr, dst netaddr.Addr, id, seq uint16, epoch int) dataplane.ProbeResult {
+	if f.inj.Blackout(f.substrate, uint64(srcAddr), epoch) {
+		return dataplane.ProbeResult{Kind: dataplane.Timeout}
+	}
+	f.inj.mu.Lock()
+	lost := f.inj.lose(f.substrate)
+	f.inj.mu.Unlock()
+	if lost {
+		return dataplane.ProbeResult{Kind: dataplane.Timeout}
+	}
+	res := f.Plane.Ping(src, srcAddr, dst, id, seq, epoch)
+	return f.mangleProbe(res, true)
+}
+
+func (f *faultyPlane) ProbeTTL(src astopo.ASN, srcAddr, dst netaddr.Addr, srcPort uint16, ttl, epoch int) dataplane.ProbeResult {
+	if f.inj.Blackout(f.substrate, uint64(srcAddr), epoch) {
+		return dataplane.ProbeResult{Kind: dataplane.Timeout}
+	}
+	f.inj.mu.Lock()
+	lost := f.inj.lose(f.substrate)
+	f.inj.mu.Unlock()
+	if lost {
+		return dataplane.ProbeResult{Kind: dataplane.Timeout}
+	}
+	res := f.Plane.ProbeTTL(src, srcAddr, dst, srcPort, ttl, epoch)
+	return f.mangleProbe(res, false)
+}
+
+// mangleProbe applies reply-side faults to a successful probe result:
+// payload corruption (the flipped bit trips the ICMP checksum, so the
+// reply honestly degrades to a timeout), delay spikes, and — for
+// site-bearing replies — stuck/bogus site labels.
+func (f *faultyPlane) mangleProbe(res dataplane.ProbeResult, siteBearing bool) dataplane.ProbeResult {
+	if res.Kind == dataplane.Timeout {
+		return res
+	}
+	inj := f.inj
+	if inj.prof.CorruptRate > 0 && res.ICMP != nil {
+		inj.mu.Lock()
+		fire := inj.rCorrupt.Bool(inj.prof.CorruptRate)
+		var raw []byte
+		if fire {
+			raw = inj.corruptBytes(f.substrate, res.ICMP.Marshal())
+		}
+		inj.mu.Unlock()
+		if fire {
+			parsed, err := wire.UnmarshalICMP(raw)
+			if err != nil {
+				// Checksum no longer verifies: the receiver discards the
+				// reply, i.e. the probe times out.
+				return dataplane.ProbeResult{Kind: dataplane.Timeout}
+			}
+			res.ICMP = parsed
+		}
+	}
+	res.RTTms += inj.DelayMs(f.substrate)
+	if siteBearing && res.Site != "" {
+		res.Site = inj.SiteLabel(f.substrate, res.Site)
+	}
+	return res
+}
+
+func (f *faultyPlane) QueryDNS(client astopo.ASN, server netaddr.Addr, q *wire.DNSMessage, epoch int) (*wire.DNSMessage, float64, error) {
+	if f.inj.Blackout(f.substrate, uint64(client), epoch) {
+		return nil, 0, &Error{Substrate: f.substrate, Kind: "blackout"}
+	}
+	f.inj.mu.Lock()
+	lost := f.inj.lose(f.substrate)
+	f.inj.mu.Unlock()
+	if lost {
+		return nil, 0, &Error{Substrate: f.substrate, Kind: "loss"}
+	}
+	resp, rtt, err := f.Plane.QueryDNS(client, server, q, epoch)
+	if err != nil {
+		return resp, rtt, err
+	}
+	resp, err = f.mangleDNS(resp)
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp, rtt + f.inj.DelayMs(f.substrate), nil
+}
+
+// mangleDNS applies reply-side faults to a DNS response. Corruption works
+// at the byte level — DNS has no end-to-end checksum, so a flipped bit may
+// still parse and deliver garbled data (the interesting case for the
+// cleaning stage) or fail to parse (an injected error). Site-label faults
+// rewrite the identifiers engines actually decode: the NSID option, TXT
+// strings, and — for answer-address mapping à la EDNS-CS — the first A
+// record.
+func (f *faultyPlane) mangleDNS(m *wire.DNSMessage) (*wire.DNSMessage, error) {
+	inj := f.inj
+	if inj.prof.CorruptRate > 0 {
+		inj.mu.Lock()
+		fire := inj.rCorrupt.Bool(inj.prof.CorruptRate)
+		inj.mu.Unlock()
+		if fire {
+			raw, err := m.Marshal()
+			if err == nil {
+				inj.mu.Lock()
+				raw = inj.corruptBytes(f.substrate, raw)
+				inj.mu.Unlock()
+				garbled, perr := wire.UnmarshalDNS(raw)
+				if perr != nil {
+					return nil, &Error{Substrate: f.substrate, Kind: "corrupt"}
+				}
+				m = garbled
+			}
+		}
+	}
+	m = f.mangleDNSSite(m)
+	return m, nil
+}
+
+// mangleDNSSite rewrites the site-bearing identifiers of a response per
+// the stuck/bogus faults.
+func (f *faultyPlane) mangleDNSSite(m *wire.DNSMessage) *wire.DNSMessage {
+	inj := f.inj
+	if inj.prof.StuckSiteRate <= 0 && inj.prof.BogusSiteRate <= 0 {
+		return m
+	}
+	// Identifier-carrying responses: NSID and/or TXT.
+	ident := ""
+	if id, ok := wire.NSIDFromMessage(m); ok && id != "" {
+		ident = id
+	} else {
+		for _, rr := range m.Answers {
+			if rr.Type == wire.TypeTXT {
+				if ss, err := wire.TXTStrings(rr); err == nil && len(ss) > 0 {
+					ident = ss[0]
+					break
+				}
+			}
+		}
+	}
+	if ident != "" {
+		faulted := inj.SiteLabel(f.substrate, ident)
+		if faulted == ident {
+			return m
+		}
+		out := *m
+		out.Answers = append([]wire.RR(nil), m.Answers...)
+		out.Additional = append([]wire.RR(nil), m.Additional...)
+		for i, rr := range out.Answers {
+			if rr.Type == wire.TypeTXT {
+				if nrr, err := wire.TXTRecord(rr.Name, rr.Class, rr.TTL, faulted); err == nil {
+					out.Answers[i] = nrr
+				}
+			}
+		}
+		for i, rr := range out.Additional {
+			if rr.Type != wire.TypeOPT {
+				continue
+			}
+			opts, err := wire.EDNSOptions(rr)
+			if err != nil {
+				continue
+			}
+			changed := false
+			for j, o := range opts {
+				if o.Code == wire.OptNSID && len(o.Data) > 0 {
+					opts[j] = wire.NSIDOption(faulted)
+					changed = true
+				}
+			}
+			if changed {
+				nrr := wire.OPTRecord(rr.Class, opts...)
+				nrr.TTL = rr.TTL
+				out.Additional[i] = nrr
+			}
+		}
+		return &out
+	}
+	// Address-mapped responses (EDNS-CS): a bogus fault redirects the
+	// first A answer into TEST-NET-2, an address no front-end list maps.
+	for i, rr := range m.Answers {
+		if rr.Type != wire.TypeA || len(rr.Data) != 4 {
+			continue
+		}
+		inj.mu.Lock()
+		fire := inj.prof.BogusSiteRate > 0 && inj.rSite.Bool(inj.prof.BogusSiteRate)
+		var host int
+		if fire {
+			host = inj.rSite.Intn(256)
+			inj.count(f.substrate, "bogus-site")
+		}
+		inj.mu.Unlock()
+		if fire {
+			out := *m
+			out.Answers = append([]wire.RR(nil), m.Answers...)
+			data := make([]byte, 4)
+			binary.BigEndian.PutUint32(data, 198<<24|51<<16|100<<8|uint32(host))
+			nrr := rr
+			nrr.Data = data
+			out.Answers[i] = nrr
+			return &out
+		}
+		break
+	}
+	return m
+}

@@ -1,0 +1,81 @@
+package faults
+
+import "math"
+
+// RetryPolicy bounds an engine's retry-with-exponential-backoff loop. The
+// clock is virtual (simulated milliseconds, never slept), so budgets are
+// deterministic and tests run instantly.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of probe attempts allowed, first
+	// attempt included.
+	MaxAttempts int
+	// BaseBackoffMs is the backoff before the first retry; each further
+	// retry doubles it, capped at MaxBackoffMs.
+	BaseBackoffMs float64
+	MaxBackoffMs  float64
+	// BudgetMs caps the cumulative backoff spent by one Backoff instance
+	// (one engine on one substrate); past it, retries stop even if
+	// MaxAttempts remain.
+	BudgetMs float64
+}
+
+// DefaultRetryPolicy is the bounded budget wired into the scenario
+// runners: up to 3 attempts, 50 ms → 800 ms exponential backoff, 30 s
+// total per substrate.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoffMs: 50, MaxBackoffMs: 800, BudgetMs: 30000}
+}
+
+// Backoff meters retries for one engine on one substrate. A nil *Backoff
+// never allows a retry, which is how engines keep their legacy fixed-count
+// retry loops (and their exact dataplane call sequence) when no fault
+// layer is active.
+type Backoff struct {
+	pol       RetryPolicy
+	inj       *Injector
+	substrate string
+	spentMs   float64
+}
+
+// NewBackoff builds a retry meter for substrate. Nil injector: nil — the
+// legacy (fixed Retries field) path stays in force.
+func (inj *Injector) NewBackoff(substrate string, pol RetryPolicy) *Backoff {
+	if inj == nil {
+		return nil
+	}
+	if pol.MaxAttempts <= 0 {
+		pol = DefaultRetryPolicy()
+	}
+	return &Backoff{pol: pol, inj: inj, substrate: substrate}
+}
+
+// Allow reports whether a retry may proceed after `attempt` attempts have
+// already failed (so the first call passes attempt=1). It charges the
+// exponential backoff to the virtual budget; once MaxAttempts or BudgetMs
+// is exhausted it answers false. Nil receiver: always false.
+func (b *Backoff) Allow(attempt int) bool {
+	if b == nil {
+		return false
+	}
+	if attempt >= b.pol.MaxAttempts {
+		return false
+	}
+	d := b.pol.BaseBackoffMs * math.Pow(2, float64(attempt-1))
+	if d > b.pol.MaxBackoffMs {
+		d = b.pol.MaxBackoffMs
+	}
+	if b.pol.BudgetMs > 0 && b.spentMs+d > b.pol.BudgetMs {
+		return false
+	}
+	b.spentMs += d
+	b.inj.retry(b.substrate)
+	return true
+}
+
+// SpentMs reports the virtual backoff milliseconds consumed so far.
+func (b *Backoff) SpentMs() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.spentMs
+}

@@ -17,6 +17,7 @@ import (
 	"fenrir/internal/astopo"
 	"fenrir/internal/core"
 	"fenrir/internal/dataplane"
+	"fenrir/internal/faults"
 	"fenrir/internal/rng"
 	"fenrir/internal/timeline"
 	"fenrir/internal/wire"
@@ -30,7 +31,7 @@ type VP struct {
 
 // Mesh is a deployed set of VPs measuring one anycast service.
 type Mesh struct {
-	Net     *dataplane.Net
+	Net     dataplane.Plane
 	Service string
 	VPs     []VP
 	// DecodeSite maps a hostname.bind/NSID string to a site label.
@@ -38,15 +39,21 @@ type Mesh struct {
 	// so the decoder is injected; unknown identifiers become "other",
 	// query failures "err" — the two extra states in Figure 1.
 	DecodeSite func(id string) (string, bool)
+	// Backoff, when set, retries failed queries under a bounded
+	// exponential-backoff budget. Historically DNSMON-style rounds were
+	// one-shot; nil preserves that exactly (no retry, no extra dataplane
+	// draws), keeping zero-fault runs byte-identical.
+	Backoff *faults.Backoff
 }
 
 // DeployVPs places n vantage points on stub ASes of the topology,
 // round-robin over stubs with deterministic jitter — Atlas VPs are
 // heavily skewed to eyeball networks, which stubs model.
-func DeployVPs(net *dataplane.Net, n int, seed uint64) []VP {
+func DeployVPs(net dataplane.Plane, n int, seed uint64) []VP {
+	g := net.Graph()
 	var stubs []astopo.ASN
-	for _, a := range net.G.ASNs() {
-		if net.G.AS(a).Tier == astopo.Stub {
+	for _, a := range g.ASNs() {
+		if g.AS(a).Tier == astopo.Stub {
 			stubs = append(stubs, a)
 		}
 	}
@@ -101,7 +108,15 @@ func (m *Mesh) Round(space *core.Space, epoch timeline.Epoch) (*core.Vector, map
 			Questions:  []wire.Question{{Name: "hostname.bind", Type: wire.TypeTXT, Class: wire.ClassCHAOS}},
 			Additional: []wire.RR{wire.OPTRecord(4096, wire.NSIDOption(""))},
 		}
-		resp, rtt, err := m.Net.QueryDNS(vp.AS, serverAddr, q, int(epoch))
+		var resp *wire.DNSMessage
+		var rtt float64
+		var err error
+		for attempt := 0; ; attempt++ {
+			resp, rtt, err = m.Net.QueryDNS(vp.AS, serverAddr, q, int(epoch))
+			if err == nil || !m.Backoff.Allow(attempt+1) {
+				break
+			}
+		}
 		if err != nil {
 			v.Set(i, core.SiteError)
 			continue

@@ -25,6 +25,7 @@ import (
 	"fenrir/internal/astopo"
 	"fenrir/internal/bgpsim"
 	"fenrir/internal/core"
+	"fenrir/internal/faults"
 	"fenrir/internal/netaddr"
 	"fenrir/internal/timeline"
 	"fenrir/internal/wire"
@@ -37,6 +38,13 @@ type Collector struct {
 	Peers []astopo.ASN
 	// CollectorASN identifies the collector in OPEN messages.
 	CollectorASN uint32
+	// Faults, when set, passes each session's byte stream through the
+	// injector (corruption, truncation) before the collector parses it.
+	// Nil leaves the stream untouched.
+	Faults *faults.Injector
+	// Backoff meters session re-reads after a parse failure; nil means a
+	// failed session degrades immediately.
+	Backoff *faults.Backoff
 }
 
 // NewCollector validates the peer list against the topology.
@@ -115,12 +123,24 @@ func (c *Collector) Collect(svc *bgpsim.Service, rib *bgpsim.RIB) (*Snapshot, er
 			stream = append(stream, upd...)
 		}
 		stream = append(stream, wire.MarshalKeepalive()...)
-		snap.Raw[peer] = stream
 
-		// --- collector side: parse it back ---
-		route, err := parseSession(peer, svc.Prefix, stream)
+		// --- collector side: parse it back, retrying the (re-faulted)
+		// stream under the backoff budget; a session that stays unparsable
+		// degrades to a withdrawn route and is quarantined rather than
+		// failing the whole collection round ---
+		var route Route
+		var err error
+		for attempt := 0; ; attempt++ {
+			seen := c.Faults.Stream("bgpfeed", stream)
+			snap.Raw[peer] = seen
+			route, err = parseSession(peer, svc.Prefix, seen)
+			if err == nil || !c.Backoff.Allow(attempt+1) {
+				break
+			}
+		}
 		if err != nil {
-			return nil, err
+			c.Faults.Quarantine("bgp-session", 1)
+			route = Route{Peer: peer, Prefix: svc.Prefix}
 		}
 		snap.Routes = append(snap.Routes, route)
 	}

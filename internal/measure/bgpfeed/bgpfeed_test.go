@@ -6,6 +6,7 @@ import (
 	"fenrir/internal/astopo"
 	"fenrir/internal/bgpsim"
 	"fenrir/internal/core"
+	"fenrir/internal/faults"
 	"fenrir/internal/hegemony"
 	"fenrir/internal/netaddr"
 )
@@ -164,6 +165,54 @@ func TestWithdrawnRouteStaysUnknown(t *testing.T) {
 	// already verified it decodes).
 	if len(snap.Raw[65000]) == 0 {
 		t.Fatal("no session bytes for withdrawn peer")
+	}
+}
+
+// TestCollectDegradesGracefullyUnderStreamFaults runs Collect with an
+// aggressive corrupt/truncate fault layer on the session streams: peers
+// whose transcript no longer parses within the retry budget must come
+// back as withdrawn routes (index-aligned with Peers, unknown in the
+// vector) and be counted as quarantined — never an error or a panic.
+func TestCollectDegradesGracefullyUnderStreamFaults(t *testing.T) {
+	_, svc, rib, c := world(t)
+	inj := faults.New(faults.Profile{Name: "t", CorruptRate: 0.7, TruncateRate: 0.7}, 31, nil)
+	c.Faults = inj
+	c.Backoff = inj.NewBackoff("bgpfeed", faults.DefaultRetryPolicy())
+	snap, err := c.Collect(svc, rib)
+	if err != nil {
+		t.Fatalf("faulted collect errored instead of degrading: %v", err)
+	}
+	if len(snap.Routes) != len(c.Peers) {
+		t.Fatalf("routes = %d, peers = %d; index alignment lost", len(snap.Routes), len(c.Peers))
+	}
+	rep := inj.Report()
+	if rep.TotalInjected() == 0 {
+		t.Fatal("fault layer injected nothing at rate 0.7")
+	}
+	quarantined := rep.Quarantined["bgp-session"]
+	if quarantined == 0 {
+		t.Fatal("no session was quarantined at corrupt+truncate 0.7")
+	}
+	space := c.Space()
+	v := snap.OriginVector(space, 0, SiteIndex(svc))
+	unknown := 0
+	for i, r := range snap.Routes {
+		if r.Peer != c.Peers[i] {
+			t.Fatalf("route %d carries peer AS%d, want AS%d", i, r.Peer, c.Peers[i])
+		}
+		if len(r.ASPath) == 0 {
+			if _, ok := v.Site(i); ok {
+				t.Fatalf("withdrawn peer AS%d still has a catchment", r.Peer)
+			}
+			unknown++
+		}
+	}
+	if unknown < quarantined {
+		t.Fatalf("%d withdrawn routes < %d quarantined sessions", unknown, quarantined)
+	}
+	// Retries were granted (and bounded) by the budget.
+	if rep.Retries["bgpfeed"] == 0 {
+		t.Fatal("no retries recorded under persistent stream faults")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"fenrir/internal/astopo"
 	"fenrir/internal/core"
 	"fenrir/internal/dataplane"
+	"fenrir/internal/faults"
 	"fenrir/internal/netaddr"
 	"fenrir/internal/timeline"
 	"fenrir/internal/wire"
@@ -16,7 +17,7 @@ import (
 
 // Mapper sweeps a website's catchments over a prefix list.
 type Mapper struct {
-	Net *dataplane.Net
+	Net dataplane.Plane
 	// ObserverAS is the AS the queries originate from; with ECS a single
 	// observer suffices, which is the method's point.
 	ObserverAS astopo.ASN
@@ -30,8 +31,12 @@ type Mapper struct {
 	// (e.g. a front-end id or a site name). Unknown addresses become
 	// "other".
 	DecodeFrontEnd func(addr netaddr.Addr) (string, bool)
-	// Retries per query.
+	// Retries per query. Ignored when Backoff is set.
 	Retries int
+	// Backoff, when set, meters retries under a bounded
+	// exponential-backoff budget; nil keeps the legacy fixed-count loop
+	// and its exact dataplane call sequence.
+	Backoff *faults.Backoff
 }
 
 // Space builds the analysis space: one network per swept prefix.
@@ -62,9 +67,16 @@ func (m *Mapper) Sweep(space *core.Space, epoch timeline.Epoch) *core.Vector {
 		}
 		var resp *wire.DNSMessage
 		var err error
-		for attempt := 0; attempt <= m.Retries; attempt++ {
+		for attempt := 0; ; attempt++ {
 			resp, _, err = m.Net.QueryDNS(m.ObserverAS, m.ServerAddr, q, int(epoch))
 			if err == nil {
+				break
+			}
+			if m.Backoff != nil {
+				if !m.Backoff.Allow(attempt + 1) {
+					break
+				}
+			} else if attempt >= m.Retries {
 				break
 			}
 		}

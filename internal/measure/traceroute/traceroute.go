@@ -17,6 +17,7 @@ import (
 	"fenrir/internal/astopo"
 	"fenrir/internal/core"
 	"fenrir/internal/dataplane"
+	"fenrir/internal/faults"
 	"fenrir/internal/netaddr"
 	"fenrir/internal/timeline"
 )
@@ -46,17 +47,22 @@ type Trace struct {
 
 // Prober runs traceroute scans out of one enterprise vantage point.
 type Prober struct {
-	Net     *dataplane.Net
+	Net     dataplane.Plane
 	SrcAS   astopo.ASN
 	SrcAddr netaddr.Addr
 	// MaxHops mirrors the paper's 10-hop cap.
 	MaxHops int
 	// Retries per TTL (scamper default behaviour: retry silent hops).
+	// Ignored when Backoff is set.
 	Retries int
+	// Backoff, when set, meters per-TTL retries under a bounded
+	// exponential-backoff budget instead of the fixed Retries count. Nil
+	// keeps the legacy probe sequence exactly.
+	Backoff *faults.Backoff
 }
 
 // NewProber constructs a prober with the paper's parameters.
-func NewProber(net *dataplane.Net, srcAS astopo.ASN, srcAddr netaddr.Addr) *Prober {
+func NewProber(net dataplane.Plane, srcAS astopo.ASN, srcAddr netaddr.Addr) *Prober {
 	return &Prober{Net: net, SrcAS: srcAS, SrcAddr: srcAddr, MaxHops: 10, Retries: 1}
 }
 
@@ -68,10 +74,17 @@ func (p *Prober) Trace(dst netaddr.Block, epoch timeline.Epoch) Trace {
 	for ttl := 1; ttl <= p.MaxHops; ttl++ {
 		var res dataplane.ProbeResult
 		got := false
-		for attempt := 0; attempt <= p.Retries; attempt++ {
+		for attempt := 0; ; attempt++ {
 			res = p.Net.ProbeTTL(p.SrcAS, p.SrcAddr, target, basePort+uint16(ttl), ttl, int(epoch))
 			if res.Kind != dataplane.Timeout {
 				got = true
+				break
+			}
+			if p.Backoff != nil {
+				if !p.Backoff.Allow(attempt + 1) {
+					break
+				}
+			} else if attempt >= p.Retries {
 				break
 			}
 		}
@@ -82,7 +95,7 @@ func (p *Prober) Trace(dst netaddr.Block, epoch timeline.Epoch) Trace {
 			hop.RTTms = res.RTTms
 			if res.Kind == dataplane.PortUnreachable {
 				// Destination reached: attribute to its origin AS.
-				if as, ok := p.Net.G.OriginOf(res.From); ok {
+				if as, ok := p.Net.Graph().OriginOf(res.From); ok {
 					hop.AS, hop.Attributed = as, true
 				}
 				tr.Hops = append(tr.Hops, hop)
@@ -152,22 +165,40 @@ func HopLabel(tr Trace, hop, maxReach int) (string, bool) {
 	return "", false
 }
 
+// NotInSpaceError reports a trace whose destination is absent from the
+// analysis space — an ingest mismatch (stale hitlist, corrupted trace)
+// that callers should quarantine rather than crash on.
+type NotInSpaceError struct {
+	Dst netaddr.Block
+}
+
+func (e *NotInSpaceError) Error() string {
+	return fmt.Sprintf("traceroute: destination %v not in space", e.Dst)
+}
+
 // VectorAtHop converts a scan into the Fenrir vector "catchments at hop
 // k": each destination block is labelled with the AS its traffic crosses
 // at that distance. This is the adjustable "focus" of §2.3.2 — hop 2 shows
-// immediate upstreams, hop 3 their transits, and so on.
-func VectorAtHop(space *core.Space, traces []Trace, hop int, epoch timeline.Epoch) *core.Vector {
+// immediate upstreams, hop 3 their transits, and so on. A trace whose
+// destination is not in the space yields a *NotInSpaceError alongside the
+// vector built from the remaining traces, so callers can degrade
+// gracefully (quarantine the stray, keep the epoch).
+func VectorAtHop(space *core.Space, traces []Trace, hop int, epoch timeline.Epoch) (*core.Vector, error) {
 	v := space.NewVector(epoch)
+	var firstErr error
 	for _, tr := range traces {
 		n := space.NetworkIndex(tr.Dst.String())
 		if n < 0 {
-			panic(fmt.Sprintf("traceroute: destination %v not in space", tr.Dst))
+			if firstErr == nil {
+				firstErr = &NotInSpaceError{Dst: tr.Dst}
+			}
+			continue
 		}
 		if label, ok := HopLabel(tr, hop, 2); ok {
 			v.Set(n, label)
 		}
 	}
-	return v
+	return v, firstErr
 }
 
 // FlowsAtHops extracts, for a Sankey rendering, the per-destination AS

@@ -150,7 +150,10 @@ func TestVectorAtHopMatchesPaths(t *testing.T) {
 	p := NewProber(n, src, srcAddr)
 	traces := p.Scan(hitlist, 0)
 	space := Space(hitlist)
-	v := VectorAtHop(space, traces, 3, 0)
+	v, err := VectorAtHop(space, traces, 3, 0)
+	if err != nil {
+		t.Fatalf("VectorAtHop: %v", err)
+	}
 	for i, b := range hitlist {
 		asPath := n.ASPath(src, b.Host(1))
 		got, ok := v.Site(i)

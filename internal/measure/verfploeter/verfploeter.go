@@ -13,6 +13,7 @@ import (
 	"fenrir/internal/astopo"
 	"fenrir/internal/core"
 	"fenrir/internal/dataplane"
+	"fenrir/internal/faults"
 	"fenrir/internal/netaddr"
 	"fenrir/internal/timeline"
 )
@@ -20,18 +21,24 @@ import (
 // Mapper runs catchment censuses for one anycast service over a fixed
 // hitlist.
 type Mapper struct {
-	Net     *dataplane.Net
+	Net     dataplane.Plane
 	Service string
 	Hitlist []netaddr.Block
 	// Retries is how many additional probes a silent block gets within
 	// one census; Verfploeter deployments retry to suppress transient
 	// loss (retries cannot recover a genuinely unresponsive block).
+	// Ignored when Backoff is set.
 	Retries int
+	// Backoff, when set, replaces the fixed Retries count with a bounded
+	// retry-with-exponential-backoff budget (see internal/faults). Nil
+	// keeps the legacy loop — and its exact dataplane call sequence —
+	// unchanged.
+	Backoff *faults.Backoff
 }
 
 // NewMapper builds a mapper. It panics if the service is unknown — a
 // wiring bug, not a runtime condition.
-func NewMapper(net *dataplane.Net, service string, hitlist []netaddr.Block) *Mapper {
+func NewMapper(net dataplane.Plane, service string, hitlist []netaddr.Block) *Mapper {
 	if net.Service(service) == nil {
 		panic(fmt.Sprintf("verfploeter: unknown service %q", service))
 	}
@@ -72,7 +79,7 @@ func (m *Mapper) Census(space *core.Space, epoch timeline.Epoch) (*core.Vector, 
 	srcAddr := m.Net.ServiceAddr(m.Service)
 	for i, b := range m.Hitlist {
 		target := b.Host(1) // the hitlist representative address
-		for attempt := 0; attempt <= m.Retries; attempt++ {
+		for attempt := 0; ; attempt++ {
 			res := m.Net.Ping(fromAS, srcAddr, target, uint16(epoch), uint16(i), int(epoch))
 			if res.Kind == dataplane.EchoReply {
 				if res.Site == "" {
@@ -82,6 +89,13 @@ func (m *Mapper) Census(space *core.Space, epoch timeline.Epoch) (*core.Vector, 
 				} else {
 					v.Set(i, res.Site)
 				}
+				break
+			}
+			if m.Backoff != nil {
+				if !m.Backoff.Allow(attempt + 1) {
+					break
+				}
+			} else if attempt >= m.Retries {
 				break
 			}
 		}

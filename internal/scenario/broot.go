@@ -6,8 +6,10 @@ import (
 
 	"fenrir/internal/astopo"
 	"fenrir/internal/bgpsim"
+	"fenrir/internal/clean"
 	"fenrir/internal/core"
 	"fenrir/internal/dataplane"
+	"fenrir/internal/faults"
 	"fenrir/internal/latency"
 	"fenrir/internal/measure/atlas"
 	"fenrir/internal/measure/verfploeter"
@@ -37,6 +39,11 @@ type BRootConfig struct {
 	// Parallelism sizes the similarity-matrix worker pool (0 = all
 	// cores, 1 = serial); the matrix is bit-identical at any setting.
 	Parallelism int
+	// Faults selects an injected-fault profile (zero = no fault layer and
+	// byte-identical output); FaultSeed seeds the injector, 0 deriving one
+	// from Seed. See internal/faults.
+	Faults    faults.Profile
+	FaultSeed uint64
 	// Obs receives pipeline instrumentation (stage spans and engine
 	// metrics); nil disables it with no behavioural change.
 	Obs *obs.Registry `json:"-"`
@@ -75,6 +82,12 @@ type BRootResult struct {
 	PolarizationRate float64
 	// PolarizedCount is the number of flagged VPs behind the rate.
 	PolarizedCount int
+	// Faults reports injected faults, retries, and quarantined
+	// observations; nil when no fault layer was active.
+	Faults *faults.Report
+	// Quarantine details what the ingest quarantine removed (fault runs
+	// only; nil otherwise).
+	Quarantine *clean.QuarantineReport
 }
 
 // RunBRoot executes the B-Root scenario: five years (2019-09-01 to
@@ -162,14 +175,17 @@ func RunBRoot(cfg BRootConfig) (*BRootResult, error) {
 	for i := 0; i < len(blocks); i += stride {
 		hitlist = append(hitlist, blocks[i])
 	}
-	mapper := verfploeter.NewMapper(w.Net, "b-root", hitlist)
+	inj := newInjector(cfg.Seed, cfg.Faults, cfg.FaultSeed, cfg.Obs)
+	mapper := verfploeter.NewMapper(inj.Wrap(w.Net, "verfploeter"), "b-root", hitlist)
+	mapper.Backoff = inj.NewBackoff("verfploeter", faults.DefaultRetryPolicy())
 	space := mapper.Space()
 
 	var vps []atlas.VP
 	var mesh *atlas.Mesh
 	if cfg.LatencyEvery > 0 {
 		vps = atlas.DeployVPs(w.Net, cfg.AtlasVPs, cfg.Seed^0xa71a5)
-		mesh = &atlas.Mesh{Net: w.Net, Service: "b-root", VPs: vps}
+		mesh = &atlas.Mesh{Net: inj.Wrap(w.Net, "atlas"), Service: "b-root", VPs: vps,
+			Backoff: inj.NewBackoff("atlas", faults.DefaultRetryPolicy())}
 	}
 	meshSpace := func() *core.Space {
 		if mesh == nil {
@@ -304,7 +320,16 @@ func RunBRoot(cfg BRootConfig) (*BRootResult, error) {
 	spObs.SetItems(int64(len(vectors)))
 	spObs.End()
 	res.Series = core.NewSeries(space, sched, vectors, nil)
+	// Fault runs quarantine injected bogus/stuck labels before analysis;
+	// zero-fault runs skip the pass entirely (byte-identical pipeline).
+	valid := map[string]bool{
+		"LAX": true, "MIA": true, "ARI": true, "SIN": true,
+		"IAD": true, "AMS": true, "SCL": true,
+		core.SiteError: true, core.SiteOther: true,
+	}
+	res.Series, res.Quarantine = quarantinePass(inj, res.Series, valid, cfg.Obs)
 	res.Matrix, res.Modes = analyze(cfg.Obs, res.Series, cfg.Parallelism)
+	res.Faults = inj.Report()
 	return res, nil
 }
 

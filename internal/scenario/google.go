@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"fenrir/internal/astopo"
+	"fenrir/internal/clean"
 	"fenrir/internal/core"
 	"fenrir/internal/dataplane"
+	"fenrir/internal/faults"
 	"fenrir/internal/measure/ednscs"
 	"fenrir/internal/netaddr"
 	"fenrir/internal/obs"
@@ -39,6 +41,11 @@ type GoogleConfig struct {
 	// Parallelism sizes the similarity-matrix worker pool (0 = all
 	// cores, 1 = serial); the matrix is bit-identical at any setting.
 	Parallelism int
+	// Faults selects an injected-fault profile (zero = no fault layer and
+	// byte-identical output); FaultSeed seeds the injector, 0 deriving one
+	// from Seed. See internal/faults.
+	Faults    faults.Profile
+	FaultSeed uint64
 	// Obs receives pipeline instrumentation (stage spans and engine
 	// metrics); nil disables it with no behavioural change.
 	Obs *obs.Registry `json:"-"`
@@ -65,6 +72,12 @@ type GoogleResult struct {
 	// WithinWeekPhi / CrossWeekPhi / CrossEraPhi summarize the three
 	// similarity regimes the paper reports (~0.79 / ~0.25 / ~0).
 	WithinWeekPhi, CrossWeekPhi, CrossEraPhi float64
+	// Faults reports injected faults, retries, and quarantined
+	// observations; nil when no fault layer was active.
+	Faults *faults.Report
+	// Quarantine details what the ingest quarantine removed (fault runs
+	// only; nil otherwise).
+	Quarantine *clean.QuarantineReport
 }
 
 // RunGoogle executes the Google scenario. The 2013 period runs against a
@@ -108,14 +121,16 @@ func RunGoogle(cfg GoogleConfig) (*GoogleResult, error) {
 	for i := 0; i < len(blocks) && len(prefixes) < cfg.Prefixes; i += 1 + len(blocks)/maxInt(cfg.Prefixes, 1) {
 		prefixes = append(prefixes, blocks[i].Prefix())
 	}
+	inj := newInjector(cfg.Seed, cfg.Faults, cfg.FaultSeed, cfg.Obs)
 	mapper := &ednscs.Mapper{
-		Net: w.Net, ObserverAS: stubs[0], ServerAddr: authAddr,
+		Net: inj.Wrap(w.Net, "ednscs"), ObserverAS: stubs[0], ServerAddr: authAddr,
 		Hostname: "www.google.com", Prefixes: prefixes,
 		DecodeFrontEnd: func(a netaddr.Addr) (string, bool) {
 			l, ok := idx[a]
 			return l, ok
 		},
 		Retries: 1,
+		Backoff: inj.NewBackoff("ednscs", faults.DefaultRetryPolicy()),
 	}
 	space := mapper.Space()
 
@@ -144,6 +159,11 @@ func RunGoogle(cfg GoogleConfig) (*GoogleResult, error) {
 
 	res := &GoogleResult{Schedule: sched, Rows2013: cfg.Days2013}
 	res.Series = core.NewSeries(space, sched, vectors, nil)
+	valid := map[string]bool{core.SiteError: true, core.SiteOther: true}
+	for _, label := range idx {
+		valid[label] = true
+	}
+	res.Series, res.Quarantine = quarantinePass(inj, res.Series, valid, cfg.Obs)
 	res.Matrix, res.Modes = analyze(cfg.Obs, res.Series, cfg.Parallelism)
 
 	// Headline Φ summaries over the 2024 rows.
@@ -182,6 +202,7 @@ func RunGoogle(cfg GoogleConfig) (*GoogleResult, error) {
 	if res.Series.Len() != n {
 		return nil, fmt.Errorf("google: expected %d vectors, got %d", n, res.Series.Len())
 	}
+	res.Faults = inj.Report()
 	return res, nil
 }
 

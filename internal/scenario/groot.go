@@ -6,8 +6,10 @@ import (
 
 	"fenrir/internal/astopo"
 	"fenrir/internal/bgpsim"
+	"fenrir/internal/clean"
 	"fenrir/internal/core"
 	"fenrir/internal/dataplane"
+	"fenrir/internal/faults"
 	"fenrir/internal/measure/atlas"
 	"fenrir/internal/netaddr"
 	"fenrir/internal/obs"
@@ -35,6 +37,11 @@ type GRootConfig struct {
 	// Parallelism sizes the similarity-matrix worker pool (0 = all
 	// cores, 1 = serial); the matrix is bit-identical at any setting.
 	Parallelism int
+	// Faults selects an injected-fault profile (zero = no fault layer and
+	// byte-identical output); FaultSeed seeds the injector, 0 deriving one
+	// from Seed. See internal/faults.
+	Faults    faults.Profile
+	FaultSeed uint64
 	// Obs receives pipeline instrumentation (stage spans and engine
 	// metrics); nil disables it with no behavioural change.
 	Obs *obs.Registry `json:"-"`
@@ -63,6 +70,12 @@ type GRootResult struct {
 	// [1] the completion where errors resolve to NAP (Table 3b).
 	DrainTransitions [2]*core.TransitionMatrix
 	Events           map[string]timeline.Epoch
+	// Faults reports injected faults, retries, and quarantined
+	// observations; nil when no fault layer was active.
+	Faults *faults.Report
+	// Quarantine details what the ingest quarantine removed (fault runs
+	// only; nil otherwise).
+	Quarantine *clean.QuarantineReport
 }
 
 // RunGRoot executes the G-Root scenario: six sites (CMH, NAP, STR, NRT,
@@ -122,8 +135,10 @@ func RunGRoot(cfg GRootConfig) (*GRootResult, error) {
 		"drain-final": at(6, 12),
 	}
 
+	inj := newInjector(cfg.Seed, cfg.Faults, cfg.FaultSeed, cfg.Obs)
 	vps := atlas.DeployVPs(w.Net, cfg.VPs, cfg.Seed^0x6a7145)
-	mesh := &atlas.Mesh{Net: w.Net, Service: "g-root", VPs: vps}
+	mesh := &atlas.Mesh{Net: inj.Wrap(w.Net, "atlas"), Service: "g-root", VPs: vps,
+		Backoff: inj.NewBackoff("atlas", faults.DefaultRetryPolicy())}
 	space := mesh.Space()
 
 	// Third-party shift: CMH's host tier-2 gains a peering that pulls
@@ -196,6 +211,11 @@ func RunGRoot(cfg GRootConfig) (*GRootResult, error) {
 	spObs.SetItems(int64(len(vectors)))
 	spObs.End()
 	res.Series = core.NewSeries(space, sched, vectors, nil)
+	valid := map[string]bool{
+		"CMH": true, "SAT": true, "STR": true, "NAP": true, "NRT": true, "HNL": true,
+		core.SiteError: true, core.SiteOther: true,
+	}
+	res.Series, res.Quarantine = quarantinePass(inj, res.Series, valid, cfg.Obs)
 	res.Matrix, res.Modes = analyze(cfg.Obs, res.Series, cfg.Parallelism)
 
 	// Table 3: transitions at the first drain boundary and one epoch
@@ -211,5 +231,6 @@ func RunGRoot(cfg GRootConfig) (*GRootResult, error) {
 	res.DrainTransitions[1] = core.Transition(vb, vc, nil)
 	spTr.SetItems(2)
 	spTr.End()
+	res.Faults = inj.Report()
 	return res, nil
 }

@@ -10,7 +10,7 @@
 //
 // Everything is deterministic in the scenario seed. Scale knobs shrink
 // the paper's millions-of-networks datasets to laptop size without
-// changing any code path (see DESIGN.md §8).
+// changing any code path (see DESIGN.md §9).
 package scenario
 
 import (
@@ -19,10 +19,36 @@ import (
 
 	"fenrir/internal/astopo"
 	"fenrir/internal/bgpsim"
+	"fenrir/internal/clean"
 	"fenrir/internal/core"
 	"fenrir/internal/dataplane"
+	"fenrir/internal/faults"
 	"fenrir/internal/obs"
 )
+
+// newInjector builds a scenario's fault injector from its config fields:
+// nil (no fault layer at all, the byte-identical default) for the zero
+// profile. A zero fault seed derives one from the scenario seed so
+// `-faults light` alone is fully specified.
+func newInjector(seed uint64, prof faults.Profile, faultSeed uint64, reg *obs.Registry) *faults.Injector {
+	if faultSeed == 0 {
+		faultSeed = seed ^ 0xfa17
+	}
+	return faults.New(prof, faultSeed, reg)
+}
+
+// quarantinePass runs the ingest quarantine over a raw series when a fault
+// layer is active: site labels outside valid are mapped to unknown and
+// counted. With no injector the series passes through untouched —
+// zero-fault runs keep their exact pre-fault-layer pipeline.
+func quarantinePass(inj *faults.Injector, s *core.Series, valid map[string]bool, reg *obs.Registry) (*core.Series, *clean.QuarantineReport) {
+	if inj == nil {
+		return s, nil
+	}
+	out, rep := clean.Quarantine(s, func(site string) bool { return valid[site] }, reg)
+	inj.Quarantine("invalid-site", rep.Total)
+	return out, rep
+}
 
 // World bundles the topology, policy, and forwarding plane a scenario
 // runs on.

@@ -6,6 +6,7 @@ import (
 	"fenrir/internal/astopo"
 	"fenrir/internal/core"
 	"fenrir/internal/dataplane"
+	"fenrir/internal/faults"
 	"fenrir/internal/measure/traceroute"
 	"fenrir/internal/netaddr"
 	"fenrir/internal/obs"
@@ -44,6 +45,11 @@ type USCConfig struct {
 	// Parallelism sizes the similarity-matrix worker pool (0 = all
 	// cores, 1 = serial); the matrix is bit-identical at any setting.
 	Parallelism int
+	// Faults selects an injected-fault profile (zero = no fault layer and
+	// byte-identical output); FaultSeed seeds the injector, 0 deriving one
+	// from Seed. See internal/faults.
+	Faults    faults.Profile
+	FaultSeed uint64
 	// Obs receives pipeline instrumentation (stage spans and engine
 	// metrics); nil disables it with no behavioural change.
 	Obs *obs.Registry `json:"-"`
@@ -67,6 +73,9 @@ type USCResult struct {
 	FlowsBefore, FlowsAfter map[string]int
 	// Hop3Before/Hop3After aggregate the focus-hop catchments.
 	Hop3Before, Hop3After map[string]int
+	// Faults reports injected faults, retries, and quarantined
+	// observations; nil when no fault layer was active.
+	Faults *faults.Report
 }
 
 // RunUSC executes the multi-homed-enterprise scenario: USC (AS52) buys
@@ -165,8 +174,10 @@ func RunUSC(cfg USCConfig) (*USCResult, error) {
 		}
 		hitlist = append(hitlist, blocks[i])
 	}
-	prober := traceroute.NewProber(w.Net, ASNUSC, netaddr.MustParseAddr("128.125.1.1"))
+	inj := newInjector(cfg.Seed, cfg.Faults, cfg.FaultSeed, cfg.Obs)
+	prober := traceroute.NewProber(inj.Wrap(w.Net, "traceroute"), ASNUSC, netaddr.MustParseAddr("128.125.1.1"))
 	prober.Retries = 0
+	prober.Backoff = inj.NewBackoff("traceroute", faults.DefaultRetryPolicy())
 	space := traceroute.Space(hitlist)
 
 	res := &USCResult{Schedule: sched, ChangeEpoch: change}
@@ -217,7 +228,13 @@ func RunUSC(cfg USCConfig) (*USCResult, error) {
 			w.Net.Refresh()
 		}
 		traces := prober.Scan(hitlist, epoch)
-		vectors = append(vectors, traceroute.VectorAtHop(space, traces, cfg.FocusHop, epoch))
+		v, verr := traceroute.VectorAtHop(space, traces, cfg.FocusHop, epoch)
+		if verr != nil {
+			// A trace targeting something outside the space is quarantined,
+			// not fatal: the vector covers the remaining destinations.
+			inj.Quarantine("trace-not-in-space", 1)
+		}
+		vectors = append(vectors, v)
 		if epoch == change-1 {
 			tracesBefore = traces
 		}
@@ -241,5 +258,6 @@ func RunUSC(cfg USCConfig) (*USCResult, error) {
 	res.Hop3After = res.Series.At(change + 1).Aggregate()
 	spTr.SetItems(int64(len(tracesBefore) + len(tracesAfter)))
 	spTr.End()
+	res.Faults = inj.Report()
 	return res, nil
 }

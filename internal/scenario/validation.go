@@ -6,9 +6,11 @@ import (
 
 	"fenrir/internal/astopo"
 	"fenrir/internal/bgpsim"
+	"fenrir/internal/clean"
 	"fenrir/internal/core"
 	"fenrir/internal/dataplane"
 	"fenrir/internal/events"
+	"fenrir/internal/faults"
 	"fenrir/internal/measure/atlas"
 	"fenrir/internal/netaddr"
 	"fenrir/internal/obs"
@@ -40,6 +42,11 @@ type ValidationConfig struct {
 	// Parallelism sizes the similarity-matrix worker pool (0 = all
 	// cores, 1 = serial); the matrix is bit-identical at any setting.
 	Parallelism int
+	// Faults selects an injected-fault profile (zero = no fault layer and
+	// byte-identical output); FaultSeed seeds the injector, 0 deriving one
+	// from Seed. See internal/faults.
+	Faults    faults.Profile
+	FaultSeed uint64
 	// Obs receives pipeline instrumentation (stage spans and engine
 	// metrics); nil disables it with no behavioural change.
 	Obs *obs.Registry `json:"-"`
@@ -66,6 +73,12 @@ type ValidationResult struct {
 	Series *core.Series
 	Matrix *core.SimMatrix
 	Modes  *core.ModesResult
+	// Faults reports injected faults, retries, and quarantined
+	// observations; nil when no fault layer was active.
+	Faults *faults.Report
+	// Quarantine details what the ingest quarantine removed (fault runs
+	// only; nil otherwise).
+	Quarantine *clean.QuarantineReport
 }
 
 // RunValidation executes the ground-truth study: a B-Root-like anycast
@@ -97,8 +110,10 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 	svc.AddSite("SIN", as[0])
 	w.Net.AddService(svc, rootHandler("b"))
 
+	inj := newInjector(cfg.Seed, cfg.Faults, cfg.FaultSeed, cfg.Obs)
 	vps := atlas.DeployVPs(w.Net, cfg.VPs, cfg.Seed^0x7a5)
-	mesh := &atlas.Mesh{Net: w.Net, Service: "b-root", VPs: vps}
+	mesh := &atlas.Mesh{Net: inj.Wrap(w.Net, "atlas"), Service: "b-root", VPs: vps,
+		Backoff: inj.NewBackoff("atlas", faults.DefaultRetryPolicy())}
 	space := mesh.Space()
 	sched := timeline.NewSchedule(date("2023-03-01"), daysDur(1)/48, cfg.Epochs)
 
@@ -291,6 +306,11 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 	spObs.SetItems(int64(len(vectors)))
 	spObs.End()
 	series := core.NewSeries(space, sched, vectors, nil)
+	valid := map[string]bool{
+		"LAX": true, "IAD": true, "AMS": true, "SIN": true,
+		core.SiteError: true, core.SiteOther: true,
+	}
+	series, quarantine := quarantinePass(inj, series, valid, cfg.Obs)
 	matrix, modes := analyze(cfg.Obs, series, cfg.Parallelism)
 	opts := cfg.DetectOpts
 	if opts.Window == 0 {
@@ -312,5 +332,7 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 		Series:     series,
 		Matrix:     matrix,
 		Modes:      modes,
+		Faults:     inj.Report(),
+		Quarantine: quarantine,
 	}, nil
 }

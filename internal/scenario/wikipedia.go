@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"fenrir/internal/astopo"
+	"fenrir/internal/clean"
 	"fenrir/internal/core"
 	"fenrir/internal/dataplane"
+	"fenrir/internal/faults"
 	"fenrir/internal/measure/ednscs"
 	"fenrir/internal/netaddr"
 	"fenrir/internal/obs"
@@ -30,6 +32,11 @@ type WikipediaConfig struct {
 	// Parallelism sizes the similarity-matrix worker pool (0 = all
 	// cores, 1 = serial); the matrix is bit-identical at any setting.
 	Parallelism int
+	// Faults selects an injected-fault profile (zero = no fault layer and
+	// byte-identical output); FaultSeed seeds the injector, 0 deriving one
+	// from Seed. See internal/faults.
+	Faults    faults.Profile
+	FaultSeed uint64
 	// Obs receives pipeline instrumentation (stage spans and engine
 	// metrics); nil disables it with no behavioural change.
 	Obs *obs.Registry `json:"-"`
@@ -54,6 +61,12 @@ type WikipediaResult struct {
 	// ReturnedFraction is the share of codfw's original clients that
 	// came back after the restore.
 	ReturnedFraction float64
+	// Faults reports injected faults, retries, and quarantined
+	// observations; nil when no fault layer was active.
+	Faults *faults.Report
+	// Quarantine details what the ingest quarantine removed (fault runs
+	// only; nil otherwise).
+	Quarantine *clean.QuarantineReport
 }
 
 // RunWikipedia executes the Wikipedia scenario: the seven Wikimedia sites
@@ -122,13 +135,15 @@ func RunWikipedia(cfg WikipediaConfig) (*WikipediaResult, error) {
 	for i, s := range sites {
 		byAddr[base+netaddr.Addr(i)] = s.name
 	}
+	inj := newInjector(cfg.Seed, cfg.Faults, cfg.FaultSeed, cfg.Obs)
 	mapper := &ednscs.Mapper{
-		Net: w.Net, ObserverAS: stubs[0], ServerAddr: authAddr,
+		Net: inj.Wrap(w.Net, "ednscs"), ObserverAS: stubs[0], ServerAddr: authAddr,
 		Hostname: "www.wikipedia.org", Prefixes: prefixes,
 		DecodeFrontEnd: func(a netaddr.Addr) (string, bool) {
 			l, ok := byAddr[a]
 			return l, ok
 		},
+		Backoff: inj.NewBackoff("ednscs", faults.DefaultRetryPolicy()),
 	}
 	space := mapper.Space()
 
@@ -156,6 +171,11 @@ func RunWikipedia(cfg WikipediaConfig) (*WikipediaResult, error) {
 
 	res := &WikipediaResult{Schedule: sched, DrainEpoch: drain, RestoreEpoch: restore}
 	res.Series = core.NewSeries(space, sched, vectors, nil)
+	valid := map[string]bool{core.SiteError: true, core.SiteOther: true}
+	for _, s := range sites {
+		valid[s.name] = true
+	}
+	res.Series, res.Quarantine = quarantinePass(inj, res.Series, valid, cfg.Obs)
 	res.Matrix, res.Modes = analyze(cfg.Obs, res.Series, cfg.Parallelism)
 
 	spTr := cfg.Obs.StartSpan("transitions")
@@ -175,5 +195,6 @@ func RunWikipedia(cfg WikipediaConfig) (*WikipediaResult, error) {
 	}
 	spTr.SetItems(1)
 	spTr.End()
+	res.Faults = inj.Report()
 	return res, nil
 }

@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"fenrir/internal/faults"
 	"fenrir/internal/wire"
 )
 
@@ -26,37 +28,28 @@ type Handler func(q *wire.DNSMessage, from net.Addr) *wire.DNSMessage
 type Server struct {
 	conn    *net.UDPConn
 	handler Handler
+	faults  *faults.Injector // nil = no injected wire faults
 
 	mu     sync.Mutex
 	closed bool
 	done   chan struct{}
 
-	// Served counts successfully answered queries (for tests and stats).
-	served atomicCounter
-}
-
-// atomicCounter is a mutex-guarded counter; the server is low-rate enough
-// that a mutex keeps it simple.
-type atomicCounter struct {
-	mu sync.Mutex
-	n  int
-}
-
-func (c *atomicCounter) inc() {
-	c.mu.Lock()
-	c.n++
-	c.mu.Unlock()
-}
-
-func (c *atomicCounter) get() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
+	// served counts successfully answered queries; read concurrently with
+	// the serve loop via Served, hence the atomic.
+	served atomic.Int64
 }
 
 // Listen binds a server to addr ("127.0.0.1:0" for an ephemeral test
 // port) and starts serving until Close.
 func Listen(addr string, handler Handler) (*Server, error) {
+	return ListenFaulty(addr, handler, nil)
+}
+
+// ListenFaulty is Listen with a fault injector stressing the datagram
+// path: inbound and outbound datagrams may be dropped, duplicated, or
+// corrupted per the injector's profile. A nil injector serves exactly
+// like Listen.
+func ListenFaulty(addr string, handler Handler, inj *faults.Injector) (*Server, error) {
 	if handler == nil {
 		return nil, errors.New("udpserve: nil handler")
 	}
@@ -68,7 +61,7 @@ func Listen(addr string, handler Handler) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udpserve: listen: %w", err)
 	}
-	s := &Server{conn: conn, handler: handler, done: make(chan struct{})}
+	s := &Server{conn: conn, handler: handler, faults: inj, done: make(chan struct{})}
 	go s.serve()
 	return s, nil
 }
@@ -77,7 +70,7 @@ func Listen(addr string, handler Handler) (*Server, error) {
 func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
 
 // Served reports how many queries have been answered.
-func (s *Server) Served() int { return s.served.get() }
+func (s *Server) Served() int { return int(s.served.Load()) }
 
 // Close stops the server and releases the socket. Safe to call twice.
 func (s *Server) Close() error {
@@ -105,12 +98,16 @@ func (s *Server) serve() {
 			// harness server.
 			return
 		}
-		q, err := wire.UnmarshalDNS(buf[:n])
+		in, drop, _ := s.faults.Datagram("udpserve", buf[:n])
+		if drop {
+			continue // injected inbound loss: the client will time out
+		}
+		q, err := wire.UnmarshalDNS(in)
 		if err != nil {
 			// Malformed datagram: a real server answers FORMERR when it
 			// can recover the ID; we need at least two bytes for that.
-			if n >= 2 {
-				resp := &wire.DNSMessage{ID: uint16(buf[0])<<8 | uint16(buf[1]), QR: true, RCode: 1}
+			if len(in) >= 2 {
+				resp := &wire.DNSMessage{ID: uint16(in[0])<<8 | uint16(in[1]), QR: true, RCode: 1}
 				if out, merr := resp.Marshal(); merr == nil {
 					_, _ = s.conn.WriteToUDP(out, from)
 				}
@@ -125,8 +122,15 @@ func (s *Server) serve() {
 		if err != nil {
 			continue
 		}
+		out, drop, dup := s.faults.Datagram("udpserve", out)
+		if drop {
+			continue // injected outbound loss
+		}
 		if _, err := s.conn.WriteToUDP(out, from); err == nil {
-			s.served.inc()
+			s.served.Add(1)
+		}
+		if dup {
+			_, _ = s.conn.WriteToUDP(out, from) // injected duplicate delivery
 		}
 	}
 }

@@ -183,6 +183,74 @@ func TestCloseIsIdempotentAndStopsServing(t *testing.T) {
 	}
 }
 
+// TestServedCounterConcurrentWithClose hammers Served from readers while
+// clients drive the serve loop and Close lands mid-flight — the shape that
+// makes a mutex-free counter worth having and that the race detector
+// checks (run with -race; see the Makefile race target).
+func TestServedCounterConcurrentWithClose(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Readers: poll Served until told to stop; values must never regress.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if n := srv.Served(); n < last {
+					t.Error("served counter went backwards")
+					return
+				} else {
+					last = n
+				}
+			}
+		}()
+	}
+
+	// Clients: fire queries concurrently; some may fail once Close lands.
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(id uint16) {
+			defer wg.Done()
+			cl := &Client{Timeout: 200 * time.Millisecond}
+			q := &wire.DNSMessage{
+				ID:        id,
+				Questions: []wire.Question{{Name: "r.example", Type: wire.TypeA, Class: wire.ClassIN}},
+			}
+			for i := 0; i < 10; i++ {
+				_, _ = cl.Query(srv.Addr(), q)
+			}
+		}(uint16(3000 + c))
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	// Concurrent double Close while traffic is in flight.
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			if err := srv.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+	}
+	close(stop)
+	wg.Wait()
+	if srv.Served() < 0 {
+		t.Fatal("impossible served count")
+	}
+}
+
 // TestWebsimOverRealUDP serves a websim website handler on a real socket:
 // the full ECS request path — encode, kernel, decode, policy, answer —
 // across an actual UDP round trip.

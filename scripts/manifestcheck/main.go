@@ -1,12 +1,17 @@
 // Command manifestcheck asserts a fenrir run manifest is well formed:
 // it parses, names every pipeline stage, and its stage durations account
-// for at least 90% of the recorded wall time. Exits non-zero with a
-// diagnostic otherwise; used by scripts/obs_smoke.sh.
+// for at least 90% of the recorded wall time. With -faults it additionally
+// asserts the fault-injection counters landed in the manifest: faults were
+// injected, and the quarantine counter is present (even when zero). Exits
+// non-zero with a diagnostic otherwise; used by scripts/obs_smoke.sh and
+// scripts/faults_smoke.sh.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fenrir/internal/obs"
 )
@@ -14,11 +19,13 @@ import (
 var pipelineStages = []string{"generate", "observe", "similarity", "cluster", "transitions", "report"}
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: manifestcheck <manifest.json>")
+	checkFaults := flag.Bool("faults", false, "assert fault-injection and quarantine counters are present")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-faults] <manifest.json>")
 		os.Exit(2)
 	}
-	m, err := obs.LoadManifest(os.Args[1])
+	m, err := obs.LoadManifest(flag.Arg(0))
 	if err != nil {
 		fail("%v", err)
 	}
@@ -51,6 +58,28 @@ func main() {
 	}
 	if m.MatrixRows == 0 || m.Networks == 0 {
 		fail("matrix shape missing: rows=%d networks=%d", m.MatrixRows, m.Networks)
+	}
+	if *checkFaults {
+		injected, quarantineCounters := int64(0), 0
+		for name, v := range m.Counters {
+			switch {
+			case strings.HasPrefix(name, "fenrir_faults_injected_total{"):
+				injected += v
+			case strings.HasPrefix(name, "fenrir_quarantined_total{"):
+				quarantineCounters++
+				if v < 0 {
+					fail("counter %q is negative: %d", name, v)
+				}
+			}
+		}
+		if injected == 0 {
+			fail("fault run manifest records no injected faults")
+		}
+		if quarantineCounters == 0 {
+			fail("fault run manifest has no fenrir_quarantined_total counters")
+		}
+		fmt.Printf("manifestcheck: fault counters ok — %d injected, %d quarantine counters\n",
+			injected, quarantineCounters)
 	}
 	fmt.Printf("manifestcheck: %s ok — %d stages, %.2fs wall (%.0f%% in stages), %dx%d matrix, %d modes\n",
 		m.Scenario, len(m.Stages), m.WallSeconds, 100*sum/m.WallSeconds, m.MatrixRows, m.MatrixRows, m.Modes)
