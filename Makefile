@@ -1,13 +1,14 @@
 # Build, test, and benchmark entry points. `make test` is the tier-1
 # gate (vet + full test suite); `make race` runs the analysis core, the
-# fault layer, and the UDP server under the race detector; `make bench`
-# records the core perf trajectory to BENCH_core.json; `make check` adds
-# per-package coverage plus the observability and fault-injection smoke
-# tests on top of test + race.
+# fault layer, the UDP server, and the serve/snapshot layer under the
+# race detector; `make bench` records the core perf trajectory to
+# BENCH_core.json; `make check` adds per-package coverage plus the
+# observability, fault-injection, and serve-and-checkpoint smoke tests
+# on top of test + race.
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover obs-smoke faults-smoke check clean
+.PHONY: all build vet test race bench cover obs-smoke faults-smoke serve-smoke serve-load check clean
 
 all: build test
 
@@ -21,7 +22,7 @@ test: vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/faults/... ./internal/udpserve/...
+	$(GO) test -race ./internal/core/... ./internal/faults/... ./internal/udpserve/... ./internal/serve/... ./internal/snapshot/...
 
 # The perf-critical benches: the parallel similarity engine sweep and the
 # incremental threshold sweep. Output is parsed into BENCH_core.json; a
@@ -51,7 +52,18 @@ obs-smoke:
 faults-smoke:
 	./scripts/faults_smoke.sh
 
-check: test race cover obs-smoke faults-smoke
+# End-to-end serving check: kill a checkpointing daemon mid-stream,
+# restart it from the snapshot dir, and assert the restored daemon's
+# query output is byte-identical to an uninterrupted run.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Concurrent-load check (not part of `check`; slower): N writers + N
+# contended writers + readers against a -race daemon build.
+serve-load:
+	./scripts/serve_load.sh
+
+check: test race cover obs-smoke faults-smoke serve-smoke
 
 clean:
 	rm -f BENCH_core.json BENCH_core.json.tmp bench.out cover.out

@@ -20,14 +20,24 @@
 //
 //	fenrir -scenario wikipedia -faults light   # seeded faults on every substrate
 //	fenrir -scenario groot -faults heavy -faultseed 7
+//
+// Long-running daemon (see DESIGN.md §8):
+//
+//	fenrir -serve :8080 -snapshot-dir /var/lib/fenrir
+//	fenrir -serve :8080 -snapshot-dir state -faults light -manifest run.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"fenrir/internal/core"
@@ -36,6 +46,7 @@ import (
 	"fenrir/internal/obs"
 	"fenrir/internal/report"
 	"fenrir/internal/scenario"
+	"fenrir/internal/serve"
 )
 
 type cliOptions struct {
@@ -49,6 +60,11 @@ type cliOptions struct {
 	manifest   string
 	faults     string
 	faultSeed  uint64
+
+	serve         string
+	snapshotDir   string
+	snapshotEvery int
+	queueDepth    int
 }
 
 func main() {
@@ -63,6 +79,10 @@ func main() {
 	flag.StringVar(&o.manifest, "manifest", "", "write a JSON run manifest to this file on completion")
 	flag.StringVar(&o.faults, "faults", "none", "fault-injection profile: "+strings.Join(faults.Names(), " "))
 	flag.Uint64Var(&o.faultSeed, "faultseed", 0, "fault-injector seed (0 derives one from -seed)")
+	flag.StringVar(&o.serve, "serve", "", "run the long-lived monitoring daemon on this address (e.g. :8080) instead of a batch scenario")
+	flag.StringVar(&o.snapshotDir, "snapshot-dir", "", "daemon checkpoint directory (warm-restarts tenants found there)")
+	flag.IntVar(&o.snapshotEvery, "snapshot-every", 0, "daemon: checkpoint a tenant after this many accepted observations (0 = 64)")
+	flag.IntVar(&o.queueDepth, "queue-depth", 0, "daemon: per-tenant ingest queue depth (0 = 256)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -72,6 +92,9 @@ func main() {
 }
 
 func run(o cliOptions) error {
+	if o.serve != "" {
+		return runServe(o)
+	}
 	t0 := time.Now()
 	started := t0
 
@@ -258,4 +281,81 @@ func run(o cliOptions) error {
 	spRep.SetItems(int64(len(changes)))
 	spRep.End()
 	return finish()
+}
+
+// runServe runs the long-lived monitoring daemon: tenants behind the
+// internal/serve HTTP API, checkpointing to -snapshot-dir, draining
+// gracefully on SIGTERM/SIGINT. The daemon always carries a metrics
+// registry — /metrics is part of its own API surface.
+func runServe(o cliOptions) error {
+	t0 := time.Now()
+	started := t0
+	reg := obs.NewRegistry()
+	var sampler *obs.RuntimeSampler
+	if o.manifest != "" {
+		sampler = obs.StartRuntimeSampler(0)
+	}
+
+	prof, ok := faults.ByName(o.faults)
+	if !ok {
+		return fmt.Errorf("unknown fault profile %q (have: %s)", o.faults, strings.Join(faults.Names(), " "))
+	}
+	seed := o.faultSeed
+	if seed == 0 {
+		seed = o.seed
+	}
+	inj := faults.New(prof, seed, reg) // nil for the zero profile
+
+	srv, err := serve.New(serve.Config{
+		SnapshotDir:   o.snapshotDir,
+		SnapshotEvery: o.snapshotEvery,
+		QueueDepth:    o.queueDepth,
+		Obs:           reg,
+		Faults:        inj,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.serve)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "fenrir: serving api http://%s (tenants under /v1/tenants, metrics under /metrics)\n", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "fenrir: %v — draining\n", got)
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := srv.Drain(); err != nil {
+		fmt.Fprintf(os.Stderr, "fenrir: drain checkpoint failed: %v\n", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	hs.Shutdown(ctx) //nolint:errcheck // best-effort close on the way out
+
+	if inj != nil {
+		fmt.Fprintln(os.Stderr, inj.Report().String())
+	}
+	if o.manifest != "" {
+		m := &obs.Manifest{
+			Scenario:    "serve",
+			Seed:        o.seed,
+			Started:     started,
+			WallSeconds: time.Since(t0).Seconds(),
+		}
+		m.FillFromRegistry(reg)
+		m.PeakGoroutines, m.PeakHeapBytes = sampler.Stop()
+		if err := obs.WriteManifest(o.manifest, m); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fenrir: manifest written to %s (%.2fs wall)\n", o.manifest, m.WallSeconds)
+	}
+	return nil
 }

@@ -67,7 +67,11 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		if ev, changed := mon.Append(v); changed {
+		ev, changed, err := mon.Append(v)
+		if err != nil {
+			panic(err)
+		}
+		if changed {
 			fmt.Printf("day %d: CHANGE detected — Phi dropped to %.2f (baseline %.2f)\n",
 				int(ev.At), ev.Phi, ev.Baseline)
 		}

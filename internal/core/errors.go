@@ -22,6 +22,20 @@ func (e *DuplicateEpochError) Error() string {
 	return fmt.Sprintf("core: duplicate vector for epoch %d", e.Epoch)
 }
 
+// OutOfOrderEpochError reports an observation appended behind a stream's
+// newest epoch — a replayed batch, a misordered feed, or a client clock
+// running backwards. Monitor.Append returns it instead of corrupting the
+// triangular Φ history; serving layers map it to a 400 response.
+type OutOfOrderEpochError struct {
+	// Epoch is the offending observation's epoch; Newest is the stream's
+	// current latest epoch.
+	Epoch, Newest timeline.Epoch
+}
+
+func (e *OutOfOrderEpochError) Error() string {
+	return fmt.Sprintf("core: out-of-order append: epoch %d after %d", e.Epoch, e.Newest)
+}
+
 // TryNewSeries assembles a series, sorting vectors by epoch, and returns a
 // typed error instead of panicking on bad input: ErrForeignSpace for a
 // vector from another space, *DuplicateEpochError for an epoch collision.

@@ -119,6 +119,94 @@ func TestQuickKnownOnlyBounds(t *testing.T) {
 	}
 }
 
+// Property: Moved, Stayed, and Unobserved partition the transition
+// matrix — their sum equals the total weight, which equals Σw over the
+// network universe, under random weights and unknown rates.
+func TestQuickTransitionPartition(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a, b := randomVectorPair(r, 60, 0.35)
+		var w []float64
+		var total float64
+		if r.Bool(0.5) {
+			w = make([]float64, 60)
+			for i := range w {
+				w[i] = 1 + float64(r.Intn(9))
+				total += w[i]
+			}
+		} else {
+			total = 60
+		}
+		tm := Transition(a, b, w)
+		sum := tm.Moved() + tm.Stayed() + tm.Unobserved()
+		return math.Abs(sum-tm.Total()) < 1e-9 && math.Abs(tm.Total()-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Row sums reproduce the "from" marginal — every site's row
+// distribution sums to the weight that vector a assigns to that site,
+// with unknowns landing in Row(UnknownLabel).
+func TestQuickTransitionRowSums(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a, b := randomVectorPair(r, 50, 0.3)
+		tm := Transition(a, b, nil)
+		var grand float64
+		for _, from := range tm.Sites {
+			var rowSum float64
+			for _, v := range tm.Row(from) {
+				rowSum += v
+			}
+			var want float64
+			for n := 0; n < 50; n++ {
+				if s, ok := a.Site(n); ok && s == from {
+					want++
+				} else if !ok && from == UnknownLabel {
+					want++
+				}
+			}
+			if math.Abs(rowSum-want) > 1e-9 {
+				return false
+			}
+			grand += rowSum
+		}
+		return math.Abs(grand-50) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LargestFlows is deterministic despite map-backed cells —
+// repeated calls on the same matrix, and calls on an identically
+// rebuilt matrix, return the identical fully-tied-broken ordering.
+func TestQuickLargestFlowsDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a, b := randomVectorPair(r, 40, 0.25)
+		tm := Transition(a, b, nil)
+		first := tm.LargestFlows(0)
+		for trial := 0; trial < 5; trial++ {
+			again := Transition(a, b, nil).LargestFlows(0)
+			if len(again) != len(first) {
+				return false
+			}
+			for i := range first {
+				if first[i] != again[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: HAC is deterministic — two runs over the same matrix produce
 // identical merges.
 func TestQuickHACDeterministic(t *testing.T) {

@@ -50,6 +50,7 @@ func NewMonitor(space *Space, sched timeline.Schedule, w []float64, mode Unknown
 	if w != nil && len(w) != space.NumNetworks() {
 		panic(fmt.Sprintf("core: monitor weight length %d != networks %d", len(w), space.NumNetworks()))
 	}
+	validateMode(mode)
 	return &Monitor{space: space, sched: sched, w: w, mode: mode, detect: detect}
 }
 
@@ -72,9 +73,15 @@ func (m *Monitor) Len() int {
 
 // Append adds the next observation and returns whether it constitutes a
 // change event relative to the trailing window (the same criterion
-// DetectChanges applies in batch). Epochs must be appended in increasing
-// order.
-func (m *Monitor) Append(v *Vector) (ChangeEvent, bool) {
+// DetectChanges applies in batch). Epochs must be appended in strictly
+// increasing order: a repeat of the newest epoch returns
+// *DuplicateEpochError, an older epoch returns *OutOfOrderEpochError,
+// and in both cases the monitor's state is untouched — an out-of-order
+// feed degrades into rejected observations instead of silently
+// corrupting the triangular Φ history that checkpoints persist. A
+// vector from a foreign space still panics: that is a wiring bug, not a
+// data-quality condition.
+func (m *Monitor) Append(v *Vector) (ChangeEvent, bool, error) {
 	if v.Space != m.space {
 		panic("core: monitor vector from foreign space")
 	}
@@ -82,7 +89,11 @@ func (m *Monitor) Append(v *Vector) (ChangeEvent, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if n := len(m.vectors); n > 0 && v.T <= m.vectors[n-1].T {
-		panic(fmt.Sprintf("core: monitor append out of order (epoch %d after %d)", v.T, m.vectors[n-1].T))
+		newest := m.vectors[n-1].T
+		if v.T == newest {
+			return ChangeEvent{}, false, &DuplicateEpochError{Epoch: v.T}
+		}
+		return ChangeEvent{}, false, &OutOfOrderEpochError{Epoch: v.T, Newest: newest}
 	}
 	row := make([]float64, len(m.vectors))
 	for j, prev := range m.vectors {
@@ -121,7 +132,7 @@ func (m *Monitor) Append(v *Vector) (ChangeEvent, bool) {
 			m.obs.Counter("fenrir_monitor_events_total").Inc()
 		}
 	}
-	return event, changed
+	return event, changed, nil
 }
 
 // MonitorSnapshot is a point-in-time view of a monitor's ingest and
@@ -210,6 +221,116 @@ func (m *Monitor) CurrentMode(opts AdaptiveOptions) *Mode {
 		return nil
 	}
 	return m.Modes(opts).ModeOf(n - 1)
+}
+
+// Space returns the space the monitor's vectors live in.
+func (m *Monitor) Space() *Space { return m.space }
+
+// Schedule returns the monitor's observation schedule.
+func (m *Monitor) Schedule() timeline.Schedule { return m.sched }
+
+// Detect returns the monitor's change-detection options.
+func (m *Monitor) Detect() DetectOptions { return m.detect }
+
+// Mode returns the monitor's unknown-handling mode.
+func (m *Monitor) Mode() UnknownMode { return m.mode }
+
+// Weights returns a copy of the monitor's network weights (nil for
+// uniform weighting).
+func (m *Monitor) Weights() []float64 { return append([]float64(nil), m.w...) }
+
+// MonitorState is a complete, self-contained export of a monitor:
+// configuration (space, schedule, weights, modes), history (vectors and
+// the lower-triangular Φ values, preserved bit for bit), and ingest
+// statistics. internal/snapshot serializes it; RestoreMonitor rebuilds a
+// monitor that continues exactly where the exported one stopped —
+// subsequent appends produce the identical matrix, detection, and
+// Snapshot counts an uninterrupted run would have.
+type MonitorState struct {
+	Space    *Space
+	Schedule timeline.Schedule
+	Weights  []float64
+	Mode     UnknownMode
+	Detect   DetectOptions
+
+	Vectors []*Vector
+	// Sim holds the lower-triangular similarity rows: Sim[i] has i
+	// entries, Φ against each earlier vector.
+	Sim [][]float64
+
+	Appends     uint64
+	Events      uint64
+	TotalIngest time.Duration
+	LastIngest  time.Duration
+	LastEvent   timeline.Epoch
+	HasEvent    bool
+}
+
+// State exports the monitor's full state. The similarity rows are
+// copied; vectors are shared (they are immutable once appended).
+func (m *Monitor) State() MonitorState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sim := make([][]float64, len(m.sim))
+	for i, row := range m.sim {
+		sim[i] = append([]float64(nil), row...)
+	}
+	return MonitorState{
+		Space:    m.space,
+		Schedule: m.sched,
+		Weights:  append([]float64(nil), m.w...),
+		Mode:     m.mode,
+		Detect:   m.detect,
+		Vectors:  append([]*Vector(nil), m.vectors...),
+		Sim:      sim,
+		Appends:  m.appends, Events: m.events,
+		TotalIngest: m.totalIngest, LastIngest: m.lastIngest,
+		LastEvent: m.lastEvent, HasEvent: m.hasEvent,
+	}
+}
+
+// RestoreMonitor rebuilds a monitor from an exported state, validating
+// the invariants the codec cannot express: the triangular Φ shape,
+// strictly increasing epochs, and every vector belonging to the state's
+// space. The restored monitor is not instrumented; call Instrument to
+// re-attach a registry.
+func RestoreMonitor(st MonitorState) (*Monitor, error) {
+	if st.Space == nil {
+		return nil, fmt.Errorf("core: restore monitor: nil space")
+	}
+	if !st.Mode.Valid() {
+		return nil, fmt.Errorf("core: restore monitor: invalid UnknownMode %d", int(st.Mode))
+	}
+	if st.Weights != nil && len(st.Weights) != st.Space.NumNetworks() {
+		return nil, fmt.Errorf("core: restore monitor: weight length %d != networks %d",
+			len(st.Weights), st.Space.NumNetworks())
+	}
+	if len(st.Sim) != len(st.Vectors) {
+		return nil, fmt.Errorf("core: restore monitor: %d sim rows for %d vectors",
+			len(st.Sim), len(st.Vectors))
+	}
+	for i, v := range st.Vectors {
+		if v.Space != st.Space {
+			return nil, fmt.Errorf("core: restore monitor: vector %d from foreign space", i)
+		}
+		if i > 0 && v.T <= st.Vectors[i-1].T {
+			return nil, &OutOfOrderEpochError{Epoch: v.T, Newest: st.Vectors[i-1].T}
+		}
+		if len(st.Sim[i]) != i {
+			return nil, fmt.Errorf("core: restore monitor: sim row %d has %d entries, want %d",
+				i, len(st.Sim[i]), i)
+		}
+	}
+	m := NewMonitor(st.Space, st.Schedule, st.Weights, st.Mode, st.Detect)
+	m.vectors = append([]*Vector(nil), st.Vectors...)
+	m.sim = make([][]float64, len(st.Sim))
+	for i, row := range st.Sim {
+		m.sim[i] = append([]float64(nil), row...)
+	}
+	m.appends, m.events = st.Appends, st.Events
+	m.totalIngest, m.lastIngest = st.TotalIngest, st.LastIngest
+	m.lastEvent, m.hasEvent = st.LastEvent, st.HasEvent
+	return m, nil
 }
 
 // TrimBefore drops observations older than epoch, bounding memory for

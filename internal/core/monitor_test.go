@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -56,7 +57,11 @@ func TestMonitorDetectsChangeOnAppend(t *testing.T) {
 	mon := NewMonitor(space, sched(40), nil, PessimisticUnknown, opts)
 	var fired []timeline.Epoch
 	for _, v := range vs {
-		if ev, ok := mon.Append(v); ok {
+		ev, ok, err := mon.Append(v)
+		if err != nil {
+			t.Fatalf("append epoch %d: %v", v.T, err)
+		}
+		if ok {
 			fired = append(fired, ev.At)
 		}
 	}
@@ -119,16 +124,46 @@ func TestMonitorTrimBefore(t *testing.T) {
 	}
 }
 
-func TestMonitorAppendOutOfOrderPanics(t *testing.T) {
+// Regression: Append documented "epochs must be appended in increasing
+// order" but an out-of-order append corrupted (or crashed) the stream
+// instead of being rejected with a typed error the serving layer can map
+// to a 400. The monitor's state must be untouched by the rejection.
+func TestMonitorAppendOutOfOrderTypedError(t *testing.T) {
 	space, vs := monitorFixtureVectors(4)
 	mon := NewMonitor(space, sched(4), nil, PessimisticUnknown, DefaultDetectOptions())
-	mon.Append(vs[2])
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-order append accepted")
-		}
-	}()
-	mon.Append(vs[1])
+	if _, _, err := mon.Append(vs[2]); err != nil {
+		t.Fatalf("in-order append rejected: %v", err)
+	}
+
+	_, _, err := mon.Append(vs[1])
+	var ooo *OutOfOrderEpochError
+	if !errors.As(err, &ooo) {
+		t.Fatalf("out-of-order append returned %v, want *OutOfOrderEpochError", err)
+	}
+	if ooo.Epoch != 1 || ooo.Newest != 2 {
+		t.Fatalf("error fields = %+v, want Epoch 1 Newest 2", ooo)
+	}
+
+	_, _, err = mon.Append(vs[2])
+	var dup *DuplicateEpochError
+	if !errors.As(err, &dup) {
+		t.Fatalf("duplicate append returned %v, want *DuplicateEpochError", err)
+	}
+	if dup.Epoch != 2 {
+		t.Fatalf("duplicate error epoch = %d, want 2", dup.Epoch)
+	}
+
+	// The rejections left no trace: history unchanged, the next in-order
+	// epoch still lands, and ingest stats counted only accepted appends.
+	if mon.Len() != 1 {
+		t.Fatalf("rejected appends changed history: Len = %d, want 1", mon.Len())
+	}
+	if _, _, err := mon.Append(vs[3]); err != nil {
+		t.Fatalf("in-order append after rejections: %v", err)
+	}
+	if snap := mon.Snapshot(); snap.Appends != 2 {
+		t.Fatalf("Appends = %d, want 2 (rejections must not count)", snap.Appends)
+	}
 }
 
 func TestMonitorForeignSpacePanics(t *testing.T) {
@@ -141,6 +176,58 @@ func TestMonitorForeignSpacePanics(t *testing.T) {
 		}
 	}()
 	mon.Append(other.NewVector(0))
+}
+
+// State export → RestoreMonitor → continue appending must be
+// indistinguishable from an uninterrupted monitor: identical matrix
+// bits, identical detection, identical ingest counts.
+func TestMonitorStateRestoreContinuation(t *testing.T) {
+	space, vs := monitorFixtureVectors(40)
+	uninterrupted := NewMonitor(space, sched(40), nil, PessimisticUnknown, DefaultDetectOptions())
+	first := NewMonitor(space, sched(40), nil, PessimisticUnknown, DefaultDetectOptions())
+	for _, v := range vs {
+		if _, _, err := uninterrupted.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range vs[:17] {
+		if _, _, err := first.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	restored, err := RestoreMonitor(first.State())
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	var fired []timeline.Epoch
+	for _, v := range vs[17:] {
+		ev, ok, err := restored.Append(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			fired = append(fired, ev.At)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 20 {
+		t.Fatalf("restored monitor events = %v, want exactly epoch 20", fired)
+	}
+	a, b := uninterrupted.Matrix(), restored.Matrix()
+	if a.N != b.N {
+		t.Fatalf("matrix sizes differ: %d vs %d", a.N, b.N)
+	}
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatalf("cell (%d,%d): %v != %v", i, j, a.At(i, j), b.At(i, j))
+			}
+		}
+	}
+	sa, sb := uninterrupted.Snapshot(), restored.Snapshot()
+	if sa.Appends != sb.Appends || sa.Events != sb.Events ||
+		sa.History != sb.History || sa.LastEvent != sb.LastEvent || sa.HasEvent != sb.HasEvent {
+		t.Fatalf("snapshots diverge: %+v vs %+v", sa, sb)
+	}
 }
 
 // TestMonitorConcurrentIngest exercises the monitor's concurrency

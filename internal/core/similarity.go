@@ -35,6 +35,22 @@ func (m UnknownMode) String() string {
 	return fmt.Sprintf("unknown-mode(%d)", int(m))
 }
 
+// Valid reports whether m is one of the defined unknown-handling modes.
+func (m UnknownMode) Valid() bool {
+	return m == PessimisticUnknown || m == KnownOnly
+}
+
+// validateMode panics on an out-of-range UnknownMode. The similarity
+// entry points (Gower, SimilarityMatrix*, NewMonitor) call it so a
+// miswired mode fails loudly at the boundary instead of silently
+// producing Φ = 0 for every pair — plausible-looking zeros that would
+// poison every downstream matrix, clustering, and detection result.
+func validateMode(m UnknownMode) {
+	if !m.Valid() {
+		panic(fmt.Sprintf("core: invalid UnknownMode %d (want PessimisticUnknown or KnownOnly)", int(m)))
+	}
+}
+
 // Gower computes the normalized weighted Gower similarity Φ(t,t') of
 // §2.6.1 between two vectors in the same space:
 //
@@ -50,6 +66,7 @@ func Gower(a, b *Vector, w []float64, mode UnknownMode) float64 {
 	if w != nil && len(w) != len(a.assign) {
 		panic(fmt.Sprintf("core: weight length %d != networks %d", len(w), len(a.assign)))
 	}
+	validateMode(mode)
 	return gowerKernel(w, mode)(a.assign, b.assign)
 }
 
@@ -58,8 +75,8 @@ func Gower(a, b *Vector, w []float64, mode UnknownMode) float64 {
 // loop. The pessimistic/uniform kernel — the default in every scenario —
 // reduces to an int32 compare and an integer count; counts below 2^53 are
 // exactly representable, so the final division is bit-identical to the
-// old per-element float accumulation. An out-of-range mode yields the
-// historical behaviour of Φ = 0 for every pair.
+// old per-element float accumulation. Callers validate the mode at their
+// boundary (validateMode), so an out-of-range mode cannot reach here.
 func gowerKernel(w []float64, mode UnknownMode) func(a, b []int32) float64 {
 	switch {
 	case mode == PessimisticUnknown && w == nil:
@@ -71,7 +88,9 @@ func gowerKernel(w []float64, mode UnknownMode) func(a, b []int32) float64 {
 	case mode == KnownOnly:
 		return func(a, b []int32) float64 { return gowerKnownOnlyWeighted(a, b, w) }
 	default:
-		return func(a, b []int32) float64 { return 0 }
+		// Unreachable after the boundary checks; keep loud rather than
+		// returning the old silent-zero kernel.
+		panic(fmt.Sprintf("core: invalid UnknownMode %d (want PessimisticUnknown or KnownOnly)", int(mode)))
 	}
 }
 
@@ -188,7 +207,7 @@ func kernelName(w []float64, mode UnknownMode) string {
 	case mode == KnownOnly:
 		return "known-only-weighted"
 	default:
-		return "zero"
+		panic(fmt.Sprintf("core: invalid UnknownMode %d (want PessimisticUnknown or KnownOnly)", int(mode)))
 	}
 }
 
@@ -208,6 +227,7 @@ func SimilarityMatrix(s *Series, w []float64, mode UnknownMode) *SimMatrix {
 // share the series' Space; a mixed-space series panics here with a clear
 // message rather than deep inside the kernel.
 func SimilarityMatrixParallel(s *Series, w []float64, mode UnknownMode, opts MatrixOptions) *SimMatrix {
+	validateMode(mode)
 	n := len(s.Vectors)
 	m := &SimMatrix{N: n, Epochs: make([]int, n), vals: make([]float64, n*n)}
 	assigns := make([][]int32, n)

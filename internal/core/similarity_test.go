@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -121,6 +122,39 @@ func TestGowerPanicsOnBadWeights(t *testing.T) {
 		}
 	}()
 	Gower(s.NewVector(0), s.NewVector(1), []float64{1}, PessimisticUnknown)
+}
+
+// Regression: an out-of-range UnknownMode used to select a silent
+// Φ = 0 kernel, poisoning every downstream matrix with plausible-looking
+// zeros. The mode must now fail loudly at the Gower and SimilarityMatrix
+// boundaries, like the existing space/weight-length checks.
+func TestGowerPanicsOnInvalidMode(t *testing.T) {
+	s := NewSpace(nets(3))
+	a, b := s.NewVector(0), s.NewVector(1)
+	a.Set(0, "X")
+	b.Set(0, "X")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("out-of-range UnknownMode accepted (silent Φ = 0)")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "invalid UnknownMode") {
+			t.Fatalf("panic message %v does not name the invalid mode", r)
+		}
+	}()
+	Gower(a, b, nil, UnknownMode(7))
+}
+
+func TestSimilarityMatrixPanicsOnInvalidMode(t *testing.T) {
+	s := NewSpace(nets(3))
+	vs := []*Vector{s.NewVector(0), s.NewVector(1)}
+	series := NewSeries(s, sched(2), vs, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range UnknownMode accepted by SimilarityMatrix")
+		}
+	}()
+	SimilarityMatrix(series, nil, UnknownMode(-1))
 }
 
 // Properties of Φ: symmetry, range, identity.

@@ -86,14 +86,53 @@ func (tm *TransitionMatrix) At(from, to string) float64 {
 	return tm.counts[[2]int{i, j}]
 }
 
-// Moved returns the total weight off the diagonal — how much shifted
-// between the two vectors (excluding unknown-to-unknown bookkeeping).
+// Moved returns the total weight that verifiably shifted between the two
+// vectors: off-diagonal cells whose endpoints are both observed sites.
+// Cells into or out of "unknown" are excluded for the same reason Stayed
+// excludes unknown→unknown — a network that vanished from (or appeared
+// in) the measurement tells us nothing about routing stability, and
+// counting it would let a collection outage masquerade as churn. The
+// excluded weight is still retrievable via At/Row and is totalled by
+// Unobserved, so Moved + Stayed + Unobserved equals the matrix weight.
 func (tm *TransitionMatrix) Moved() float64 {
 	var sum float64
+	u, hasUnknown := tm.index[UnknownLabel]
 	for k, v := range tm.counts {
-		if k[0] != k[1] {
+		if k[0] == k[1] {
+			continue
+		}
+		if hasUnknown && (k[0] == u || k[1] == u) {
+			continue
+		}
+		sum += v
+	}
+	return sum
+}
+
+// Unobserved returns the total weight in unknown-involved cells — both
+// the off-diagonal site↔unknown flows that Moved excludes and the
+// unknown→unknown cell that Stayed excludes. The three accessors
+// partition the matrix: Moved + Stayed + Unobserved == Total.
+func (tm *TransitionMatrix) Unobserved() float64 {
+	u, hasUnknown := tm.index[UnknownLabel]
+	if !hasUnknown {
+		return 0
+	}
+	var sum float64
+	for k, v := range tm.counts {
+		if k[0] == u || k[1] == u {
 			sum += v
 		}
+	}
+	return sum
+}
+
+// Total returns the total weight in the matrix: Σw over every network,
+// however observed.
+func (tm *TransitionMatrix) Total() float64 {
+	var sum float64
+	for _, v := range tm.counts {
+		sum += v
 	}
 	return sum
 }

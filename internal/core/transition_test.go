@@ -91,6 +91,47 @@ func TestTransitionUnknownAxis(t *testing.T) {
 	}
 }
 
+// Regression: Moved used to count site→unknown and unknown→site cells as
+// churn, so a collection outage inflated movement numbers. Only
+// site→site off-diagonal weight is movement; unknown-involved weight is
+// Unobserved, and the three accessors partition the total.
+func TestTransitionMovedExcludesUnobserved(t *testing.T) {
+	s := NewSpace(nets(20))
+	a, b := s.NewVector(0), s.NewVector(1)
+	for i := 0; i < 5; i++ { // real churn: A -> B
+		a.Set(i, "A")
+		b.Set(i, "B")
+	}
+	for i := 5; i < 10; i++ { // collection outage at t': A -> unknown
+		a.Set(i, "A")
+	}
+	for i := 10; i < 15; i++ { // networks appearing: unknown -> B
+		b.Set(i, "B")
+	}
+	// nets 15..19 unknown on both sides.
+	tm := Transition(a, b, nil)
+	if got := tm.Moved(); got != 5 {
+		t.Errorf("Moved = %v, want 5 (outage must not count as churn)", got)
+	}
+	if got := tm.Unobserved(); got != 15 {
+		t.Errorf("Unobserved = %v, want 15", got)
+	}
+	if got := tm.Stayed(); got != 0 {
+		t.Errorf("Stayed = %v, want 0", got)
+	}
+	if m, st, u, tot := tm.Moved(), tm.Stayed(), tm.Unobserved(), tm.Total(); m+st+u != tot {
+		t.Errorf("Moved %v + Stayed %v + Unobserved %v != Total %v", m, st, u, tot)
+	}
+	// The excluded cells stay retrievable via At/Row.
+	if tm.At("A", UnknownLabel) != 5 || tm.At(UnknownLabel, "B") != 5 {
+		t.Errorf("unknown-involved cells not retrievable: A->unk=%v unk->B=%v",
+			tm.At("A", UnknownLabel), tm.At(UnknownLabel, "B"))
+	}
+	if row := tm.Row("A"); row[UnknownLabel] != 5 {
+		t.Errorf("Row(A)[unknown] = %v, want 5", row[UnknownLabel])
+	}
+}
+
 func TestTransitionSiteOrdering(t *testing.T) {
 	s := NewSpace(nets(4))
 	a, b := s.NewVector(0), s.NewVector(1)

@@ -138,6 +138,12 @@ func (v *Vector) Site(n int) (string, bool) {
 	return v.Space.sites[a], true
 }
 
+// Assignments returns a copy of the vector's interned assignment row
+// (Unknown = -1), the raw form checkpoint codecs persist.
+func (v *Vector) Assignments() []int32 {
+	return append([]int32(nil), v.assign...)
+}
+
 // Clone returns a deep copy (used by the cleaning stages, which must not
 // mutate raw observations).
 func (v *Vector) Clone() *Vector {

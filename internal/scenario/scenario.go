@@ -10,7 +10,7 @@
 //
 // Everything is deterministic in the scenario seed. Scale knobs shrink
 // the paper's millions-of-networks datasets to laptop size without
-// changing any code path (see DESIGN.md §9).
+// changing any code path (see DESIGN.md §10).
 package scenario
 
 import (

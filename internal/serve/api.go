@@ -1,0 +1,496 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"time"
+
+	"fenrir/internal/core"
+	"fenrir/internal/obs"
+	"fenrir/internal/timeline"
+)
+
+// TenantSpec is the PUT /v1/tenants/{name} request body: the fixed
+// universe a tenant's vectors live in, plus analysis configuration.
+type TenantSpec struct {
+	// Networks is the ordered network universe (rows of D). Required.
+	Networks []string `json:"networks"`
+	// Start, IntervalSeconds, and Epochs define the observation
+	// schedule. Start is required; IntervalSeconds defaults to 240 (the
+	// paper's four minutes) and Epochs bounds the schedule length
+	// (default 1<<20).
+	Start           time.Time `json:"start"`
+	IntervalSeconds int       `json:"interval_seconds,omitempty"`
+	Epochs          int       `json:"epochs,omitempty"`
+	// Weights weight the networks in Φ and transitions; nil = uniform.
+	Weights []float64 `json:"weights,omitempty"`
+	// UnknownMode is "pessimistic" (default) or "known-only".
+	UnknownMode string `json:"unknown_mode,omitempty"`
+	// Detect overrides change-detection tuning; nil = defaults.
+	Detect *DetectSpec `json:"detect,omitempty"`
+}
+
+// DetectSpec mirrors core.DetectOptions for the wire.
+type DetectSpec struct {
+	Window   int     `json:"window,omitempty"`
+	MinDrop  float64 `json:"min_drop,omitempty"`
+	Cooldown int     `json:"cooldown,omitempty"`
+}
+
+// Observation is the POST …/observations request body: one routing
+// result D(t). Networks absent from Sites stay unknown.
+type Observation struct {
+	Epoch int64             `json:"epoch"`
+	Sites map[string]string `json:"sites"`
+}
+
+// tenantName constrains names to path- and filename-safe tokens (the
+// checkpoint file is named after the tenant).
+var tenantName = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_.-]{0,63}$`)
+
+// maxBodyBytes bounds an ingest or admin request body.
+const maxBodyBytes = 8 << 20
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// timed wraps a query handler with a per-endpoint latency histogram.
+func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.cfg.Obs.Histogram(fmt.Sprintf("fenrir_serve_query_seconds{endpoint=%q}", endpoint))
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		hist.ObserveSince(t0)
+	}
+}
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": s.isDraining()})
+	})
+	mux.Handle("GET /metrics", obs.Handler(s.cfg.Obs))
+	mux.HandleFunc("GET /v1/tenants", s.timed("tenants", s.handleListTenants))
+	mux.HandleFunc("PUT /v1/tenants/{name}", s.handleCreateTenant)
+	mux.HandleFunc("GET /v1/tenants/{name}", s.timed("status", s.withTenant(s.handleStatus)))
+	mux.HandleFunc("POST /v1/tenants/{name}/observations", s.withTenant(s.handleIngest))
+	mux.HandleFunc("GET /v1/tenants/{name}/mode", s.timed("mode", s.withTenant(s.handleMode)))
+	mux.HandleFunc("GET /v1/tenants/{name}/events", s.timed("events", s.withTenant(s.handleEvents)))
+	mux.HandleFunc("GET /v1/tenants/{name}/heatmap", s.timed("heatmap", s.withTenant(s.handleHeatmap)))
+	mux.HandleFunc("GET /v1/tenants/{name}/transitions", s.timed("transitions", s.withTenant(s.handleTransitions)))
+	mux.HandleFunc("GET /v1/tenants/{name}/flows", s.timed("flows", s.withTenant(s.handleFlows)))
+	mux.HandleFunc("POST /v1/tenants/{name}/checkpoint", s.withTenant(s.handleCheckpoint))
+	return mux
+}
+
+// withTenant resolves the {name} path value or 404s.
+func (s *Server) withTenant(h func(http.ResponseWriter, *http.Request, *tenant)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t := s.tenant(r.PathValue("name"))
+		if t == nil {
+			writeErr(w, http.StatusNotFound, "unknown tenant %q", r.PathValue("name"))
+			return
+		}
+		h(w, r, t)
+	}
+}
+
+func (s *Server) handleListTenants(w http.ResponseWriter, _ *http.Request) {
+	type entry struct {
+		Name    string `json:"name"`
+		History int    `json:"history"`
+		Appends uint64 `json:"appends"`
+		Events  uint64 `json:"events"`
+	}
+	out := []entry{}
+	for _, name := range s.tenantNames() {
+		t := s.tenant(name)
+		if t == nil {
+			continue
+		}
+		snap := t.mon.Snapshot()
+		out = append(out, entry{Name: name, History: snap.History, Appends: snap.Appends, Events: snap.Events})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": out})
+}
+
+func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !tenantName.MatchString(name) {
+		writeErr(w, http.StatusBadRequest, "invalid tenant name %q", name)
+		return
+	}
+	if s.isDraining() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var spec TenantSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "parse spec: %v", err)
+		return
+	}
+	mon, err := monitorFromSpec(spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	if _, exists := s.tenants[name]; exists {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, "tenant %q already exists", name)
+		return
+	}
+	s.tenants[name] = newTenant(name, mon, s)
+	s.mu.Unlock()
+	s.setTenantGauge()
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name": name, "networks": len(spec.Networks),
+	})
+}
+
+func monitorFromSpec(spec TenantSpec) (*core.Monitor, error) {
+	if len(spec.Networks) == 0 {
+		return nil, fmt.Errorf("spec: networks are required")
+	}
+	if spec.Start.IsZero() {
+		return nil, fmt.Errorf("spec: start is required")
+	}
+	if spec.IntervalSeconds == 0 {
+		spec.IntervalSeconds = 240
+	}
+	if spec.IntervalSeconds < 0 {
+		return nil, fmt.Errorf("spec: interval_seconds must be positive")
+	}
+	if spec.Epochs == 0 {
+		spec.Epochs = 1 << 20
+	}
+	if spec.Epochs < 0 {
+		return nil, fmt.Errorf("spec: epochs must be positive")
+	}
+	if spec.Weights != nil && len(spec.Weights) != len(spec.Networks) {
+		return nil, fmt.Errorf("spec: %d weights for %d networks", len(spec.Weights), len(spec.Networks))
+	}
+	var mode core.UnknownMode
+	switch spec.UnknownMode {
+	case "", "pessimistic":
+		mode = core.PessimisticUnknown
+	case "known-only":
+		mode = core.KnownOnly
+	default:
+		return nil, fmt.Errorf("spec: unknown_mode %q (want pessimistic or known-only)", spec.UnknownMode)
+	}
+	detect := core.DefaultDetectOptions()
+	detect.Mode = mode
+	if d := spec.Detect; d != nil {
+		if d.Window > 0 {
+			detect.Window = d.Window
+		}
+		if d.MinDrop > 0 {
+			detect.MinDrop = d.MinDrop
+		}
+		if d.Cooldown > 0 {
+			detect.Cooldown = d.Cooldown
+		}
+	}
+	space := core.NewSpace(spec.Networks)
+	sched := timeline.NewSchedule(spec.Start.UTC(), time.Duration(spec.IntervalSeconds)*time.Second, spec.Epochs)
+	return core.NewMonitor(space, sched, spec.Weights, mode, detect), nil
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request, t *tenant) {
+	snap := t.mon.Snapshot()
+	t.mu.Lock()
+	lastAccepted, hasAccepted := t.lastAccepted, t.hasAccepted
+	pending := t.pending
+	t.mu.Unlock()
+	out := map[string]any{
+		"name":           t.name,
+		"history":        snap.History,
+		"appends":        snap.Appends,
+		"events":         snap.Events,
+		"has_event":      snap.HasEvent,
+		"pending":        pending,
+		"queue_capacity": cap(t.queue),
+		"mean_ingest_us": float64(snap.MeanIngest().Microseconds()),
+		"networks":       t.mon.Space().NumNetworks(),
+	}
+	if snap.HasEvent {
+		out["last_event"] = int64(snap.LastEvent)
+	}
+	if hasAccepted {
+		out["last_accepted"] = int64(lastAccepted)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleIngest is the write path: body → fault seam → JSON → vector →
+// admission. Admission verdicts are synchronous, so the producer's
+// response always reflects what the daemon actually did with the
+// observation.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *tenant) {
+	rejected := func(reason string) *obs.Counter {
+		return s.cfg.Obs.Counter(fmt.Sprintf("fenrir_serve_rejected_total{reason=%q}", reason))
+	}
+	if s.isDraining() {
+		rejected("draining").Inc()
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		rejected("read").Inc()
+		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+
+	// The fault seam: the observation rides the same degraded substrate
+	// as every other measurement. A dropped datagram is reported as 503
+	// (the honest outcome — the daemon never saw it); a corrupted one
+	// usually fails JSON parsing below and lands in quarantine.
+	inj := s.cfg.Faults
+	body, drop, dup := inj.Datagram("serve", body)
+	if drop {
+		rejected("dropped").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "observation dropped by fault injection")
+		return
+	}
+
+	var ob Observation
+	if err := json.Unmarshal(body, &ob); err != nil {
+		inj.Quarantine("serve-malformed", 1)
+		rejected("malformed").Inc()
+		writeErr(w, http.StatusBadRequest, "parse observation: %v", err)
+		return
+	}
+	if ob.Epoch < 0 {
+		rejected("malformed").Inc()
+		writeErr(w, http.StatusBadRequest, "epoch %d is negative", ob.Epoch)
+		return
+	}
+	space := t.mon.Space()
+	v := space.NewVector(timeline.Epoch(ob.Epoch))
+	for net, site := range ob.Sites {
+		n := space.NetworkIndex(net)
+		if n < 0 {
+			inj.Quarantine("serve-unknown-network", 1)
+			rejected("malformed").Inc()
+			writeErr(w, http.StatusBadRequest, "unknown network %q", net)
+			return
+		}
+		v.Set(n, inj.SiteLabel("serve", site))
+	}
+
+	admitErr, full := t.admit(v)
+	if full {
+		rejected("backpressure").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "ingest queue full (%d deep)", cap(t.queue))
+		return
+	}
+	if admitErr != nil {
+		var dupErr *core.DuplicateEpochError
+		var oooErr *core.OutOfOrderEpochError
+		switch {
+		case errors.As(admitErr, &dupErr):
+			rejected("duplicate").Inc()
+			writeErr(w, http.StatusBadRequest, "%v", admitErr)
+		case errors.As(admitErr, &oooErr):
+			rejected("order").Inc()
+			writeErr(w, http.StatusBadRequest, "%v", admitErr)
+		default:
+			rejected("draining").Inc()
+			writeErr(w, http.StatusServiceUnavailable, "%v", admitErr)
+		}
+		return
+	}
+	if dup {
+		// The fault model delivered the datagram twice; the second copy
+		// must bounce off the duplicate-epoch check like any replay.
+		if dupErr, _ := t.admit(v); dupErr != nil {
+			rejected("duplicate").Inc()
+		}
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"accepted": true, "epoch": ob.Epoch})
+}
+
+func (s *Server) handleMode(w http.ResponseWriter, _ *http.Request, t *tenant) {
+	if t.mon.Len() == 0 {
+		writeErr(w, http.StatusNotFound, "tenant %q has no observations", t.name)
+		return
+	}
+	modes := t.mon.Modes(core.DefaultAdaptiveOptions())
+	cur := modes.ModeOf(t.mon.Len() - 1)
+	if cur == nil {
+		writeErr(w, http.StatusNotFound, "latest observation is in no mode")
+		return
+	}
+	ranges := make([]map[string]int64, 0, len(cur.Ranges))
+	for _, rg := range cur.Ranges {
+		ranges = append(ranges, map[string]int64{"from": int64(rg.From), "to": int64(rg.To)})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mode_id":     cur.ID,
+		"epochs":      len(cur.Epochs),
+		"ranges":      ranges,
+		"phi_lo":      cur.InternalLo,
+		"phi_hi":      cur.InternalHi,
+		"threshold":   modes.Threshold,
+		"modes_total": len(modes.Modes),
+	})
+}
+
+// handleEvents replays batch detection over the history, so the answer
+// depends only on ingested observations — a warm-restarted daemon
+// reports the identical event list without having witnessed the events
+// live.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, t *tenant) {
+	n := intQuery(r, "n", 20)
+	events := core.DetectChanges(t.mon.Series(), t.mon.Weights(), t.mon.Detect())
+	if n > 0 && len(events) > n {
+		events = events[len(events)-n:]
+	}
+	out := make([]map[string]any, 0, len(events))
+	for _, ev := range events {
+		out = append(out, map[string]any{
+			"at":        int64(ev.At),
+			"phi":       ev.Phi,
+			"baseline":  ev.Baseline,
+			"magnitude": ev.Magnitude,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"events": out})
+}
+
+func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request, t *tenant) {
+	m := t.mon.Matrix()
+	if m.N == 0 {
+		writeErr(w, http.StatusNotFound, "tenant %q has no observations", t.name)
+		return
+	}
+	row := intQuery(r, "row", m.N-1)
+	if row < 0 || row >= m.N {
+		writeErr(w, http.StatusBadRequest, "row %d outside [0,%d)", row, m.N)
+		return
+	}
+	phi := make([]float64, m.N)
+	for j := 0; j < m.N; j++ {
+		phi[j] = m.At(row, j)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"row": row, "epoch": m.Epochs[row], "epochs": m.Epochs, "phi": phi,
+	})
+}
+
+// pickPair resolves the from/to query epochs against the history,
+// defaulting to the latest adjacent pair.
+func pickPair(r *http.Request, t *tenant) (a, b *core.Vector, err error) {
+	series := t.mon.Series()
+	if len(series.Vectors) < 2 {
+		return nil, nil, fmt.Errorf("need at least 2 observations, have %d", len(series.Vectors))
+	}
+	byEpoch := func(e int) *core.Vector {
+		for _, v := range series.Vectors {
+			if int64(v.T) == int64(e) {
+				return v
+			}
+		}
+		return nil
+	}
+	last := series.Vectors[len(series.Vectors)-1]
+	prev := series.Vectors[len(series.Vectors)-2]
+	from, to := intQuery(r, "from", int(prev.T)), intQuery(r, "to", int(last.T))
+	if a = byEpoch(from); a == nil {
+		return nil, nil, fmt.Errorf("no observation at epoch %d", from)
+	}
+	if b = byEpoch(to); b == nil {
+		return nil, nil, fmt.Errorf("no observation at epoch %d", to)
+	}
+	return a, b, nil
+}
+
+func (s *Server) handleTransitions(w http.ResponseWriter, r *http.Request, t *tenant) {
+	a, b, err := pickPair(r, t)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tm := core.Transition(a, b, t.mon.Weights())
+	rows := make(map[string]map[string]float64, len(tm.Sites))
+	for _, site := range tm.Sites {
+		if row := tm.Row(site); len(row) > 0 {
+			rows[site] = row
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"from":       int64(a.T),
+		"to":         int64(b.T),
+		"sites":      tm.Sites,
+		"moved":      tm.Moved(),
+		"stayed":     tm.Stayed(),
+		"unobserved": tm.Unobserved(),
+		"total":      tm.Total(),
+		"rows":       rows,
+	})
+}
+
+func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request, t *tenant) {
+	a, b, err := pickPair(r, t)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k := intQuery(r, "k", 10)
+	flows := core.Transition(a, b, t.mon.Weights()).LargestFlows(k)
+	out := make([]map[string]any, 0, len(flows))
+	for _, f := range flows {
+		out = append(out, map[string]any{"from": f.From, "to": f.To, "count": f.Count})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"from": int64(a.T), "to": int64(b.T), "flows": out,
+	})
+}
+
+// handleCheckpoint flushes the queue and writes a snapshot covering
+// every observation accepted before the request.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request, t *tenant) {
+	if s.cfg.SnapshotDir == "" {
+		writeErr(w, http.StatusConflict, "no -snapshot-dir configured")
+		return
+	}
+	t.flush()
+	size, err := t.checkpoint()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path": t.snapshotPath(), "bytes": size, "history": t.mon.Len(),
+	})
+}
+
+func intQuery(r *http.Request, key string, def int) int {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return def
+	}
+	return n
+}

@@ -1,0 +1,178 @@
+// Package serve is Fenrir's long-running daemon layer: named Monitor
+// tenants behind an HTTP API, so operators stream observations in as
+// they are collected and read the live analysis back out — current
+// routing mode, change events, Φ heatmap rows, transition matrices —
+// without re-running a batch job every four minutes.
+//
+// The daemon is built for unattended operation. Ingest queues are
+// bounded and reject with 429 + Retry-After instead of buffering
+// without limit; malformed or out-of-order observations degrade into
+// 400s backed by the core package's typed errors; observations pass
+// through the fault-injection seam so `-faults` profiles exercise the
+// serving path like every other substrate; and tenants checkpoint to
+// internal/snapshot files so a restarted daemon answers queries
+// byte-identically to one that never stopped.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"fenrir/internal/faults"
+	"fenrir/internal/obs"
+	"fenrir/internal/snapshot"
+)
+
+// Config tunes a Server. The zero value serves from memory only: no
+// checkpoints, default queue depth, no instrumentation, no faults.
+type Config struct {
+	// SnapshotDir is where tenant checkpoints live ("" disables
+	// checkpointing). On startup every *.fsnap file in the directory is
+	// restored as a tenant, which is how a warm restart resumes exactly
+	// where the previous process stopped.
+	SnapshotDir string
+	// SnapshotEvery checkpoints a tenant after this many accepted
+	// observations (<= 0 means every 64). Tenants also checkpoint on
+	// drain and on explicit POST …/checkpoint.
+	SnapshotEvery int
+	// QueueDepth bounds each tenant's ingest queue (<= 0 means 256).
+	// A full queue rejects with 429 rather than stalling the producer.
+	QueueDepth int
+	// Obs receives serve metrics; nil disables instrumentation.
+	Obs *obs.Registry
+	// Faults, when non-nil, mangles ingest the way it mangles every
+	// other substrate: request bodies pass through Datagram (loss,
+	// corruption, duplication) and site labels through SiteLabel.
+	Faults *faults.Injector
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 256
+	}
+	return c.QueueDepth
+}
+
+func (c Config) snapshotEvery() int {
+	if c.SnapshotEvery <= 0 {
+		return 64
+	}
+	return c.SnapshotEvery
+}
+
+// Server hosts named monitor tenants. Create with New, mount Handler on
+// an http.Server, and call Drain before exit.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	draining bool
+}
+
+// New builds a server and, when cfg.SnapshotDir is set, warm-restarts
+// every tenant checkpointed there.
+func New(cfg Config) (*Server, error) {
+	s := &Server{cfg: cfg, tenants: make(map[string]*tenant)}
+	if cfg.SnapshotDir != "" {
+		if err := os.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: snapshot dir: %w", err)
+		}
+		if err := s.restoreAll(); err != nil {
+			return nil, err
+		}
+	}
+	s.mux = s.buildMux()
+	s.setTenantGauge()
+	return s, nil
+}
+
+// restoreAll loads every checkpoint in SnapshotDir as a tenant.
+func (s *Server) restoreAll() error {
+	entries, err := os.ReadDir(s.cfg.SnapshotDir)
+	if err != nil {
+		return fmt.Errorf("serve: scan snapshot dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), snapSuffix) {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), snapSuffix)
+		mon, err := snapshot.LoadMonitor(filepath.Join(s.cfg.SnapshotDir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("serve: restore tenant %q: %w", name, err)
+		}
+		s.tenants[name] = newTenant(name, mon, s)
+	}
+	return nil
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// tenant returns the named tenant, or nil.
+func (s *Server) tenant(name string) *tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenants[name]
+}
+
+// tenantNames returns the tenant names, sorted for stable listings.
+func (s *Server) tenantNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.tenants))
+	for n := range s.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Server) setTenantGauge() {
+	s.mu.Lock()
+	n := len(s.tenants)
+	s.mu.Unlock()
+	s.cfg.Obs.Gauge("fenrir_serve_tenants").Set(float64(n))
+}
+
+// Drain stops accepting observations, waits for every tenant's queue to
+// empty, and writes a final checkpoint per tenant. Call it on SIGTERM
+// before shutting the HTTP server down; afterwards queries still work
+// but ingest returns 503.
+func (s *Server) Drain() error {
+	s.mu.Lock()
+	s.draining = true
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, t := range ts {
+		// stop drains the queue and parks the worker, so the final
+		// checkpoint below covers every accepted observation and races
+		// with nothing.
+		t.stop()
+		if s.cfg.SnapshotDir == "" {
+			continue
+		}
+		if _, err := t.checkpoint(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// isDraining reports whether Drain has begun.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"fenrir/internal/core"
+	"fenrir/internal/snapshot"
+	"fenrir/internal/timeline"
+)
+
+// snapSuffix names tenant checkpoint files: <snapshot-dir>/<name>.fsnap.
+const snapSuffix = ".fsnap"
+
+// tenant is one hosted monitor plus its ingest machinery. Admission
+// control is synchronous — the HTTP handler validates epoch order and
+// reserves queue space under mu, so producers get their 400/429 before
+// the response is written — while the actual Append runs on a single
+// worker goroutine per tenant, keeping query latency independent of
+// ingest cost.
+type tenant struct {
+	name string
+	srv  *Server
+	mon  *core.Monitor
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	lastAccepted timeline.Epoch
+	hasAccepted  bool
+	pending      int  // accepted but not yet appended
+	stopped      bool // worker told to exit
+
+	// sinceCheckpoint counts appends since the last checkpoint,
+	// guarded by mu (the worker increments it, any goroutine may
+	// checkpoint and reset it).
+	sinceCheckpoint int
+
+	queue chan *core.Vector
+	done  chan struct{}
+}
+
+func newTenant(name string, mon *core.Monitor, s *Server) *tenant {
+	t := &tenant{
+		name:  name,
+		srv:   s,
+		mon:   mon,
+		queue: make(chan *core.Vector, s.cfg.queueDepth()),
+		done:  make(chan struct{}),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	mon.Instrument(s.cfg.Obs)
+	if n := mon.Len(); n > 0 {
+		t.lastAccepted = mon.Series().Vectors[n-1].T
+		t.hasAccepted = true
+	}
+	go t.worker()
+	return t
+}
+
+// admit validates epoch order and reserves a queue slot, all under mu so
+// concurrent producers serialize and each gets an accurate verdict. On
+// success the vector is enqueued for the worker. The returned error is
+// one of the core typed ingest errors (mapped to 400 by the API layer);
+// full reports queue saturation (mapped to 429).
+func (t *tenant) admit(v *core.Vector) (err error, full bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return fmt.Errorf("serve: tenant %q is draining", t.name), false
+	}
+	if t.hasAccepted && v.T <= t.lastAccepted {
+		if v.T == t.lastAccepted {
+			return &core.DuplicateEpochError{Epoch: v.T}, false
+		}
+		return &core.OutOfOrderEpochError{Epoch: v.T, Newest: t.lastAccepted}, false
+	}
+	select {
+	case t.queue <- v:
+	default:
+		return nil, true
+	}
+	t.lastAccepted = v.T
+	t.hasAccepted = true
+	t.pending++
+	t.srv.cfg.Obs.Gauge(fmt.Sprintf("fenrir_serve_queue_depth{tenant=%q}", t.name)).Set(float64(len(t.queue)))
+	return nil, false
+}
+
+// worker drains the ingest queue. Admission already enforced epoch
+// order, so Append errors here indicate a wiring bug and are surfaced
+// as a rejected-observation counter rather than a crash.
+func (t *tenant) worker() {
+	defer close(t.done)
+	obsReg := t.srv.cfg.Obs
+	for v := range t.queue {
+		t0 := time.Now()
+		_, _, err := t.mon.Append(v)
+		var needCheckpoint bool
+		t.mu.Lock()
+		if err == nil {
+			t.sinceCheckpoint++
+			needCheckpoint = t.srv.cfg.SnapshotDir != "" && t.sinceCheckpoint >= t.srv.cfg.snapshotEvery()
+		}
+		t.pending--
+		t.cond.Broadcast()
+		t.mu.Unlock()
+		if err != nil {
+			obsReg.Counter(`fenrir_serve_rejected_total{reason="append"}`).Inc()
+		} else {
+			obsReg.Counter("fenrir_serve_ingest_total").Inc()
+			obsReg.Histogram("fenrir_serve_ingest_seconds").ObserveSince(t0)
+		}
+		if needCheckpoint {
+			if _, err := t.checkpoint(); err != nil {
+				obsReg.Counter("fenrir_snapshot_errors_total").Inc()
+			}
+		}
+		obsReg.Gauge(fmt.Sprintf("fenrir_serve_queue_depth{tenant=%q}", t.name)).Set(float64(len(t.queue)))
+	}
+}
+
+// flush blocks until every accepted observation has been appended, which
+// is what makes checkpoints and the query API agree with admission: a
+// producer that saw 202 for epochs 0..n can flush and then read state
+// that includes all of them.
+func (t *tenant) flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for t.pending > 0 {
+		t.cond.Wait()
+	}
+}
+
+// stop ends the worker after the queue drains. Further admits fail.
+func (t *tenant) stop() {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		return
+	}
+	t.stopped = true
+	t.mu.Unlock()
+	close(t.queue)
+	<-t.done
+}
+
+// snapshotPath returns the tenant's checkpoint file path.
+func (t *tenant) snapshotPath() string {
+	return filepath.Join(t.srv.cfg.SnapshotDir, t.name+snapSuffix)
+}
+
+// checkpoint writes the tenant's state to its snapshot file and returns
+// the encoded size. Callers who need the checkpoint to cover all
+// accepted observations flush first; the worker calls it between
+// appends where that already holds.
+func (t *tenant) checkpoint() (int, error) {
+	if t.srv.cfg.SnapshotDir == "" {
+		return 0, fmt.Errorf("serve: no snapshot dir configured")
+	}
+	t0 := time.Now()
+	size, err := snapshot.SaveMonitor(t.snapshotPath(), t.mon.State())
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	t.sinceCheckpoint = 0
+	t.mu.Unlock()
+	reg := t.srv.cfg.Obs
+	reg.Counter("fenrir_snapshot_writes_total").Inc()
+	reg.Histogram("fenrir_snapshot_seconds").ObserveSince(t0)
+	reg.Gauge(fmt.Sprintf("fenrir_snapshot_bytes{tenant=%q}", t.name)).Set(float64(size))
+	return size, nil
+}

@@ -1,0 +1,90 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fenrir/internal/core"
+)
+
+func unixNanoUTC(ns int64) time.Time      { return time.Unix(0, ns).UTC() }
+func timeDuration(ns int64) time.Duration { return time.Duration(ns) }
+
+// SaveMonitor atomically writes a monitor snapshot to path: the bytes
+// land in a temporary file in the same directory and are renamed into
+// place, so a crash mid-checkpoint leaves the previous snapshot intact
+// rather than a truncated file. Returns the encoded size.
+func SaveMonitor(path string, st core.MonitorState) (int, error) {
+	var buf bytes.Buffer
+	if err := EncodeMonitor(&buf, st); err != nil {
+		return 0, err
+	}
+	return buf.Len(), writeAtomic(path, buf.Bytes())
+}
+
+// LoadMonitor reads a monitor snapshot file and restores the monitor.
+func LoadMonitor(path string) (*core.Monitor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := DecodeMonitor(f)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	m, err := core.RestoreMonitor(st)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// SaveSeries atomically writes a series snapshot to path.
+func SaveSeries(path string, s *core.Series) (int, error) {
+	var buf bytes.Buffer
+	if err := EncodeSeries(&buf, s); err != nil {
+		return 0, err
+	}
+	return buf.Len(), writeAtomic(path, buf.Bytes())
+}
+
+// LoadSeries reads a series snapshot file.
+func LoadSeries(path string) (*core.Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := DecodeSeries(f)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// writeAtomic writes data to path via a same-directory temp file and
+// rename, fsyncing before the swap.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

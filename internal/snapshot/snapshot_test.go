@@ -1,0 +1,331 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fenrir/internal/core"
+	"fenrir/internal/faults"
+	"fenrir/internal/rng"
+	"fenrir/internal/timeline"
+)
+
+func nets(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260))
+	}
+	return out
+}
+
+func testSched(n int) timeline.Schedule {
+	return timeline.NewSchedule(time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC), time.Hour, n)
+}
+
+// fixture builds count observations (a mode flip halfway) in a fresh
+// space. When inj is non-nil every site label passes through the fault
+// model first, so a fixed fault seed produces a fixed mangled stream.
+func fixture(seed uint64, count int, inj *faults.Injector) (*core.Space, []*core.Vector) {
+	r := rng.New(seed)
+	space := core.NewSpace(nets(120))
+	var vs []*core.Vector
+	for e := 0; e < count; e++ {
+		v := space.NewVector(timeline.Epoch(e))
+		base := "alpha"
+		if e >= count/2 {
+			base = "beta"
+		}
+		for i := 0; i < 120; i++ {
+			if r.Bool(0.05) {
+				continue
+			}
+			site := base
+			if i%7 == 0 {
+				site = "gamma"
+			}
+			v.Set(i, inj.SiteLabel("snapshot-test", site))
+		}
+		vs = append(vs, v)
+	}
+	return space, vs
+}
+
+func newMon(space *core.Space, count int) *core.Monitor {
+	return core.NewMonitor(space, testSched(count), nil, core.PessimisticUnknown, core.DefaultDetectOptions())
+}
+
+// rebind copies vectors into another space by site label, the way a
+// warm-restarted daemon re-parses incoming observations against its
+// freshly decoded space (which may not yet intern labels that first
+// appear after the checkpoint).
+func rebind(space *core.Space, vs []*core.Vector) []*core.Vector {
+	out := make([]*core.Vector, 0, len(vs))
+	for _, v := range vs {
+		nv := space.NewVector(v.T)
+		for n := 0; n < space.NumNetworks(); n++ {
+			if site, ok := v.Site(n); ok {
+				nv.Set(n, site)
+			}
+		}
+		out = append(out, nv)
+	}
+	return out
+}
+
+func appendAll(t *testing.T, mon *core.Monitor, vs []*core.Vector) {
+	t.Helper()
+	for _, v := range vs {
+		if _, _, err := mon.Append(v); err != nil {
+			t.Fatalf("append epoch %d: %v", v.T, err)
+		}
+	}
+}
+
+func sameMatrix(t *testing.T, a, b *core.SimMatrix) {
+	t.Helper()
+	if a.N != b.N {
+		t.Fatalf("matrix sizes differ: %d vs %d", a.N, b.N)
+	}
+	for i := 0; i < a.N; i++ {
+		if a.Epochs[i] != b.Epochs[i] {
+			t.Fatalf("epoch row %d: %d vs %d", i, a.Epochs[i], b.Epochs[i])
+		}
+		for j := 0; j < a.N; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatalf("cell (%d,%d): %v != %v (not bit-identical)", i, j, a.At(i, j), b.At(i, j))
+			}
+		}
+	}
+}
+
+// Property: save → load → continue appending produces the identical
+// Snapshot() counters and heatmap matrix an uninterrupted run produces,
+// for arbitrary seeds and split points.
+func TestQuickMonitorRoundTripContinuation(t *testing.T) {
+	f := func(seed uint64, splitRaw uint8) bool {
+		const count = 30
+		split := 1 + int(splitRaw)%(count-1)
+
+		space, vs := fixture(seed, count, nil)
+		monA := newMon(space, count)
+		appendAll(t, monA, vs)
+
+		monB := newMon(space, count)
+		appendAll(t, monB, vs[:split])
+		var buf bytes.Buffer
+		if err := EncodeMonitor(&buf, monB.State()); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		st, err := DecodeMonitor(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		restored, err := core.RestoreMonitor(st)
+		if err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		appendAll(t, restored, rebind(restored.Space(), vs[split:]))
+
+		a, b := monA.Matrix(), restored.Matrix()
+		if a.N != b.N {
+			return false
+		}
+		for i := 0; i < a.N; i++ {
+			for j := 0; j < a.N; j++ {
+				if a.At(i, j) != b.At(i, j) {
+					return false
+				}
+			}
+		}
+		sa, sb := monA.Snapshot(), restored.Snapshot()
+		return sa.Appends == sb.Appends && sa.Events == sb.Events &&
+			sa.History == sb.History && sa.LastEvent == sb.LastEvent && sa.HasEvent == sb.HasEvent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The same continuation guarantee must hold for observation streams
+// mangled by a fixed-seed fault injector: the snapshot persists whatever
+// (faulty) history was ingested, bit for bit.
+func TestMonitorRoundTripUnderFaultSeed(t *testing.T) {
+	prof, ok := faults.ByName("corrupt")
+	if !ok {
+		t.Fatal("corrupt profile missing")
+	}
+	inj := faults.New(prof, 7, nil)
+	space, vs := fixture(99, 40, inj)
+	monA := newMon(space, 40)
+	appendAll(t, monA, vs)
+
+	monB := newMon(space, 40) // fresh monitor; vs already carries the injected faults
+	appendAll(t, monB, vs[:23])
+	var buf bytes.Buffer
+	if err := EncodeMonitor(&buf, monB.State()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := DecodeMonitor(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.RestoreMonitor(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, restored, rebind(restored.Space(), vs[23:]))
+	sameMatrix(t, monA.Matrix(), restored.Matrix())
+}
+
+// Encoding is deterministic: the same state encodes to identical bytes.
+func TestEncodeDeterministic(t *testing.T) {
+	space, vs := fixture(3, 20, nil)
+	mon := newMon(space, 20)
+	appendAll(t, mon, vs)
+	var b1, b2 bytes.Buffer
+	if err := EncodeMonitor(&b1, mon.State()); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeMonitor(&b2, mon.State()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("two encodings of the same state differ")
+	}
+}
+
+func TestSeriesRoundTrip(t *testing.T) {
+	space, vs := fixture(11, 15, nil)
+	gaps := timeline.NewGaps()
+	gaps.MarkRange(5, 8)
+	series := core.NewSeries(space, testSched(15), vs, gaps)
+	var buf bytes.Buffer
+	if err := EncodeSeries(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSeries(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != series.Len() {
+		t.Fatalf("lengths differ: %d vs %d", got.Len(), series.Len())
+	}
+	if got.Space.NumNetworks() != series.Space.NumNetworks() {
+		t.Fatal("network universe size differs")
+	}
+	for i, v := range series.Vectors {
+		g := got.Vectors[i]
+		if g.T != v.T {
+			t.Fatalf("vector %d epoch %d != %d", i, g.T, v.T)
+		}
+		for n := 0; n < series.Space.NumNetworks(); n++ {
+			ws, wok := v.Site(n)
+			gs, gok := g.Site(n)
+			if wok != gok || ws != gs {
+				t.Fatalf("vector %d network %d: %q/%v != %q/%v", i, n, gs, gok, ws, wok)
+			}
+		}
+	}
+	if got.Gaps == nil || got.Gaps.Count() != 3 || !got.Gaps.Missing(6) {
+		t.Fatalf("gaps lost: %+v", got.Gaps)
+	}
+	if !got.Schedule.Start.Equal(series.Schedule.Start) ||
+		got.Schedule.Interval != series.Schedule.Interval || got.Schedule.N != series.Schedule.N {
+		t.Fatalf("schedule differs: %+v vs %+v", got.Schedule, series.Schedule)
+	}
+}
+
+// Every single-byte corruption must be caught by magic, version, CRC, or
+// section validation — never decoded into silently wrong state.
+func TestCorruptionDetected(t *testing.T) {
+	space, vs := fixture(21, 12, nil)
+	mon := newMon(space, 12)
+	appendAll(t, mon, vs)
+	var buf bytes.Buffer
+	if err := EncodeMonitor(&buf, mon.State()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	stride := len(good)/97 + 1
+	for off := 0; off < len(good); off += stride {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x20
+		st, err := DecodeMonitor(bytes.NewReader(bad))
+		if err == nil {
+			// A flipped bit inside a float payload passes CRC only if the
+			// CRC itself was flipped to match — impossible for one byte —
+			// so reaching here means validation failed.
+			t.Fatalf("corruption at offset %d decoded silently: %+v", off, st.Schedule)
+		}
+	}
+	// Truncations at every frame boundary region must also fail.
+	for _, cut := range []int{0, 3, 9, 12, len(good) / 2, len(good) - 1} {
+		if _, err := DecodeMonitor(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes decoded silently", cut)
+		}
+	}
+}
+
+func TestUnsupportedVersion(t *testing.T) {
+	space, vs := fixture(5, 6, nil)
+	mon := newMon(space, 6)
+	appendAll(t, mon, vs)
+	var buf bytes.Buffer
+	if err := EncodeMonitor(&buf, mon.State()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[8] = 0xEE // version low byte, after the 8-byte magic
+	raw[9] = 0x03
+	_, err := DecodeMonitor(bytes.NewReader(raw))
+	var uv *UnsupportedVersionError
+	if !errors.As(err, &uv) {
+		t.Fatalf("got %v, want *UnsupportedVersionError", err)
+	}
+	if uv.Version != 0x03EE {
+		t.Fatalf("version = %#x, want 0x03ee", uv.Version)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := DecodeMonitor(bytes.NewReader([]byte("definitely not a snapshot"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestSaveLoadMonitorFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenant.fsnap")
+	space, vs := fixture(8, 18, nil)
+	mon := newMon(space, 18)
+	appendAll(t, mon, vs[:10])
+	size, err := SaveMonitor(path, mon.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != int64(size) {
+		t.Fatalf("stat after save: %v (size %d, reported %d)", err, fi.Size(), size)
+	}
+	// Overwrite with a longer history; the swap must be atomic and the
+	// new contents win.
+	appendAll(t, mon, vs[10:])
+	if _, err := SaveMonitor(path, mon.State()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMonitor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 18 {
+		t.Fatalf("loaded history = %d, want 18", loaded.Len())
+	}
+	sameMatrix(t, mon.Matrix(), loaded.Matrix())
+	if leftovers, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(leftovers) != 0 {
+		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+}

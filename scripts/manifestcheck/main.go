@@ -2,9 +2,12 @@
 // it parses, names every pipeline stage, and its stage durations account
 // for at least 90% of the recorded wall time. With -faults it additionally
 // asserts the fault-injection counters landed in the manifest: faults were
-// injected, and the quarantine counter is present (even when zero). Exits
-// non-zero with a diagnostic otherwise; used by scripts/obs_smoke.sh and
-// scripts/faults_smoke.sh.
+// injected, and the quarantine counter is present (even when zero). With
+// -serve it instead validates a daemon manifest: no batch stages are
+// required, but the serve ingest/tenant/checkpoint metrics must have
+// landed. Exits non-zero with a diagnostic otherwise; used by
+// scripts/obs_smoke.sh, scripts/faults_smoke.sh, and
+// scripts/serve_smoke.sh.
 package main
 
 import (
@@ -20,9 +23,10 @@ var pipelineStages = []string{"generate", "observe", "similarity", "cluster", "t
 
 func main() {
 	checkFaults := flag.Bool("faults", false, "assert fault-injection and quarantine counters are present")
+	checkServe := flag.Bool("serve", false, "validate a daemon (fenrir -serve) manifest instead of a batch run")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-faults] <manifest.json>")
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-faults] [-serve] <manifest.json>")
 		os.Exit(2)
 	}
 	m, err := obs.LoadManifest(flag.Arg(0))
@@ -31,6 +35,10 @@ func main() {
 	}
 	if m.Scenario == "" {
 		fail("manifest has no scenario name")
+	}
+	if *checkServe {
+		checkServeManifest(m)
+		return
 	}
 	var have []string
 	for _, s := range m.Stages {
@@ -83,6 +91,39 @@ func main() {
 	}
 	fmt.Printf("manifestcheck: %s ok — %d stages, %.2fs wall (%.0f%% in stages), %dx%d matrix, %d modes\n",
 		m.Scenario, len(m.Stages), m.WallSeconds, 100*sum/m.WallSeconds, m.MatrixRows, m.MatrixRows, m.Modes)
+}
+
+// checkServeManifest validates a daemon manifest: the serving layer has
+// no batch pipeline stages, but it must account for ingest, tenants,
+// and checkpoints.
+func checkServeManifest(m *obs.Manifest) {
+	if m.Scenario != "serve" {
+		fail("scenario %q is not a serve manifest", m.Scenario)
+	}
+	if m.WallSeconds <= 0 {
+		fail("wall_seconds = %v", m.WallSeconds)
+	}
+	ingested := m.Counters["fenrir_serve_ingest_total"]
+	if ingested <= 0 {
+		fail("daemon manifest records no ingested observations")
+	}
+	if m.Gauges["fenrir_serve_tenants"] < 1 {
+		fail("daemon manifest records no tenants")
+	}
+	if m.Counters["fenrir_snapshot_writes_total"] <= 0 {
+		fail("daemon manifest records no checkpoint writes")
+	}
+	rejected := int64(0)
+	for name, v := range m.Counters {
+		if strings.HasPrefix(name, "fenrir_serve_rejected_total{") {
+			if v < 0 {
+				fail("counter %q is negative: %d", name, v)
+			}
+			rejected += v
+		}
+	}
+	fmt.Printf("manifestcheck: serve ok — %d observations ingested, %.0f tenants, %d checkpoints, %d rejections\n",
+		ingested, m.Gauges["fenrir_serve_tenants"], m.Counters["fenrir_snapshot_writes_total"], rejected)
 }
 
 func fail(format string, args ...any) {

@@ -1,0 +1,160 @@
+#!/bin/sh
+# serve_load.sh — drives the daemon under concurrent load with the race
+# detector enabled. Builds fenrir with -race, starts one daemon, then
+# runs WRITERS concurrent ingest streams (one tenant each, so every
+# stream keeps strict epoch order) plus one contended tenant that all
+# writers race to feed (exercising the duplicate/out-of-order rejection
+# path), while READERS goroutines hammer the query and metrics
+# endpoints. Any race report or 5xx fails the script.
+#
+#   WRITERS=8 EPOCHS=200 READERS=6 ./scripts/serve_load.sh
+set -e
+cd "$(dirname "$0")/.."
+
+WRITERS="${WRITERS:-4}"
+EPOCHS="${EPOCHS:-120}"
+READERS="${READERS:-4}"
+
+work="$(mktemp -d /tmp/fenrir-serve-load.XXXXXX)"
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+bin="$work/fenrir"
+go build -race -o "$bin" ./cmd/fenrir
+
+"$bin" -serve 127.0.0.1:0 -snapshot-dir "$work/state" -snapshot-every 32 \
+    2>"$work/daemon.log" &
+daemon_pid=$!
+pids="$pids $daemon_pid"
+
+i=0
+url=""
+while [ $i -lt 200 ]; do
+    url=$(sed -n 's!^fenrir: serving api \(http://[^ ]*\).*!\1!p' "$work/daemon.log" | head -1)
+    [ -n "$url" ] && break
+    sleep 0.05
+    i=$((i + 1))
+done
+if [ -z "$url" ]; then
+    echo "serve-load: daemon never announced its address" >&2
+    cat "$work/daemon.log" >&2
+    exit 1
+fi
+
+spec='{"networks":["n00","n01","n02","n03","n04","n05","n06","n07"],"start":"2026-01-01T00:00:00Z","interval_seconds":240,"epochs":65536}'
+
+obs_json() { # epoch
+    e=$1
+    if [ $(((e / 16) % 2)) -eq 0 ]; then base=alpha; else base=beta; fi
+    printf '{"epoch":%d,"sites":{' "$e"
+    sep=""
+    i=0
+    while [ $i -lt 8 ]; do
+        if [ $(((i + e) % 11)) -ne 0 ]; then
+            printf '%s"n%02d":"%s"' "$sep" "$i" "$base"
+            sep=","
+        fi
+        i=$((i + 1))
+    done
+    printf '}}'
+}
+
+# One tenant per writer plus a shared tenant every writer races to feed.
+w=0
+while [ $w -lt "$WRITERS" ]; do
+    curl -s -o /dev/null -X PUT -d "$spec" "$url/v1/tenants/w$w"
+    w=$((w + 1))
+done
+curl -s -o /dev/null -X PUT -d "$spec" "$url/v1/tenants/shared"
+
+writer() { # tenant
+    e=0
+    while [ $e -lt "$EPOCHS" ]; do
+        body=$(obs_json $e)
+        code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d "$body" \
+            "$url/v1/tenants/$1/observations")
+        case "$code" in
+        202) e=$((e + 1)) ;;
+        429) sleep 0.02 ;; # backpressure: retry same epoch
+        *)
+            echo "serve-load: writer $1 epoch $e: HTTP $code" >&2
+            exit 1
+            ;;
+        esac
+    done
+}
+
+# Contended writers: 400s (duplicate/out-of-order) are the point.
+contended_writer() {
+    e=0
+    while [ $e -lt "$EPOCHS" ]; do
+        curl -s -o /dev/null -X POST -d "$(obs_json $e)" \
+            "$url/v1/tenants/shared/observations"
+        e=$((e + 1))
+    done
+}
+
+reader() { # id
+    stop="$work/stop"
+    while [ ! -f "$stop" ]; do
+        for ep in "" /mode "/events?n=10" /heatmap /transitions "/flows?k=3"; do
+            code=$(curl -s -o /dev/null -w '%{http_code}' \
+                "$url/v1/tenants/w$((${1} % WRITERS))$ep")
+            case "$code" in
+            5*)
+                echo "serve-load: reader $1 got HTTP $code on $ep" >&2
+                touch "$work/reader-failed"
+                return 1
+                ;;
+            esac
+        done
+        code=$(curl -s -o /dev/null -w '%{http_code}' "$url/metrics")
+        [ "$code" = 200 ] || { touch "$work/reader-failed"; return 1; }
+    done
+}
+
+writer_pids=""
+w=0
+while [ $w -lt "$WRITERS" ]; do
+    writer "w$w" &
+    writer_pids="$writer_pids $!"
+    contended_writer &
+    writer_pids="$writer_pids $!"
+    w=$((w + 1))
+done
+r=0
+reader_pids=""
+while [ $r -lt "$READERS" ]; do
+    reader "$r" &
+    reader_pids="$reader_pids $!"
+    r=$((r + 1))
+done
+pids="$pids $writer_pids $reader_pids"
+
+fail=0
+for p in $writer_pids; do
+    wait "$p" || fail=1
+done
+touch "$work/stop"
+for p in $reader_pids; do
+    wait "$p" || true
+done
+[ -f "$work/reader-failed" ] && fail=1
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || fail=1
+
+if grep -q 'WARNING: DATA RACE' "$work/daemon.log"; then
+    echo "serve-load: race detector fired:" >&2
+    cat "$work/daemon.log" >&2
+    exit 1
+fi
+if [ "$fail" -ne 0 ]; then
+    echo "serve-load: failed (writer error, reader 5xx, or unclean shutdown)" >&2
+    exit 1
+fi
+echo "serve-load: ok — $WRITERS ordered writers + $WRITERS contended writers + $READERS readers, $EPOCHS epochs each, no races, no 5xx"
