@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover obs-smoke faults-smoke serve-smoke serve-load check clean
+.PHONY: all build vet test race bench cover obs-smoke faults-smoke serve-smoke trace-smoke serve-load check clean
 
 all: build test
 
@@ -58,12 +58,19 @@ faults-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# End-to-end tracing check: run a scenario twice with -trace and assert
+# both outputs are valid Chrome trace JSON with tile/sweep/ingest spans
+# nested under the run root, and that the canonical trees (timestamps
+# stripped) are identical across same-seed runs.
+trace-smoke:
+	./scripts/trace_smoke.sh
+
 # Concurrent-load check (not part of `check`; slower): N writers + N
 # contended writers + readers against a -race daemon build.
 serve-load:
 	./scripts/serve_load.sh
 
-check: test race cover obs-smoke faults-smoke serve-smoke
+check: test race cover obs-smoke faults-smoke serve-smoke trace-smoke
 
 clean:
 	rm -f BENCH_core.json BENCH_core.json.tmp bench.out cover.out

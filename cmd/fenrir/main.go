@@ -16,6 +16,10 @@
 //	fenrir -scenario broot -metrics :9090      # /metrics, /debug/vars, /debug/pprof
 //	fenrir -scenario broot -manifest run.json  # JSON run manifest on exit
 //
+// Tracing and the flight recorder (see DESIGN.md §9):
+//
+//	fenrir -scenario broot -trace out.json     # Chrome trace-event tree (Perfetto)
+//
 // Fault injection (see DESIGN.md §7):
 //
 //	fenrir -scenario wikipedia -faults light   # seeded faults on every substrate
@@ -58,6 +62,7 @@ type cliOptions struct {
 	parallel   int
 	metrics    string
 	manifest   string
+	trace      string
 	faults     string
 	faultSeed  uint64
 
@@ -77,6 +82,7 @@ func main() {
 	flag.IntVar(&o.parallel, "parallelism", 0, "similarity-matrix workers (0 = all cores, 1 = serial)")
 	flag.StringVar(&o.metrics, "metrics", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :9090) while running")
 	flag.StringVar(&o.manifest, "manifest", "", "write a JSON run manifest to this file on completion")
+	flag.StringVar(&o.trace, "trace", "", "write a Chrome trace-event JSON file on completion (load in Perfetto or chrome://tracing)")
 	flag.StringVar(&o.faults, "faults", "none", "fault-injection profile: "+strings.Join(faults.Names(), " "))
 	flag.Uint64Var(&o.faultSeed, "faultseed", 0, "fault-injector seed (0 derives one from -seed)")
 	flag.StringVar(&o.serve, "serve", "", "run the long-lived monitoring daemon on this address (e.g. :8080) instead of a batch scenario")
@@ -103,9 +109,15 @@ func run(o cliOptions) error {
 	// no-op, so the default run is byte-identical to the uninstrumented
 	// binary.
 	var reg *obs.Registry
-	if o.metrics != "" || o.manifest != "" {
+	if o.metrics != "" || o.manifest != "" || o.trace != "" {
 		reg = obs.NewRegistry()
 	}
+	// The root span anchors the run's trace tree: every top-level stage
+	// span and every tile/sweep/ingest child hangs off it. BeginTrace on
+	// a nil registry returns nil, keeping the uninstrumented path inert.
+	root := reg.BeginTrace("run/" + o.scenario)
+	root.SetAttr("seed", int64(o.seed))
+	reg.Logger().Info("run started", "scenario", o.scenario, "seed", o.seed)
 	var sampler *obs.RuntimeSampler
 	if o.manifest != "" {
 		sampler = obs.StartRuntimeSampler(0)
@@ -134,8 +146,18 @@ func run(o cliOptions) error {
 	// finish writes the manifest; every exit path that has run a scenario
 	// goes through it so -manifest works for all scenarios.
 	finish := func() error {
+		root.End()
+		reg.Logger().Info("run finished", "scenario", o.scenario,
+			"wall_seconds", time.Since(t0).Seconds())
 		if faultRep != nil {
 			fmt.Fprintln(os.Stderr, faultRep.String())
+		}
+		if o.trace != "" {
+			if err := obs.WriteTraceFile(o.trace, reg); err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "fenrir: trace written to %s (%d spans)\n",
+				o.trace, len(reg.TraceRecords()))
 		}
 		if o.manifest == "" {
 			return nil
@@ -291,6 +313,10 @@ func runServe(o cliOptions) error {
 	t0 := time.Now()
 	started := t0
 	reg := obs.NewRegistry()
+	// The daemon traces unconditionally: request and ingest spans land in
+	// the bounded ring behind /debug/trace, and -trace additionally dumps
+	// the tree to a file on shutdown.
+	root := reg.BeginTrace("serve")
 	var sampler *obs.RuntimeSampler
 	if o.manifest != "" {
 		sampler = obs.StartRuntimeSampler(0)
@@ -322,6 +348,7 @@ func runServe(o cliOptions) error {
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	fmt.Fprintf(os.Stderr, "fenrir: serving api http://%s (tenants under /v1/tenants, metrics under /metrics)\n", ln.Addr())
+	reg.Logger().Info("daemon started", "addr", ln.Addr().String())
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -342,6 +369,15 @@ func runServe(o cliOptions) error {
 
 	if inj != nil {
 		fmt.Fprintln(os.Stderr, inj.Report().String())
+	}
+	root.End()
+	reg.Logger().Info("daemon stopped", "wall_seconds", time.Since(t0).Seconds())
+	if o.trace != "" {
+		if err := obs.WriteTraceFile(o.trace, reg); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "fenrir: trace written to %s (%d spans)\n",
+			o.trace, len(reg.TraceRecords()))
 	}
 	if o.manifest != "" {
 		m := &obs.Manifest{

@@ -231,13 +231,14 @@ func Analyze(s *Series, opts AnalysisOptions) *Analysis {
 	a.Coverage = clean.Coverage(s)
 	spSim := opts.Obs.StartSpan("similarity")
 	a.Matrix = core.SimilarityMatrixParallel(s, opts.Weights, opts.Unknowns,
-		core.MatrixOptions{Parallelism: opts.Parallelism, Obs: opts.Obs})
+		core.MatrixOptions{Parallelism: opts.Parallelism, Obs: opts.Obs, Span: spSim})
 	spSim.SetItems(int64(a.Matrix.N) * int64(a.Matrix.N-1) / 2)
 	spSim.SetWorkers(int(opts.Obs.Gauge("fenrir_similarity_workers").Value()))
 	spSim.End()
 	spCl := opts.Obs.StartSpan("cluster")
 	clOpts := opts.Clustering
 	clOpts.Obs = opts.Obs
+	clOpts.Span = spCl
 	a.Modes = core.DiscoverModes(a.Matrix, clOpts)
 	spCl.End()
 	spDet := opts.Obs.StartSpan("detect")

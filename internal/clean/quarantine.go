@@ -55,5 +55,9 @@ func Quarantine(s *core.Series, valid func(site string) bool, reg *obs.Registry)
 	for label, n := range rep.ByLabel {
 		reg.Counter(fmt.Sprintf("fenrir_quarantined_labels_total{label=%q}", label)).Add(int64(n))
 	}
+	if rep.Total > 0 {
+		reg.Logger().Warn("cleaning quarantined observations",
+			"cells", rep.Total, "labels", len(rep.ByLabel))
+	}
 	return core.NewSeries(s.Space, s.Schedule, out, s.Gaps), rep
 }

@@ -198,6 +198,10 @@ type AdaptiveOptions struct {
 	// counts, the chosen threshold); nil disables instrumentation with
 	// no behavioural change.
 	Obs *obs.Registry
+	// Span, when a trace is active, parents one "sweep" child span per
+	// threshold iteration (attrs threshold/clusters), so traces show the
+	// sweep's convergence step by step. nil records nothing.
+	Span *obs.Span
 }
 
 // DefaultAdaptiveOptions mirrors §2.6.2 exactly.
@@ -329,8 +333,12 @@ func ClusterAdaptive(m *SimMatrix, opts AdaptiveOptions) (threshold float64, clu
 	}
 	var first, longest, cur run
 	for t := 0.0; t <= 1.0+1e-9; t += opts.Step {
+		isp := opts.Span.Child("sweep")
 		advance(t)
 		sweepCounts.Observe(float64(numClusters))
+		isp.SetAttr("threshold", t)
+		isp.SetAttr("clusters", numClusters)
+		isp.End()
 		if numClusters >= opts.MaxClusters || bigClusters == 0 {
 			cur = run{}
 			continue

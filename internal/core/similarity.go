@@ -192,6 +192,11 @@ type MatrixOptions struct {
 	// default) disables instrumentation entirely — the hot loop is
 	// untouched and the matrix is bit-identical either way.
 	Obs *obs.Registry
+	// Span, when a trace is active, parents one "tile" child span per
+	// work unit (attrs row0/rows, lane = worker index) so traces show
+	// where the quadratic fill spent its time. nil — or a registry not
+	// tracing — records nothing.
+	Span *obs.Span
 }
 
 // kernelName labels the monomorphic Gower kernel gowerKernel selects,
@@ -287,7 +292,11 @@ func SimilarityMatrixParallel(s *Series, w []float64, mode UnknownMode, opts Mat
 		}
 	}
 	if p <= 1 {
+		tsp := opts.Span.Child("tile")
+		tsp.SetAttr("row0", 0)
+		tsp.SetAttr("rows", n)
 		fill(0, n)
+		tsp.End()
 		return m
 	}
 	tile := opts.TileRows
@@ -306,7 +315,7 @@ func SimilarityMatrixParallel(s *Series, w []float64, mode UnknownMode, opts Mat
 	var wg sync.WaitGroup
 	for k := 0; k < p; k++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				t := int(next.Add(1)) - 1
@@ -314,9 +323,15 @@ func SimilarityMatrixParallel(s *Series, w []float64, mode UnknownMode, opts Mat
 					return
 				}
 				lo := t * tile
-				fill(lo, min(lo+tile, n))
+				hi := min(lo+tile, n)
+				tsp := opts.Span.Child("tile")
+				tsp.SetLane(worker + 1)
+				tsp.SetAttr("row0", lo)
+				tsp.SetAttr("rows", hi-lo)
+				fill(lo, hi)
+				tsp.End()
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 	return m

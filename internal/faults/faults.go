@@ -237,10 +237,13 @@ func (inj *Injector) Seed() uint64 {
 	return inj.seed
 }
 
-// count records one injected fault; callers hold inj.mu.
+// count records one injected fault; callers hold inj.mu. Each injection
+// also lands in the flight recorder, so /debug/events shows the recent
+// fault history alongside quarantines and retries.
 func (inj *Injector) count(substrate, kind string) {
 	inj.injected[substrate+"/"+kind]++
 	inj.reg.Counter(fmt.Sprintf("fenrir_faults_injected_total{substrate=%q,kind=%q}", substrate, kind)).Inc()
+	inj.reg.Logger().Info("fault injected", "substrate", substrate, "kind", kind)
 }
 
 // lose runs the per-substrate loss-burst machine: a started burst eats
@@ -421,6 +424,9 @@ func (inj *Injector) Quarantine(reason string, n int) {
 	defer inj.mu.Unlock()
 	inj.quarantined[reason] += n
 	inj.reg.Counter(fmt.Sprintf("fenrir_quarantined_total{reason=%q}", reason)).Add(int64(n))
+	if n > 0 {
+		inj.reg.Logger().Warn("observations quarantined", "reason", reason, "count", n)
+	}
 }
 
 // retry records one retry attempt granted to substrate.
@@ -432,6 +438,7 @@ func (inj *Injector) retry(substrate string) {
 	defer inj.mu.Unlock()
 	inj.retries[substrate]++
 	inj.reg.Counter(fmt.Sprintf("fenrir_fault_retries_total{substrate=%q}", substrate)).Inc()
+	inj.reg.Logger().Info("probe retried", "substrate", substrate)
 }
 
 // Report is a snapshot of everything the injector did, attached to

@@ -22,6 +22,8 @@ func Handler(r *Registry) http.Handler {
 //	/metrics       Prometheus text exposition of the registry
 //	/debug/vars    expvar (stdlib vars plus the registry under "fenrir")
 //	/debug/pprof/  the full net/http/pprof suite
+//	/debug/trace   the current trace tree as Chrome trace-event JSON
+//	/debug/events  the flight-recorder ring (?n=N limits the drain)
 type Server struct {
 	// Addr is the bound listen address (useful with ":0").
 	Addr string
@@ -53,6 +55,8 @@ func NewServer(addr string, r *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/trace", TraceHandler(r))
+	mux.Handle("/debug/events", EventsHandler(r))
 	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
 	return s, nil

@@ -16,6 +16,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"sort"
 	"strings"
@@ -31,26 +32,45 @@ import (
 // Metric names follow Prometheus exposition syntax; a name may embed a
 // label set verbatim, e.g. `fenrir_stage_seconds{stage="similarity"}`.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	spans    []StageRecord
-	start    time.Time
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	floats    map[string]*FloatCounter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	spans     []StageRecord
+	start     time.Time
+	logger    *slog.Logger
+	flight    *FlightRecorder
+	hasFlight atomic.Bool
+
+	// Trace-tree state (see trace.go): monotone span ids, the active
+	// root, and the bounded completed-span ring.
+	nextSpanID int64
+	root       *Span
+	traceOn    atomic.Bool
+	trace      []TraceRecord
+	traceHead  int
 }
 
-// NewRegistry returns an empty registry anchored at the current time.
+// NewRegistry returns an empty registry anchored at the current time,
+// with an attached flight recorder (see FlightRecorder).
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters: make(map[string]*Counter),
+		floats:   make(map[string]*FloatCounter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		start:    time.Now(),
+		flight:   NewFlightRecorder(flightCap),
 	}
+	r.logger = slog.New(&flightHandler{fr: r.flight})
+	r.hasFlight.Store(true)
+	return r
 }
 
 // Counter returns the named monotonically increasing counter, creating
 // it on first use. Returns nil (a no-op handle) on a nil registry.
+// First use validates the name (see mustValidName).
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
@@ -59,8 +79,27 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
+		mustValidName(name)
 		c = &Counter{}
 		r.counters[name] = c
+	}
+	return c
+}
+
+// FloatCounter returns the named monotonically increasing float
+// counter, creating it on first use. Returns nil (a no-op handle) on a
+// nil registry. First use validates the name (see mustValidName).
+func (r *Registry) FloatCounter(name string) *FloatCounter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.floats[name]
+	if !ok {
+		mustValidName(name)
+		c = &FloatCounter{}
+		r.floats[name] = c
 	}
 	return c
 }
@@ -75,6 +114,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
+		mustValidName(name)
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -92,6 +132,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
+		mustValidName(name)
 		h = &Histogram{}
 		r.hists[name] = h
 	}
@@ -120,6 +161,35 @@ func (c *Counter) Value() int64 {
 		return 0
 	}
 	return c.v.Load()
+}
+
+// FloatCounter is a monotonically increasing float64 metric — seconds
+// of work, bytes summed — exposed with Prometheus type "counter".
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add increments the counter by delta; negative deltas are dropped to
+// preserve monotonicity. No-op on a nil handle.
+func (c *FloatCounter) Add(delta float64) {
+	if c == nil || delta < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total (0 on a nil handle).
+func (c *FloatCounter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
 }
 
 // Gauge is a float64 metric that can go up and down.
@@ -233,6 +303,76 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) from the log-scale
+// buckets, Prometheus histogram_quantile style: find the bucket where
+// the cumulative count crosses rank q·count, then interpolate linearly
+// between the bucket's lower and upper bound. Consequences of that
+// scheme, relied on by callers and tests:
+//
+//   - Quantile(1) is exactly the upper bound of the highest non-empty
+//     bucket.
+//   - Observations above the last finite bound (the +Inf bucket) clamp
+//     to the last finite bound.
+//   - An empty (or nil) histogram returns NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	lower := 0.0
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c > 0 {
+			upper := histBounds[i]
+			if float64(cum)+float64(c) >= rank {
+				frac := (rank - float64(cum)) / float64(c)
+				if frac < 0 {
+					frac = 0
+				}
+				return lower + (upper-lower)*frac
+			}
+			cum += c
+		}
+		lower = histBounds[i]
+	}
+	// The rank falls in the +Inf overflow bucket: clamp to the last
+	// finite bound, the most honest answer fixed buckets can give.
+	return histBounds[histBuckets-1]
+}
+
+// HistogramSummary is a plain-data rollup of one histogram: count, sum,
+// and the p50/p90/p99 estimates manifests and status endpoints surface.
+// Quantiles are 0 (not NaN, which JSON cannot carry) when empty.
+type HistogramSummary struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary rolls the histogram up (zero value on a nil handle).
+func (h *Histogram) Summary() HistogramSummary {
+	s := HistogramSummary{Count: h.Count(), Sum: h.Sum()}
+	if s.Count > 0 {
+		s.P50 = h.Quantile(0.50)
+		s.P90 = h.Quantile(0.90)
+		s.P99 = h.Quantile(0.99)
+	}
+	return s
+}
+
 // splitName splits a metric name into its base and an optional verbatim
 // label block (without braces): `m{a="b"}` → (`m`, `a="b"`).
 func splitName(name string) (base, labels string) {
@@ -240,6 +380,96 @@ func splitName(name string) (base, labels string) {
 		return name[:i], name[i+1 : len(name)-1]
 	}
 	return name, ""
+}
+
+// ValidateMetricName checks that a metric name is well-formed Prometheus
+// exposition syntax: a non-empty base matching [a-zA-Z_:][a-zA-Z0-9_:]*,
+// optionally followed by exactly one balanced {key="value",...} label
+// block whose keys match [a-zA-Z_][a-zA-Z0-9_]* and whose values are
+// double-quoted with backslash escapes. Registration rejects malformed
+// names up front so a typo fails fast in tests instead of silently
+// corrupting the /metrics exposition.
+func ValidateMetricName(name string) error {
+	base := name
+	labels := ""
+	hasLabels := false
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		if !strings.HasSuffix(name, "}") {
+			return fmt.Errorf("label block does not end with '}'")
+		}
+		base, labels = name[:i], name[i+1:len(name)-1]
+		hasLabels = true
+	}
+	if base == "" {
+		return fmt.Errorf("empty base name")
+	}
+	for i := 0; i < len(base); i++ {
+		c := base[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("base name byte %d (%q) invalid", i, c)
+		}
+	}
+	if !hasLabels {
+		return nil
+	}
+	if labels == "" {
+		return fmt.Errorf("empty label block")
+	}
+	// Parse key="value" pairs separated by commas; quoted values may
+	// contain any byte behind backslash escapes, but braces and quotes
+	// outside a quoted value are malformed.
+	i := 0
+	for {
+		start := i
+		for i < len(labels) && labels[i] != '=' {
+			c := labels[i]
+			ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				(i > start && c >= '0' && c <= '9')
+			if !ok {
+				return fmt.Errorf("label key byte %d (%q) invalid", i, c)
+			}
+			i++
+		}
+		if i == start {
+			return fmt.Errorf("empty label key at byte %d", i)
+		}
+		if i >= len(labels) {
+			return fmt.Errorf("label %q has no value", labels[start:i])
+		}
+		i++ // '='
+		if i >= len(labels) || labels[i] != '"' {
+			return fmt.Errorf("label value at byte %d is not quoted", i)
+		}
+		i++
+		for i < len(labels) && labels[i] != '"' {
+			if labels[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(labels) {
+			return fmt.Errorf("unterminated label value")
+		}
+		i++ // closing quote
+		if i == len(labels) {
+			return nil
+		}
+		if labels[i] != ',' {
+			return fmt.Errorf("expected ',' between labels at byte %d", i)
+		}
+		i++
+	}
+}
+
+// mustValidName panics on a malformed metric name; called once per
+// metric at registration, never on the hot path.
+func mustValidName(name string) {
+	if err := ValidateMetricName(name); err != nil {
+		panic(fmt.Sprintf("obs: invalid metric name %q: %v", name, err))
+	}
 }
 
 func joinLabels(labels, extra string) string {
@@ -260,6 +490,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	counters := make(map[string]*Counter, len(r.counters))
 	for k, v := range r.counters {
 		counters[k] = v
+	}
+	floats := make(map[string]*FloatCounter, len(r.floats))
+	for k, v := range r.floats {
+		floats[k] = v
 	}
 	gauges := make(map[string]*Gauge, len(r.gauges))
 	for k, v := range r.gauges {
@@ -282,6 +516,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for _, name := range sortedKeys(counters) {
 		typeLine(name, "counter")
 		fmt.Fprintf(w, "%s %d\n", name, counters[name].Value())
+	}
+	for _, name := range sortedKeys(floats) {
+		typeLine(name, "counter")
+		fmt.Fprintf(w, "%s %g\n", name, floats[name].Value())
 	}
 	for _, name := range sortedKeys(gauges) {
 		typeLine(name, "gauge")
@@ -337,17 +575,22 @@ func (r *Registry) Snapshot() map[string]any {
 	for k, v := range r.counters {
 		counters[k] = v.Value()
 	}
+	floats := make(map[string]float64, len(r.floats))
+	for k, v := range r.floats {
+		floats[k] = v.Value()
+	}
 	gauges := make(map[string]float64, len(r.gauges))
 	for k, v := range r.gauges {
 		gauges[k] = v.Value()
 	}
-	hists := make(map[string]map[string]any, len(r.hists))
+	hists := make(map[string]HistogramSummary, len(r.hists))
 	for k, v := range r.hists {
-		hists[k] = map[string]any{"count": v.Count(), "sum": v.Sum()}
+		hists[k] = v.Summary()
 	}
 	stages := append([]StageRecord(nil), r.spans...)
 	return map[string]any{
 		"counters":       counters,
+		"float_counters": floats,
 		"gauges":         gauges,
 		"histograms":     hists,
 		"stages":         stages,

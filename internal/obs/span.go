@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -22,6 +23,14 @@ type StageRecord struct {
 // Span measures one pipeline stage from StartSpan to End using the
 // monotonic clock. A span from a nil registry is nil, and every method
 // on a nil *Span is a no-op, so callers instrument unconditionally.
+//
+// Spans form a tree when tracing is on (see BeginTrace): StartSpan spans
+// hang off the run root, and Span.Child opens arbitrarily deep children
+// carrying attributes (SetAttr) and export lanes (SetLane). Only
+// top-level spans — the classic pipeline stages — feed StageRecords and
+// the per-stage metrics; children exist solely in the trace tree, so
+// per-tile and per-epoch instrumentation never distorts the manifest's
+// stage accounting.
 type Span struct {
 	r       *Registry
 	name    string
@@ -29,15 +38,34 @@ type Span struct {
 	items   atomic.Int64
 	workers int
 	ended   atomic.Bool
+
+	// Trace-tree identity: id/parent/isRoot place the span in the tree,
+	// lane picks its export track, attrs carry key=value annotations.
+	// viaChild marks spans opened with Span.Child, which are trace-only
+	// regardless of where they sit in the tree.
+	id       int64
+	parent   *Span
+	isRoot   bool
+	viaChild bool
+	lane     int
+	attrMu   sync.Mutex
+	attrs    []Attr
 }
 
 // StartSpan opens a span for the named stage. On a nil registry it
-// returns nil, the no-op span.
+// returns nil, the no-op span. While a trace is active the span becomes
+// a child of the run root.
 func (r *Registry) StartSpan(name string) *Span {
 	if r == nil {
 		return nil
 	}
-	return &Span{r: r, name: name, start: time.Now()}
+	sp := &Span{r: r, name: name, start: time.Now()}
+	r.mu.Lock()
+	r.nextSpanID++
+	sp.id = r.nextSpanID
+	sp.parent = r.root
+	r.mu.Unlock()
+	return sp
 }
 
 // SetItems records how many work units the stage processed.
@@ -67,23 +95,39 @@ func (s *Span) SetWorkers(n int) {
 // End closes the span, records it in the registry, and returns the
 // stage duration. Safe to call more than once (later calls are no-ops)
 // and on a nil span (returns 0).
+//
+// A top-level StartSpan span (no parent, or a direct child of the trace
+// root) appends a StageRecord and feeds the per-stage metrics, exactly
+// as before trace trees existed. Spans opened with Child — and the root
+// itself — land only in the trace ring, no matter where they sit.
 func (s *Span) End() time.Duration {
 	if s == nil || !s.ended.CompareAndSwap(false, true) {
 		return 0
 	}
 	d := time.Since(s.start)
-	rec := StageRecord{
-		Name:    s.name,
-		Seconds: d.Seconds(),
-		Items:   s.items.Load(),
-		Workers: s.workers,
+	stage := !s.isRoot && !s.viaChild && (s.parent == nil || s.parent.isRoot)
+	if stage {
+		rec := StageRecord{
+			Name:    s.name,
+			Seconds: d.Seconds(),
+			Items:   s.items.Load(),
+			Workers: s.workers,
+		}
+		s.r.mu.Lock()
+		s.r.spans = append(s.r.spans, rec)
+		s.r.mu.Unlock()
+		s.r.Counter(`fenrir_stage_runs_total{stage="` + s.name + `"}`).Inc()
+		// Stage seconds accumulate monotonically: a float counter, not a
+		// gauge, so Prometheus scrapers may rate() it.
+		s.r.FloatCounter(`fenrir_stage_seconds{stage="` + s.name + `"}`).Add(d.Seconds())
+		s.r.Histogram(`fenrir_stage_duration_seconds{stage="` + s.name + `"}`).Observe(d.Seconds())
 	}
-	s.r.mu.Lock()
-	s.r.spans = append(s.r.spans, rec)
-	s.r.mu.Unlock()
-	s.r.Counter(`fenrir_stage_runs_total{stage="` + s.name + `"}`).Inc()
-	s.r.Gauge(`fenrir_stage_seconds{stage="` + s.name + `"}`).Add(d.Seconds())
-	s.r.Histogram(`fenrir_stage_duration_seconds{stage="` + s.name + `"}`).Observe(d.Seconds())
+	if s.r.traceOn.Load() {
+		rec := s.traceRecord(d)
+		s.r.mu.Lock()
+		s.r.traceAppendLocked(rec)
+		s.r.mu.Unlock()
+	}
 	return d
 }
 

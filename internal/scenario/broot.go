@@ -222,6 +222,8 @@ func RunBRoot(cfg BRootConfig) (*BRootResult, error) {
 	sclTransient := false
 	for e := 0; e < n; e++ {
 		epoch := timeline.Epoch(e)
+		esp := spObs.Child("ingest")
+		esp.SetAttr("epoch", e)
 		changed := false
 		apply := func(name string, fn func()) {
 			if ev[name] == epoch {
@@ -315,6 +317,7 @@ func RunBRoot(cfg BRootConfig) (*BRootResult, error) {
 			sclTransient = false
 			w.Net.Refresh()
 		}
+		esp.End()
 	}
 
 	spObs.SetItems(int64(len(vectors)))

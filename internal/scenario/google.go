@@ -144,14 +144,20 @@ func RunGoogle(cfg GoogleConfig) (*GoogleResult, error) {
 	spObs := cfg.Obs.StartSpan("observe")
 	var vectors []*core.Vector
 	for d := 0; d < cfg.Days2013; d++ {
+		esp := spObs.Child("ingest")
+		esp.SetAttr("epoch", d)
 		site.Policy = pol2013
 		site.Epoch = d
 		vectors = append(vectors, mapper.Sweep(space, timeline.Epoch(d)))
+		esp.End()
 	}
 	for d := 0; d < cfg.Days2024; d++ {
+		esp := spObs.Child("ingest")
+		esp.SetAttr("epoch", cfg.Days2013+d)
 		site.Policy = pol2024
 		site.Epoch = d
 		vectors = append(vectors, mapper.Sweep(space, timeline.Epoch(cfg.Days2013+d)))
+		esp.End()
 	}
 
 	spObs.SetItems(int64(len(vectors)))

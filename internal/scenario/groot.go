@@ -169,6 +169,8 @@ func RunGRoot(cfg GRootConfig) (*GRootResult, error) {
 	strDown := false
 	for e := 0; e < n; e++ {
 		epoch := timeline.Epoch(e)
+		esp := spObs.Child("ingest")
+		esp.SetAttr("epoch", e)
 		changed := false
 		switch epoch {
 		case ev["drain-1"], ev["drain-2"], ev["drain-final"]:
@@ -207,6 +209,7 @@ func RunGRoot(cfg GRootConfig) (*GRootResult, error) {
 			}
 		}
 		vectors = append(vectors, v)
+		esp.End()
 	}
 	spObs.SetItems(int64(len(vectors)))
 	spObs.End()

@@ -10,7 +10,7 @@
 //
 // Everything is deterministic in the scenario seed. Scale knobs shrink
 // the paper's millions-of-networks datasets to laptop size without
-// changing any code path (see DESIGN.md §10).
+// changing any code path (see DESIGN.md §11).
 package scenario
 
 import (
@@ -111,7 +111,7 @@ func (w *World) Tier2sInRegion(region string) []astopo.ASN {
 func analyze(r *obs.Registry, s *core.Series, parallelism int) (*core.SimMatrix, *core.ModesResult) {
 	spSim := r.StartSpan("similarity")
 	m := core.SimilarityMatrixParallel(s, nil, core.PessimisticUnknown,
-		core.MatrixOptions{Parallelism: parallelism, Obs: r})
+		core.MatrixOptions{Parallelism: parallelism, Obs: r, Span: spSim})
 	spSim.SetItems(int64(m.N) * int64(m.N-1) / 2)
 	// The engine just published its effective (clamped) pool size.
 	spSim.SetWorkers(int(r.Gauge("fenrir_similarity_workers").Value()))
@@ -119,6 +119,7 @@ func analyze(r *obs.Registry, s *core.Series, parallelism int) (*core.SimMatrix,
 	spCl := r.StartSpan("cluster")
 	opts := core.DefaultAdaptiveOptions()
 	opts.Obs = r
+	opts.Span = spCl
 	modes := core.DiscoverModes(m, opts)
 	spCl.End()
 	return m, modes

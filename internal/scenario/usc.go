@@ -198,6 +198,8 @@ func RunUSC(cfg USCConfig) (*USCResult, error) {
 	var tracesBefore, tracesAfter []traceroute.Trace
 	for e := 0; e < n; e++ {
 		epoch := timeline.Epoch(e)
+		esp := spObs.Child("ingest")
+		esp.SetAttr("epoch", e)
 		// Background Internet weather: distant peerings flap, moving a
 		// small share of hop-3 labels each epoch.
 		if cfg.ChurnProb > 0 && churnRand.Bool(cfg.ChurnProb) && len(allT2) >= 2 {
@@ -241,6 +243,7 @@ func RunUSC(cfg USCConfig) (*USCResult, error) {
 		if epoch == change+1 {
 			tracesAfter = traces
 		}
+		esp.End()
 	}
 	if tracesBefore == nil || tracesAfter == nil {
 		spObs.End()

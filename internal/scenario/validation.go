@@ -258,6 +258,8 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 	var undoAt timeline.Epoch = -1
 	for e := 0; e < cfg.Epochs; e++ {
 		epoch := timeline.Epoch(e)
+		esp := spObs.Child("ingest")
+		esp.SetAttr("epoch", e)
 		changed := false
 		// Scheduled drain reverts (drains last 2 epochs).
 		for site, until := range drainedUntil {
@@ -301,6 +303,7 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 		}
 		v, _ := mesh.Round(space, epoch)
 		vectors = append(vectors, v)
+		esp.End()
 	}
 
 	spObs.SetItems(int64(len(vectors)))

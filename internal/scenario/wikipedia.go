@@ -156,6 +156,8 @@ func RunWikipedia(cfg WikipediaConfig) (*WikipediaResult, error) {
 	var vectors []*core.Vector
 	for e := 0; e < cfg.Days; e++ {
 		epoch := timeline.Epoch(e)
+		esp := spObs.Child("ingest")
+		esp.SetAttr("epoch", e)
 		if epoch == drain {
 			pol.Drain("codfw")
 		}
@@ -164,6 +166,7 @@ func RunWikipedia(cfg WikipediaConfig) (*WikipediaResult, error) {
 		}
 		site.Epoch = e
 		vectors = append(vectors, mapper.Sweep(space, epoch))
+		esp.End()
 	}
 
 	spObs.SetItems(int64(len(vectors)))

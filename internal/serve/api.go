@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"regexp"
 	"strconv"
@@ -68,14 +69,34 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// timed wraps a query handler with a per-endpoint latency histogram.
+// timed wraps a query handler with a per-endpoint latency histogram and,
+// while a trace is active, a per-request child span under the serve root.
 func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.cfg.Obs.Histogram(fmt.Sprintf("fenrir_serve_query_seconds{endpoint=%q}", endpoint))
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
+		sp := s.cfg.Obs.TraceRoot().Child("request")
+		sp.SetAttr("endpoint", endpoint)
 		h(w, r)
+		sp.End()
 		hist.ObserveSince(t0)
 	}
+}
+
+// retryAfterEstimate converts a queue backlog and the tenant's recent
+// mean append duration into a Retry-After value: how long until the
+// worker has plausibly drained the backlog, ceiling-rounded to whole
+// seconds and floored at 1 s. With no throughput history (a cold tenant)
+// it returns the 1 s floor.
+func retryAfterEstimate(pending int, meanAppend time.Duration) int {
+	if pending <= 0 || meanAppend <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(pending) * meanAppend.Seconds()))
+	if secs < 1 {
+		return 1
+	}
+	return secs
 }
 
 func (s *Server) buildMux() *http.ServeMux {
@@ -94,6 +115,8 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/tenants/{name}/transitions", s.timed("transitions", s.withTenant(s.handleTransitions)))
 	mux.HandleFunc("GET /v1/tenants/{name}/flows", s.timed("flows", s.withTenant(s.handleFlows)))
 	mux.HandleFunc("POST /v1/tenants/{name}/checkpoint", s.withTenant(s.handleCheckpoint))
+	mux.Handle("GET /debug/trace", obs.TraceHandler(s.cfg.Obs))
+	mux.Handle("GET /debug/events", obs.EventsHandler(s.cfg.Obs))
 	return mux
 }
 
@@ -227,6 +250,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request, t *tenant)
 		"queue_capacity": cap(t.queue),
 		"mean_ingest_us": float64(snap.MeanIngest().Microseconds()),
 		"networks":       t.mon.Space().NumNetworks(),
+		// Per-tenant SLO telemetry: count/sum/p50/p90/p99 rollups of the
+		// admission, lag, depth, and checkpoint histograms.
+		"slo": t.slo(),
 	}
 	if snap.HasEvent {
 		out["last_event"] = int64(snap.LastEvent)
@@ -242,6 +268,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request, t *tenant)
 // response always reflects what the daemon actually did with the
 // observation.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *tenant) {
+	t0 := time.Now()
+	sp := s.cfg.Obs.TraceRoot().Child("request")
+	sp.SetAttr("endpoint", "ingest")
+	sp.SetAttr("tenant", t.name)
+	defer sp.End()
 	rejected := func(reason string) *obs.Counter {
 		return s.cfg.Obs.Counter(fmt.Sprintf("fenrir_serve_rejected_total{reason=%q}", reason))
 	}
@@ -298,7 +329,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *tenant)
 	admitErr, full := t.admit(v)
 	if full {
 		rejected("backpressure").Inc()
-		w.Header().Set("Retry-After", "1")
+		// Retry-After is an estimate of queue-drain time from recent
+		// append throughput, not a constant: a slow tenant's producers
+		// back off proportionally harder.
+		retry := t.retryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		s.cfg.Obs.Logger().Warn("ingest backpressure",
+			"tenant", t.name, "epoch", ob.Epoch,
+			"queue_capacity", cap(t.queue), "retry_after_s", retry)
 		writeErr(w, http.StatusTooManyRequests, "ingest queue full (%d deep)", cap(t.queue))
 		return
 	}
@@ -325,6 +363,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *tenant)
 			rejected("duplicate").Inc()
 		}
 	}
+	// Admission latency: request arrival to accepted verdict.
+	t.admitHist.ObserveSince(t0)
 	writeJSON(w, http.StatusAccepted, map[string]any{"accepted": true, "epoch": ob.Epoch})
 }
 

@@ -11,7 +11,6 @@ import (
 	"testing"
 	"time"
 
-	"fenrir/internal/core"
 	"fenrir/internal/faults"
 	"fenrir/internal/obs"
 )
@@ -329,7 +328,7 @@ func TestServeBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A tenant with no worker: admitted observations stay queued.
-	tn := &tenant{name: "slow", srv: s, mon: mon, queue: make(chan *core.Vector, 2), done: make(chan struct{})}
+	tn := &tenant{name: "slow", srv: s, mon: mon, queue: make(chan queued, 2), done: make(chan struct{})}
 	tn.cond = sync.NewCond(&tn.mu)
 	s.mu.Lock()
 	s.tenants["slow"] = tn

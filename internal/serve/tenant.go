@@ -7,12 +7,20 @@ import (
 	"time"
 
 	"fenrir/internal/core"
+	"fenrir/internal/obs"
 	"fenrir/internal/snapshot"
 	"fenrir/internal/timeline"
 )
 
 // snapSuffix names tenant checkpoint files: <snapshot-dir>/<name>.fsnap.
 const snapSuffix = ".fsnap"
+
+// queued is one admitted observation riding the ingest queue, stamped at
+// admission so the worker can measure append-to-queryable lag.
+type queued struct {
+	v        *core.Vector
+	admitted time.Time
+}
 
 // tenant is one hosted monitor plus its ingest machinery. Admission
 // control is synchronous — the HTTP handler validates epoch order and
@@ -37,17 +45,36 @@ type tenant struct {
 	// checkpoint and reset it).
 	sinceCheckpoint int
 
-	queue chan *core.Vector
+	queue chan queued
 	done  chan struct{}
+
+	// Per-tenant SLO instruments, resolved once at construction (all are
+	// nil-safe no-op handles when the server runs without a registry):
+	// admission latency, append-to-queryable lag, queue depth at admit,
+	// and checkpoint duration/size.
+	admitHist  *obs.Histogram
+	lagHist    *obs.Histogram
+	depthHist  *obs.Histogram
+	ckptHist   *obs.Histogram
+	ckptBytes  *obs.Histogram
+	queueGauge *obs.Gauge
 }
 
 func newTenant(name string, mon *core.Monitor, s *Server) *tenant {
+	reg := s.cfg.Obs
 	t := &tenant{
 		name:  name,
 		srv:   s,
 		mon:   mon,
-		queue: make(chan *core.Vector, s.cfg.queueDepth()),
+		queue: make(chan queued, s.cfg.queueDepth()),
 		done:  make(chan struct{}),
+
+		admitHist:  reg.Histogram(fmt.Sprintf("fenrir_serve_admission_seconds{tenant=%q}", name)),
+		lagHist:    reg.Histogram(fmt.Sprintf("fenrir_serve_queryable_lag_seconds{tenant=%q}", name)),
+		depthHist:  reg.Histogram(fmt.Sprintf("fenrir_serve_queue_depth_levels{tenant=%q}", name)),
+		ckptHist:   reg.Histogram(fmt.Sprintf("fenrir_serve_checkpoint_seconds{tenant=%q}", name)),
+		ckptBytes:  reg.Histogram(fmt.Sprintf("fenrir_serve_checkpoint_bytes{tenant=%q}", name)),
+		queueGauge: reg.Gauge(fmt.Sprintf("fenrir_serve_queue_depth{tenant=%q}", name)),
 	}
 	t.cond = sync.NewCond(&t.mu)
 	mon.Instrument(s.cfg.Obs)
@@ -57,6 +84,27 @@ func newTenant(name string, mon *core.Monitor, s *Server) *tenant {
 	}
 	go t.worker()
 	return t
+}
+
+// slo rolls the tenant's SLO histograms into plain-data summaries for
+// the status endpoint and run manifests.
+func (t *tenant) slo() map[string]obs.HistogramSummary {
+	return map[string]obs.HistogramSummary{
+		"admission_seconds":     t.admitHist.Summary(),
+		"queryable_lag_seconds": t.lagHist.Summary(),
+		"queue_depth":           t.depthHist.Summary(),
+		"checkpoint_seconds":    t.ckptHist.Summary(),
+		"checkpoint_bytes":      t.ckptBytes.Summary(),
+	}
+}
+
+// retryAfter estimates how long a rejected producer should wait before
+// retrying, from the queue backlog and recent append throughput.
+func (t *tenant) retryAfter() int {
+	t.mu.Lock()
+	pending := t.pending
+	t.mu.Unlock()
+	return retryAfterEstimate(pending, t.mon.Snapshot().MeanIngest())
 }
 
 // admit validates epoch order and reserves a queue slot, all under mu so
@@ -77,14 +125,16 @@ func (t *tenant) admit(v *core.Vector) (err error, full bool) {
 		return &core.OutOfOrderEpochError{Epoch: v.T, Newest: t.lastAccepted}, false
 	}
 	select {
-	case t.queue <- v:
+	case t.queue <- queued{v: v, admitted: time.Now()}:
 	default:
 		return nil, true
 	}
 	t.lastAccepted = v.T
 	t.hasAccepted = true
 	t.pending++
-	t.srv.cfg.Obs.Gauge(fmt.Sprintf("fenrir_serve_queue_depth{tenant=%q}", t.name)).Set(float64(len(t.queue)))
+	depth := len(t.queue)
+	t.queueGauge.Set(float64(depth))
+	t.depthHist.Observe(float64(depth))
 	return nil, false
 }
 
@@ -94,9 +144,13 @@ func (t *tenant) admit(v *core.Vector) (err error, full bool) {
 func (t *tenant) worker() {
 	defer close(t.done)
 	obsReg := t.srv.cfg.Obs
-	for v := range t.queue {
+	for q := range t.queue {
 		t0 := time.Now()
-		_, _, err := t.mon.Append(v)
+		sp := obsReg.TraceRoot().Child("ingest")
+		sp.SetAttr("tenant", t.name)
+		sp.SetAttr("epoch", int64(q.v.T))
+		_, _, err := t.mon.Append(q.v)
+		sp.End()
 		var needCheckpoint bool
 		t.mu.Lock()
 		if err == nil {
@@ -111,13 +165,17 @@ func (t *tenant) worker() {
 		} else {
 			obsReg.Counter("fenrir_serve_ingest_total").Inc()
 			obsReg.Histogram("fenrir_serve_ingest_seconds").ObserveSince(t0)
+			// Append-to-queryable lag: the observation became visible to
+			// queries now; it was accepted at q.admitted.
+			t.lagHist.ObserveSince(q.admitted)
 		}
 		if needCheckpoint {
 			if _, err := t.checkpoint(); err != nil {
 				obsReg.Counter("fenrir_snapshot_errors_total").Inc()
+				obsReg.Logger().Error("checkpoint failed", "tenant", t.name, "error", err.Error())
 			}
 		}
-		obsReg.Gauge(fmt.Sprintf("fenrir_serve_queue_depth{tenant=%q}", t.name)).Set(float64(len(t.queue)))
+		t.queueGauge.Set(float64(len(t.queue)))
 	}
 }
 
@@ -171,5 +229,11 @@ func (t *tenant) checkpoint() (int, error) {
 	reg.Counter("fenrir_snapshot_writes_total").Inc()
 	reg.Histogram("fenrir_snapshot_seconds").ObserveSince(t0)
 	reg.Gauge(fmt.Sprintf("fenrir_snapshot_bytes{tenant=%q}", t.name)).Set(float64(size))
+	d := time.Since(t0)
+	t.ckptHist.Observe(d.Seconds())
+	t.ckptBytes.Observe(float64(size))
+	reg.Logger().Info("checkpoint written",
+		"tenant", t.name, "bytes", size, "history", t.mon.Len(),
+		"seconds", d.Seconds())
 	return size, nil
 }

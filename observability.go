@@ -25,8 +25,21 @@ type (
 	Manifest = obs.Manifest
 	// RuntimeSampler tracks peak goroutine and heap usage.
 	RuntimeSampler = obs.RuntimeSampler
-	// ObsServer serves /metrics, /debug/vars, and /debug/pprof.
+	// ObsServer serves /metrics, /debug/vars, /debug/pprof, /debug/trace,
+	// and /debug/events.
 	ObsServer = obs.Server
+	// Attr is one key/value attribute on a span or flight event.
+	Attr = obs.Attr
+	// TraceRecord is one completed span in the trace ring.
+	TraceRecord = obs.TraceRecord
+	// Event is one structured entry in the flight recorder.
+	Event = obs.Event
+	// FlightRecorder is the bounded in-memory ring behind Registry.Logger.
+	FlightRecorder = obs.FlightRecorder
+	// FloatCounter is a monotonically increasing float64 counter.
+	FloatCounter = obs.FloatCounter
+	// HistogramSummary is a histogram snapshot with p50/p90/p99 quantiles.
+	HistogramSummary = obs.HistogramSummary
 )
 
 // NewRegistry creates an empty metrics registry.
@@ -50,3 +63,23 @@ var (
 	WriteManifest = obs.WriteManifest
 	LoadManifest  = obs.LoadManifest
 )
+
+// TraceHandler serves the registry's trace tree as Chrome trace-event
+// JSON (load the result in Perfetto or chrome://tracing), and
+// EventsHandler drains the flight recorder ({"events": [...]}, newest
+// last, ?n=N for the most recent N). Both handle a nil registry.
+var (
+	TraceHandler  = obs.TraceHandler
+	EventsHandler = obs.EventsHandler
+)
+
+// WriteTraceFile writes the registry's trace tree to path as Chrome
+// trace-event JSON. The export is canonical: sibling order and span ids
+// are deterministic for a given run shape, so two same-seed runs differ
+// only in timestamps.
+var WriteTraceFile = obs.WriteTraceFile
+
+// ValidateMetricName reports whether a metric name (with optional
+// {label="value"} block) is well-formed; registration panics on names
+// that fail it.
+var ValidateMetricName = obs.ValidateMetricName

@@ -2,7 +2,8 @@
 # faults_smoke.sh — end-to-end smoke test of the fault-injection layer:
 # run a short scenario under a canned fault profile with -manifest, then
 # assert the manifest carries the fault-injection and quarantine counters
-# (manifestcheck -faults). Used by `make faults-smoke` / `make check`.
+# (manifestcheck -faults) plus flight-recorder events (-events). Used by
+# `make faults-smoke` / `make check`.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -10,5 +11,5 @@ m="$(mktemp /tmp/fenrir-faults-manifest.XXXXXX.json)"
 trap 'rm -f "$m"' EXIT
 
 go run ./cmd/fenrir -scenario wikipedia -faults light -faultseed 7 -manifest "$m" > /dev/null
-go run ./scripts/manifestcheck -faults "$m"
+go run ./scripts/manifestcheck -faults -events "$m"
 echo "faults-smoke: ok"

@@ -5,7 +5,9 @@
 // injected, and the quarantine counter is present (even when zero). With
 // -serve it instead validates a daemon manifest: no batch stages are
 // required, but the serve ingest/tenant/checkpoint metrics must have
-// landed. Exits non-zero with a diagnostic otherwise; used by
+// landed. With -events it asserts the flight recorder folded structured
+// events into the manifest with strictly increasing sequence numbers.
+// Exits non-zero with a diagnostic otherwise; used by
 // scripts/obs_smoke.sh, scripts/faults_smoke.sh, and
 // scripts/serve_smoke.sh.
 package main
@@ -24,9 +26,10 @@ var pipelineStages = []string{"generate", "observe", "similarity", "cluster", "t
 func main() {
 	checkFaults := flag.Bool("faults", false, "assert fault-injection and quarantine counters are present")
 	checkServe := flag.Bool("serve", false, "validate a daemon (fenrir -serve) manifest instead of a batch run")
+	checkEvents := flag.Bool("events", false, "assert flight-recorder events landed in the manifest")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-faults] [-serve] <manifest.json>")
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-faults] [-serve] [-events] <manifest.json>")
 		os.Exit(2)
 	}
 	m, err := obs.LoadManifest(flag.Arg(0))
@@ -35,6 +38,9 @@ func main() {
 	}
 	if m.Scenario == "" {
 		fail("manifest has no scenario name")
+	}
+	if *checkEvents {
+		checkManifestEvents(m)
 	}
 	if *checkServe {
 		checkServeManifest(m)
@@ -124,6 +130,25 @@ func checkServeManifest(m *obs.Manifest) {
 	}
 	fmt.Printf("manifestcheck: serve ok — %d observations ingested, %.0f tenants, %d checkpoints, %d rejections\n",
 		ingested, m.Gauges["fenrir_serve_tenants"], m.Counters["fenrir_snapshot_writes_total"], rejected)
+}
+
+// checkManifestEvents asserts the flight recorder's ring was folded into
+// the manifest: at least one structured event, each with a message, in
+// strictly increasing sequence order.
+func checkManifestEvents(m *obs.Manifest) {
+	if len(m.Events) == 0 {
+		fail("manifest carries no flight-recorder events")
+	}
+	for i, ev := range m.Events {
+		if ev.Msg == "" {
+			fail("event %d has no message", i)
+		}
+		if i > 0 && ev.Seq <= m.Events[i-1].Seq {
+			fail("event seqs not strictly increasing: %d then %d", m.Events[i-1].Seq, ev.Seq)
+		}
+	}
+	fmt.Printf("manifestcheck: events ok — %d flight-recorder events (seq %d..%d)\n",
+		len(m.Events), m.Events[0].Seq, m.Events[len(m.Events)-1].Seq)
 }
 
 func fail(format string, args ...any) {

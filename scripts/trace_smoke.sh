@@ -1,0 +1,27 @@
+#!/bin/sh
+# trace_smoke.sh — end-to-end smoke test of the trace-tree layer: run the
+# broot scenario twice with -trace, validate each output as Chrome
+# trace-event JSON with tile/sweep/ingest spans nested under the run
+# root (tracecheck -require), and assert the canonical dumps — with the
+# nondeterministic ts/dur/tid fields stripped — are byte-identical
+# across the two same-seed runs. Used by `make trace-smoke` / `make check`.
+set -e
+cd "$(dirname "$0")/.."
+
+d="$(mktemp -d /tmp/fenrir-trace-smoke.XXXXXX)"
+trap 'rm -rf "$d"' EXIT
+
+go run ./cmd/fenrir -scenario broot -trace "$d/a.json" > /dev/null
+go run ./cmd/fenrir -scenario broot -trace "$d/b.json" > /dev/null
+
+go run ./scripts/tracecheck -require tile,sweep,ingest "$d/a.json"
+go run ./scripts/tracecheck -require tile,sweep,ingest "$d/b.json"
+
+go run ./scripts/tracecheck -canon "$d/a.json" > "$d/a.canon"
+go run ./scripts/tracecheck -canon "$d/b.json" > "$d/b.canon"
+if ! cmp -s "$d/a.canon" "$d/b.canon"; then
+    echo "trace-smoke: canonical trace trees differ across same-seed runs" >&2
+    diff "$d/a.canon" "$d/b.canon" | head -20 >&2
+    exit 1
+fi
+echo "trace-smoke: ok — same-seed trace trees identical ($(wc -l < "$d/a.canon" | tr -d ' ') spans)"

@@ -1,0 +1,150 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced
+// by `fenrir -trace`: the document is well formed (displayTimeUnit plus
+// a traceEvents array of "X" duration and "M" metadata events), every
+// span carries the required fields, every parent reference resolves,
+// and at least one root span anchors the tree. With -require a,b,c it
+// additionally asserts each named span appears nested under a parent —
+// the smoke test uses this to prove tile/sweep/ingest children hang off
+// the run root. With -canon it instead prints a canonical dump with the
+// nondeterministic fields (ts, dur, tid) stripped, so two same-seed
+// runs can be compared with cmp(1) without jq. Used by
+// scripts/trace_smoke.sh.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func main() {
+	canon := flag.Bool("canon", false, "print a canonical dump (ts/dur/tid stripped) instead of validating")
+	require := flag.String("require", "", "comma-separated span names that must appear nested in the tree")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-canon] [-require a,b,c] <trace.json>")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fail("not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit == "" {
+		fail("displayTimeUnit missing")
+	}
+
+	// First pass: field checks and the id table.
+	ids := map[float64]bool{}
+	spans := 0
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			fail("event %d: unexpected phase %q", i, ev.Ph)
+		}
+		spans++
+		if ev.Name == "" {
+			fail("event %d: span has no name", i)
+		}
+		if ev.Ts == nil || ev.Dur == nil || ev.Pid == nil || ev.Tid == nil {
+			fail("event %d (%s): X event missing ts/dur/pid/tid", i, ev.Name)
+		}
+		if *ev.Dur < 0 {
+			fail("event %d (%s): negative duration %v", i, ev.Name, *ev.Dur)
+		}
+		id, ok := ev.Args["id"].(float64)
+		if !ok || id <= 0 {
+			fail("event %d (%s): args.id missing or not a positive number", i, ev.Name)
+		}
+		if ids[id] {
+			fail("event %d (%s): duplicate span id %v", i, ev.Name, id)
+		}
+		ids[id] = true
+	}
+	if spans == 0 {
+		fail("trace contains no spans")
+	}
+
+	// Second pass: parent links resolve (parent 0 marks a root), roots
+	// exist, requirements met.
+	roots := 0
+	nested := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		pid, ok := ev.Args["parent"].(float64)
+		if !ok {
+			fail("event %d (%s): args.parent missing or not a number", i, ev.Name)
+		}
+		if pid == 0 {
+			roots++
+			continue
+		}
+		if !ids[pid] {
+			fail("event %d (%s): parent %v does not resolve to a span id", i, ev.Name, pid)
+		}
+		nested[ev.Name] = true
+	}
+	if roots == 0 {
+		fail("no root span (every span has a parent)")
+	}
+
+	if *canon {
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph != "X" {
+				continue
+			}
+			keys := make([]string, 0, len(ev.Args))
+			for k := range ev.Args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				parts = append(parts, fmt.Sprintf("%s=%v", k, ev.Args[k]))
+			}
+			fmt.Printf("%s|%s\n", ev.Name, strings.Join(parts, ","))
+		}
+		return
+	}
+
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			if !nested[name] {
+				fail("required span %q never appears nested under a parent", name)
+			}
+		}
+	}
+	fmt.Printf("tracecheck: ok — %d spans, %d roots, %d distinct nested names\n",
+		spans, roots, len(nested))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
