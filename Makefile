@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover obs-smoke faults-smoke serve-smoke trace-smoke serve-load check clean
+.PHONY: all build vet test race bench benchguard cover obs-smoke faults-smoke serve-smoke trace-smoke serve-load check clean
 
 all: build test
 
@@ -24,17 +24,25 @@ test: vet
 race:
 	$(GO) test -race ./internal/core/... ./internal/faults/... ./internal/udpserve/... ./internal/serve/... ./internal/snapshot/...
 
-# The perf-critical benches: the parallel similarity engine sweep and the
-# incremental threshold sweep. Output is parsed into BENCH_core.json; a
-# failing bench run aborts loudly instead of writing an empty file.
+# The perf-critical benches: the similarity engine sweep (scalar vs
+# bitset × serial vs auto — the scalar rows are the permanent "before"
+# record next to the bitset "after"), the streaming append at depth, and
+# the incremental threshold sweep. Output is parsed into
+# BENCH_core.json; a failing bench run aborts loudly instead of writing
+# an empty file.
 bench:
-	@$(GO) test -run '^$$' -bench 'SimilarityMatrixParallel|ClusterAdaptiveIncremental|SimilarityMatrixScaling' -benchmem . > bench.out 2>&1 \
+	@$(GO) test -run '^$$' -bench 'SimilarityMatrix|ClusterAdaptiveIncremental|MonitorAppendHot' -benchmem . > bench.out 2>&1 \
 		|| { cat bench.out >&2; rm -f bench.out; exit 1; }
 	@./scripts/bench2json.sh < bench.out > BENCH_core.json.tmp \
 		|| { rm -f bench.out BENCH_core.json.tmp; exit 1; }
 	@mv BENCH_core.json.tmp BENCH_core.json
 	@rm -f bench.out
 	@cat BENCH_core.json
+
+# Perf regression gate: fail if the serial T=1024 bitset similarity
+# bench runs >15% slower than the committed BENCH_core.json baseline.
+benchguard:
+	./scripts/benchguard.sh
 
 # Per-package coverage plus the total summary line.
 cover:
@@ -70,7 +78,7 @@ trace-smoke:
 serve-load:
 	./scripts/serve_load.sh
 
-check: test race cover obs-smoke faults-smoke serve-smoke trace-smoke
+check: test race cover obs-smoke faults-smoke serve-smoke trace-smoke benchguard
 
 clean:
 	rm -f BENCH_core.json BENCH_core.json.tmp bench.out cover.out

@@ -316,25 +316,55 @@ func BenchmarkSimilarityMatrixScaling(b *testing.B) {
 	}
 }
 
-// BenchmarkSimilarityMatrixParallel sweeps the parallel similarity
-// engine across series lengths, comparing the exact serial reference
-// path (P=1) against the auto-sized worker pool (P=auto =
-// runtime.GOMAXPROCS). Both paths produce bit-identical matrices; the
-// ratio at T=1024 is the headline speedup of the tiled engine.
-func BenchmarkSimilarityMatrixParallel(b *testing.B) {
+// BenchmarkSimilarityMatrix sweeps the similarity engines across series
+// lengths: K=scalar is the pre-bitset reference (kept in the suite so
+// every BENCH_core.json carries the before/after pair side by side),
+// K=bitset is the packed popcount engine, and P compares the serial
+// path against the auto-sized worker pool with balanced-triangle tiles.
+// Every (K, P) combination produces the bit-identical matrix; the
+// scalar-vs-bitset ratio at T=1024/P=1 is the headline speedup, and
+// scripts/benchguard.sh gates regressions on the bitset serial number.
+func BenchmarkSimilarityMatrix(b *testing.B) {
 	for _, T := range []int{64, 256, 1024} {
 		s := syntheticSeries(T, 256, 0.3, 9)
-		for _, p := range []int{1, 0} {
-			label := "auto"
-			if p == 1 {
-				label = "1"
-			}
-			b.Run(fmt.Sprintf("T=%d/P=%s", T, label), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					core.SimilarityMatrixParallel(s, nil, core.PessimisticUnknown,
-						core.MatrixOptions{Parallelism: p})
+		for _, k := range []core.SimKernel{core.KernelScalar, core.KernelBitset} {
+			for _, p := range []int{1, 0} {
+				label := "auto"
+				if p == 1 {
+					label = "1"
 				}
-			})
+				b.Run(fmt.Sprintf("T=%d/K=%s/P=%s", T, k, label), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						core.SimilarityMatrixParallel(s, nil, core.PessimisticUnknown,
+							core.MatrixOptions{Kernel: k, Parallelism: p})
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkMonitorAppendHot measures the streaming ingest path at depth:
+// one append against a 1024-observation history, the packed O(T·N/64)
+// incremental Φ row plus the single-step change detector.
+func BenchmarkMonitorAppendHot(b *testing.B) {
+	const T, nets = 1024, 256
+	s := syntheticSeries(T, nets, 0.3, 12)
+	mon := core.NewMonitor(s.Space, NewSchedule(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC), 24*time.Hour, 1<<30),
+		nil, core.PessimisticUnknown, core.DefaultDetectOptions())
+	for _, v := range s.Vectors {
+		if _, _, err := mon.Append(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := s.Space.NewVector(timeline.Epoch(T + i))
+		for n := 0; n < nets; n++ {
+			v.Set(n, "A")
+		}
+		if _, _, err := mon.Append(v); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -60,6 +60,7 @@ type cliOptions struct {
 	stack      bool
 	export     string
 	parallel   int
+	kernel     string
 	metrics    string
 	manifest   string
 	trace      string
@@ -80,6 +81,7 @@ func main() {
 	flag.BoolVar(&o.stack, "stack", false, "also print the catchment stack plot CSV")
 	flag.StringVar(&o.export, "export", "", "write the scenario's vector dataset to this CSV file")
 	flag.IntVar(&o.parallel, "parallelism", 0, "similarity-matrix workers (0 = all cores, 1 = serial)")
+	flag.StringVar(&o.kernel, "kernel", "auto", "similarity engine: auto bitset scalar (all bit-identical)")
 	flag.StringVar(&o.metrics, "metrics", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :9090) while running")
 	flag.StringVar(&o.manifest, "manifest", "", "write a JSON run manifest to this file on completion")
 	flag.StringVar(&o.trace, "trace", "", "write a Chrome trace-event JSON file on completion (load in Perfetto or chrome://tracing)")
@@ -91,10 +93,32 @@ func main() {
 	flag.IntVar(&o.queueDepth, "queue-depth", 0, "daemon: per-tenant ingest queue depth (0 = 256)")
 	flag.Parse()
 
+	if err := applyKernelFlag(o.kernel); err != nil {
+		fmt.Fprintln(os.Stderr, "fenrir:", err)
+		os.Exit(2)
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "fenrir:", err)
 		os.Exit(1)
 	}
+}
+
+// applyKernelFlag maps -kernel to the process-wide similarity engine
+// default. Every engine yields bit-identical matrices; the flag exists
+// for benchmarking and as an escape hatch should a platform's popcount
+// be slow.
+func applyKernelFlag(s string) error {
+	switch s {
+	case "", "auto":
+		core.SetDefaultKernel(core.KernelAuto)
+	case "bitset":
+		core.SetDefaultKernel(core.KernelBitset)
+	case "scalar":
+		core.SetDefaultKernel(core.KernelScalar)
+	default:
+		return fmt.Errorf("unknown -kernel %q (want auto, bitset, or scalar)", s)
+	}
+	return nil
 }
 
 func run(o cliOptions) error {

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+)
+
+// This file is the packed-bitset Gower engine: each vector's one-hot
+// routing assignment is packed into uint64 bit-planes (one plane per
+// interned site, plus a known mask), so the categorical comparison of
+// §2.6.1 becomes AND + popcount over ⌈N/64⌉ words per site instead of an
+// int32 compare per network. Every packed kernel is bit-identical to its
+// scalar counterpart in similarity.go; see DESIGN.md §12 for the
+// exactness argument and bitset_test.go / FuzzPackedGower for the proof
+// by adversarial example.
+
+// packedVector is the bit-plane form of a Vector's assignment row.
+//
+// Layout: bits is site-major — plane s occupies bits[s*words:(s+1)*words]
+// and bit (i&63) of word (i>>6) in plane s is set iff assign[i] == s.
+// known is the union of all planes: bit i set iff assign[i] != Unknown.
+//
+// Tail-mask invariant: bits at positions ≥ n are never set, in any plane
+// or in known. Packing only ever sets bit i for i < n, and the kernels
+// only AND/OR packed words together, which cannot introduce new bits —
+// so popcounts over whole words are exact without per-word tail masking.
+type packedVector struct {
+	n     int // networks (bits per plane)
+	words int // words per plane = ceil(n/64)
+	sites int // number of planes = 1 + max interned site index present
+	bits  []uint64
+	known []uint64
+	// fullKnown reports that every network is assigned (known mask all
+	// ones over n bits). It gates the pre-summed-total fast path of the
+	// known-only weighted kernel.
+	fullKnown bool
+}
+
+// packAssign packs an assignment row into bit-planes. The plane count is
+// sized to the largest site index present in this row — later vectors
+// over the same space may carry more planes, and the kernels intersect
+// over the common prefix (a site present in only one vector cannot
+// match anyway).
+func packAssign(assign []int32) *packedVector {
+	n := len(assign)
+	words := (n + 63) >> 6
+	maxSite := int32(-1)
+	for _, a := range assign {
+		if a > maxSite {
+			maxSite = a
+		}
+	}
+	pv := &packedVector{
+		n:     n,
+		words: words,
+		sites: int(maxSite + 1),
+		bits:  make([]uint64, int(maxSite+1)*words),
+		known: make([]uint64, words),
+	}
+	for i, a := range assign {
+		if a == Unknown {
+			continue
+		}
+		w, b := i>>6, uint(i&63)
+		pv.bits[int(a)*words+w] |= 1 << b
+		pv.known[w] |= 1 << b
+	}
+	knownCount := 0
+	for _, kw := range pv.known {
+		knownCount += bits.OnesCount64(kw)
+	}
+	pv.fullKnown = knownCount == n && n > 0
+	return pv
+}
+
+// packVector packs a vector, panicking on nil (a wiring bug).
+func packVector(v *Vector) *packedVector { return packAssign(v.assign) }
+
+// packedMatchCount returns |{i : a[i] == b[i] != Unknown}| — the integer
+// numerator shared by both uniform kernels. Networks are one-hot, so the
+// per-site AND masks are disjoint and the popcounts sum exactly.
+func packedMatchCount(a, b *packedVector) int {
+	s := a.sites
+	if b.sites < s {
+		s = b.sites
+	}
+	w := a.words
+	match := 0
+	for p := 0; p < s; p++ {
+		pa := a.bits[p*w : (p+1)*w]
+		pb := b.bits[p*w : (p+1)*w]
+		for k, x := range pa {
+			match += bits.OnesCount64(x & pb[k])
+		}
+	}
+	return match
+}
+
+// packedPessimisticUniform is the packed form of gowerPessimisticUniform:
+// Φ = match / N with both operands exact integers (< 2^53), so the single
+// division is bit-identical to the scalar kernel's.
+func packedPessimisticUniform(a, b *packedVector) float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return float64(packedMatchCount(a, b)) / float64(a.n)
+}
+
+// packedKnownOnlyUniform is the packed form of gowerKnownOnlyUniform:
+// total = popcount(knownA & knownB), match as above, both exact integers.
+func packedKnownOnlyUniform(a, b *packedVector) float64 {
+	total := 0
+	for k, x := range a.known {
+		total += bits.OnesCount64(x & b.known[k])
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(packedMatchCount(a, b)) / float64(total)
+}
+
+// packedWeights is the pre-summed form of a weight vector for the packed
+// weighted kernels.
+//
+// total is the full-vector sum accumulated in ascending index order —
+// exactly the float64 the scalar pessimistic kernel's running `total`
+// reaches on every call, so dividing by the precomputed value is
+// bit-identical while removing N additions per pair. (A per-word
+// pre-summed table cannot be used the same way: folding word partials
+// into a non-zero accumulator reassociates the additions and moves the
+// result by ulps relative to the scalar kernels. The weighted kernels
+// therefore walk the set bits of the combined match mask in ascending
+// index order instead — the identical addition sequence the scalar
+// kernels perform, skipping the unmatched indexes for free.)
+type packedWeights struct {
+	w     []float64
+	total float64
+}
+
+func newPackedWeights(w []float64) *packedWeights {
+	pw := &packedWeights{w: w}
+	for _, wi := range w {
+		pw.total += wi
+	}
+	return pw
+}
+
+// matchWord returns the combined match mask for word k: the union over
+// common planes of (a AND b). One-hot assignments make the union
+// disjoint, so its set bits are exactly the matched network indexes.
+func matchWord(a, b *packedVector, k int) uint64 {
+	s := a.sites
+	if b.sites < s {
+		s = b.sites
+	}
+	w := a.words
+	var mw uint64
+	for p := 0; p < s; p++ {
+		mw |= a.bits[p*w+k] & b.bits[p*w+k]
+	}
+	return mw
+}
+
+// packedPessimisticWeighted mirrors gowerPessimisticWeighted: the scalar
+// kernel adds every weight into `total` (precomputed here) and the
+// matched weights into `match` in ascending index order (reproduced here
+// by walking match-mask bits lowest-first).
+func packedPessimisticWeighted(a, b *packedVector, pw *packedWeights) float64 {
+	if pw.total == 0 {
+		return 0
+	}
+	var match float64
+	for k := 0; k < a.words; k++ {
+		mw := matchWord(a, b, k)
+		base := k << 6
+		for mw != 0 {
+			match += pw.w[base+bits.TrailingZeros64(mw)]
+			mw &= mw - 1
+		}
+	}
+	return match / pw.total
+}
+
+// packedKnownOnlyWeighted mirrors gowerKnownOnlyWeighted. The scalar
+// kernel feeds two independent accumulators in ascending index order:
+// total over jointly-known networks, match over matched ones. Both
+// sequences are reproduced bit for bit by walking the known-AND and
+// match masks lowest-bit-first. When both vectors are fully known the
+// total sequence is the full weight vector, so the pre-summed total
+// substitutes exactly.
+func packedKnownOnlyWeighted(a, b *packedVector, pw *packedWeights) float64 {
+	var match, total float64
+	if a.fullKnown && b.fullKnown {
+		total = pw.total
+		for k := 0; k < a.words; k++ {
+			mw := matchWord(a, b, k)
+			base := k << 6
+			for mw != 0 {
+				match += pw.w[base+bits.TrailingZeros64(mw)]
+				mw &= mw - 1
+			}
+		}
+	} else {
+		for k := 0; k < a.words; k++ {
+			kw := a.known[k] & b.known[k]
+			base := k << 6
+			for kw != 0 {
+				total += pw.w[base+bits.TrailingZeros64(kw)]
+				kw &= kw - 1
+			}
+			mw := matchWord(a, b, k)
+			for mw != 0 {
+				match += pw.w[base+bits.TrailingZeros64(mw)]
+				mw &= mw - 1
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return match / total
+}
+
+// packedKern is a monomorphic packed Gower kernel. Kernels are pure
+// functions of their operands (no scratch state), so one selected kernel
+// is safe to share across worker goroutines.
+type packedKern func(a, b *packedVector) float64
+
+// packedGowerKernel selects the packed kernel for (mode × weighting),
+// the bitset counterpart of gowerKernel. Weight pre-summing happens once
+// here, never per pair.
+func packedGowerKernel(w []float64, mode UnknownMode) packedKern {
+	validateMode(mode)
+	switch {
+	case mode == PessimisticUnknown && w == nil:
+		return packedPessimisticUniform
+	case mode == PessimisticUnknown:
+		pw := newPackedWeights(w)
+		return func(a, b *packedVector) float64 { return packedPessimisticWeighted(a, b, pw) }
+	case mode == KnownOnly && w == nil:
+		return packedKnownOnlyUniform
+	default:
+		pw := newPackedWeights(w)
+		return func(a, b *packedVector) float64 { return packedKnownOnlyWeighted(a, b, pw) }
+	}
+}
+
+// packedProfitable reports whether the packed engine is expected to beat
+// the scalar kernels for a space with the given site-alphabet size and
+// network count: the packed pair cost is ~(sites+2)·⌈N/64⌉ word ops
+// against N int32 compares for scalar. Large site alphabets (hundreds of
+// distinct catchments over few networks) stay on the scalar kernels.
+func packedProfitable(numSites, numNetworks int) bool {
+	words := (numNetworks + 63) >> 6
+	return (numSites+2)*words <= numNetworks
+}
+
+// sanity guard referenced by the exactness argument: integer match/total
+// counts are exact in float64 up to 2^53, far above any feasible N.
+var _ = math.MaxFloat64

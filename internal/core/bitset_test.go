@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"fenrir/internal/rng"
+	"fenrir/internal/timeline"
+)
+
+// randomAssign builds a random assignment row over numSites sites with
+// the given unknown fraction, deterministic in seed.
+func randomAssign(n, numSites int, unknownFrac float64, seed uint64) []int32 {
+	r := rng.New(seed)
+	a := make([]int32, n)
+	for i := range a {
+		if r.Bool(unknownFrac) {
+			a[i] = Unknown
+		} else {
+			a[i] = int32(r.Intn(numSites))
+		}
+	}
+	return a
+}
+
+// vectorFromAssign materializes a Vector in space carrying the row; the
+// space must already have the sites interned so indexes line up.
+func vectorFromAssign(space *Space, t timeline.Epoch, assign []int32) *Vector {
+	v := space.NewVector(t)
+	copy(v.assign, assign)
+	return v
+}
+
+func internSites(space *Space, n int) {
+	for i := 0; i < n; i++ {
+		space.SiteIndex(fmt.Sprintf("S%02d", i))
+	}
+}
+
+// TestPackedKernelsBitIdenticalToScalar is the property test of the
+// bitset engine: across network counts straddling word boundaries, site
+// alphabets, unknown densities, both UnknownModes, and nil/random/zero
+// weights, every packed kernel must reproduce the scalar kernel's
+// float64 bit for bit.
+func TestPackedKernelsBitIdenticalToScalar(t *testing.T) {
+	nets64 := []int{1, 3, 63, 64, 65, 127, 128, 200, 513}
+	for _, n := range nets64 {
+		for _, numSites := range []int{1, 2, 5, 9} {
+			for _, uf := range []float64{0, 0.25, 0.6, 1.0} {
+				for seed := uint64(1); seed <= 3; seed++ {
+					space := NewSpace(nets(n))
+					internSites(space, numSites)
+					a := vectorFromAssign(space, 0, randomAssign(n, numSites, uf, seed))
+					b := vectorFromAssign(space, 1, randomAssign(n, numSites, uf, seed+77))
+					pa, pb := packVector(a), packVector(b)
+					w := randomWeights(n, seed+200)
+					wZero := make([]float64, n) // all-zero weights: total==0 edge
+					for _, mode := range []UnknownMode{PessimisticUnknown, KnownOnly} {
+						for wi, weights := range [][]float64{nil, w, wZero} {
+							kern := packedGowerKernel(weights, mode)
+							got := kern(pa, pb)
+							want := Gower(a, b, weights, mode)
+							if got != want {
+								t.Fatalf("n=%d sites=%d uf=%v seed=%d mode=%v w=%d: packed Φ = %v, scalar %v",
+									n, numSites, uf, seed, mode, wi, got, want)
+							}
+							// Symmetry must survive packing too.
+							if rev := kern(pb, pa); rev != got {
+								t.Fatalf("n=%d mode=%v w=%d: packed Φ asymmetric: %v vs %v", n, mode, wi, got, rev)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedAsymmetricPlaneCounts pins the common-prefix intersection:
+// a vector whose largest interned site is 1 against one reaching site 8
+// (packed plane counts 2 vs 9) must still match the scalar kernels.
+func TestPackedAsymmetricPlaneCounts(t *testing.T) {
+	const n = 100
+	space := NewSpace(nets(n))
+	internSites(space, 9)
+	a := vectorFromAssign(space, 0, randomAssign(n, 2, 0.2, 5))
+	bAssign := randomAssign(n, 9, 0.2, 6)
+	bAssign[n-1] = 8 // force the high plane to exist
+	b := vectorFromAssign(space, 1, bAssign)
+	pa, pb := packVector(a), packVector(b)
+	if pa.sites >= pb.sites {
+		t.Fatalf("fixture broken: plane counts %d vs %d", pa.sites, pb.sites)
+	}
+	for _, mode := range []UnknownMode{PessimisticUnknown, KnownOnly} {
+		for _, w := range [][]float64{nil, randomWeights(n, 9)} {
+			if got, want := packedGowerKernel(w, mode)(pa, pb), Gower(a, b, w, mode); got != want {
+				t.Fatalf("mode=%v: packed Φ = %v, scalar %v", mode, got, want)
+			}
+		}
+	}
+}
+
+// TestPackTailMaskInvariant asserts the invariant the popcount kernels
+// rely on: for N not a multiple of 64, no plane and no known mask ever
+// has a bit set at position ≥ N.
+func TestPackTailMaskInvariant(t *testing.T) {
+	for _, n := range []int{1, 63, 65, 100, 127, 129} {
+		space := NewSpace(nets(n))
+		internSites(space, 5)
+		v := vectorFromAssign(space, 0, randomAssign(n, 5, 0.1, uint64(n)))
+		pv := packVector(v)
+		if pv.words != (n+63)/64 {
+			t.Fatalf("n=%d: words = %d", n, pv.words)
+		}
+		valid := n - (pv.words-1)*64 // bits used in the last word
+		tailMask := ^uint64(0)
+		if valid < 64 {
+			tailMask = (uint64(1) << uint(valid)) - 1
+		}
+		for s := 0; s < pv.sites; s++ {
+			last := pv.bits[s*pv.words+pv.words-1]
+			if last&^tailMask != 0 {
+				t.Fatalf("n=%d: plane %d tail word has bits beyond N: %#x", n, s, last)
+			}
+		}
+		if last := pv.known[pv.words-1]; last&^tailMask != 0 {
+			t.Fatalf("n=%d: known tail word has bits beyond N: %#x", n, last)
+		}
+	}
+}
+
+// TestPackedAllUnknown covers the zero-plane degenerate: an all-unknown
+// vector packs to zero planes and every kernel returns the scalar value.
+func TestPackedAllUnknown(t *testing.T) {
+	const n = 70
+	space := NewSpace(nets(n))
+	internSites(space, 3)
+	empty := space.NewVector(0)
+	full := vectorFromAssign(space, 1, randomAssign(n, 3, 0, 4))
+	pe, pf := packVector(empty), packVector(full)
+	if pe.sites != 0 {
+		t.Fatalf("all-unknown vector packed %d planes", pe.sites)
+	}
+	w := randomWeights(n, 11)
+	for _, mode := range []UnknownMode{PessimisticUnknown, KnownOnly} {
+		for _, weights := range [][]float64{nil, w} {
+			kern := packedGowerKernel(weights, mode)
+			if got, want := kern(pe, pf), Gower(empty, full, weights, mode); got != want {
+				t.Fatalf("mode=%v: packed Φ(empty,full) = %v, scalar %v", mode, got, want)
+			}
+			if got, want := kern(pe, pe), Gower(empty, empty, weights, mode); got != want {
+				t.Fatalf("mode=%v: packed Φ(empty,empty) = %v, scalar %v", mode, got, want)
+			}
+		}
+	}
+}
+
+// TestPackedWeightsTotal pins the pre-summed denominator to the exact
+// ascending-order accumulation the scalar pessimistic kernel performs.
+func TestPackedWeightsTotal(t *testing.T) {
+	w := randomWeights(999, 3)
+	var seq float64
+	for _, wi := range w {
+		seq += wi
+	}
+	if pw := newPackedWeights(w); pw.total != seq {
+		t.Fatalf("pre-summed total %v != sequential sum %v", pw.total, seq)
+	}
+}
+
+// TestPackedFullKnownFastPath drives the known-only weighted kernel down
+// its pre-summed-total branch (both vectors fully known) and checks it
+// against the scalar kernel.
+func TestPackedFullKnownFastPath(t *testing.T) {
+	const n = 130
+	space := NewSpace(nets(n))
+	internSites(space, 4)
+	a := vectorFromAssign(space, 0, randomAssign(n, 4, 0, 21))
+	b := vectorFromAssign(space, 1, randomAssign(n, 4, 0, 22))
+	pa, pb := packVector(a), packVector(b)
+	if !pa.fullKnown || !pb.fullKnown {
+		t.Fatal("fixture broken: vectors not fully known")
+	}
+	w := randomWeights(n, 23)
+	if got, want := packedGowerKernel(w, KnownOnly)(pa, pb), Gower(a, b, w, KnownOnly); got != want {
+		t.Fatalf("full-known fast path Φ = %v, scalar %v", got, want)
+	}
+}
+
+// TestBalancedTriangleTiles checks the partition invariants: spans cover
+// [0,n) disjointly in order, interior boundaries are padded to 8-row
+// multiples, and the per-tile pair counts are far closer to equal than
+// equal-row tiling would produce.
+func TestBalancedTriangleTiles(t *testing.T) {
+	pairsIn := func(s rowSpan, n int) int {
+		p := 0
+		for i := s.lo; i < s.hi; i++ {
+			p += n - i - 1
+		}
+		return p
+	}
+	for _, tc := range []struct{ n, p int }{{1024, 4}, {1024, 16}, {100, 3}, {16, 4}, {9, 8}, {2, 2}, {3, 16}} {
+		tiles := balancedTriangleTiles(tc.n, tc.p)
+		if len(tiles) == 0 || len(tiles) > tc.p {
+			t.Fatalf("n=%d p=%d: %d tiles", tc.n, tc.p, len(tiles))
+		}
+		if tiles[0].lo != 0 || tiles[len(tiles)-1].hi != tc.n {
+			t.Fatalf("n=%d p=%d: tiles %v do not cover [0,n)", tc.n, tc.p, tiles)
+		}
+		for i := range tiles {
+			if tiles[i].hi <= tiles[i].lo {
+				t.Fatalf("n=%d p=%d: empty tile %v", tc.n, tc.p, tiles[i])
+			}
+			if i > 0 && tiles[i].lo != tiles[i-1].hi {
+				t.Fatalf("n=%d p=%d: gap between %v and %v", tc.n, tc.p, tiles[i-1], tiles[i])
+			}
+			if i < len(tiles)-1 && tiles[i].hi%8 != 0 && tiles[i].hi+8-(tiles[i].hi%8) < tc.n {
+				t.Fatalf("n=%d p=%d: unpadded interior boundary %d", tc.n, tc.p, tiles[i].hi)
+			}
+		}
+		if tc.n >= 512 && len(tiles) >= 4 {
+			total := tc.n * (tc.n - 1) / 2
+			ideal := total / len(tiles)
+			for _, s := range tiles {
+				got := pairsIn(s, tc.n)
+				if got < ideal*7/10 || got > ideal*13/10 {
+					t.Fatalf("n=%d p=%d: tile %v carries %d pairs, ideal %d (±30%%)", tc.n, tc.p, s, got, ideal)
+				}
+			}
+		}
+	}
+}
+
+// TestMirrorLower checks the blocked transpose used by the parallel
+// fill: after mirroring, the matrix is exactly symmetric.
+func TestMirrorLower(t *testing.T) {
+	for _, n := range []int{1, 2, 63, 64, 65, 130} {
+		vals := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			vals[i*n+i] = 1
+			for j := i + 1; j < n; j++ {
+				vals[i*n+j] = float64(i*n + j)
+			}
+		}
+		mirrorLower(vals, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if vals[i*n+j] != vals[j*n+i] {
+					t.Fatalf("n=%d: cell (%d,%d) not mirrored", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+// FuzzPackedGower fuzzes raw assignment bytes through both engines:
+// every byte pair decodes to a site index or Unknown, and the packed
+// kernels must equal the scalar kernels bitwise in all four
+// (mode × weighting) combinations.
+func FuzzPackedGower(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 255}, []byte{1, 1, 255, 3}, uint8(4))
+	f.Add([]byte{255, 255}, []byte{255, 255}, uint8(1))
+	f.Add(make([]byte, 130), make([]byte, 70), uint8(9))
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, numSites uint8) {
+		sites := int(numSites%16) + 1
+		n := len(rawA)
+		if len(rawB) < n {
+			n = len(rawB)
+		}
+		if n == 0 {
+			return
+		}
+		decode := func(raw []byte) []int32 {
+			a := make([]int32, n)
+			for i := range a {
+				if raw[i] == 255 {
+					a[i] = Unknown
+				} else {
+					a[i] = int32(int(raw[i]) % sites)
+				}
+			}
+			return a
+		}
+		space := NewSpace(nets(n))
+		internSites(space, sites)
+		a := vectorFromAssign(space, 0, decode(rawA))
+		b := vectorFromAssign(space, 1, decode(rawB))
+		pa, pb := packVector(a), packVector(b)
+		w := randomWeights(n, uint64(n)*31+uint64(numSites))
+		for _, mode := range []UnknownMode{PessimisticUnknown, KnownOnly} {
+			for wi, weights := range [][]float64{nil, w} {
+				if got, want := packedGowerKernel(weights, mode)(pa, pb), Gower(a, b, weights, mode); got != want {
+					t.Fatalf("mode=%v w=%d: packed Φ = %v, scalar %v", mode, wi, got, want)
+				}
+			}
+		}
+	})
+}

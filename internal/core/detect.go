@@ -41,6 +41,65 @@ func DefaultDetectOptions() DetectOptions {
 	return DetectOptions{Window: 30, MinDrop: 0.05, Mode: PessimisticUnknown, Cooldown: 2}
 }
 
+// detector is the scan state of DetectChanges factored into an explicit
+// state machine, so the streaming Monitor can advance it one adjacent
+// pair per append instead of replaying the whole batch scan over the
+// full history every epoch. Batch and stream share this exact code —
+// equivalence is by construction, and pinned by tests against same-seed
+// series.
+type detector struct {
+	opts     DetectOptions
+	history  []float64
+	cooldown int
+}
+
+// newDetector applies the same defaulting DetectChanges always did.
+func newDetector(opts DetectOptions) *detector {
+	if opts.Window <= 0 {
+		opts.Window = 30
+	}
+	if opts.MinDrop <= 0 {
+		opts.MinDrop = 0.05
+	}
+	return &detector{opts: opts}
+}
+
+// reset clears the baseline at a collection gap: routing may
+// legitimately differ across an outage without that being an "event" at
+// this timescale.
+func (d *detector) reset() {
+	d.history = d.history[:0]
+	d.cooldown = 0
+}
+
+// step consumes the similarity of one adjacent pair whose second epoch
+// is at, and reports whether that pair constitutes a change event.
+func (d *detector) step(at timeline.Epoch, phi float64) (ChangeEvent, bool) {
+	baseline := median(d.history)
+	if len(d.history) >= 3 && d.cooldown == 0 && baseline-phi >= d.opts.MinDrop {
+		d.cooldown = d.opts.Cooldown
+		// Do not feed the anomalous pair into the baseline; the next
+		// pairs (new-mode internal similarity) re-establish it.
+		return ChangeEvent{
+			At:        at,
+			Phi:       phi,
+			Baseline:  baseline,
+			Magnitude: baseline - phi,
+		}, true
+	}
+	// The cooldown counts down only on non-event iterations, so
+	// Cooldown: N suppresses detection for exactly the N epochs
+	// following an event.
+	if d.cooldown > 0 {
+		d.cooldown--
+	}
+	d.history = append(d.history, phi)
+	if len(d.history) > d.opts.Window {
+		d.history = d.history[1:]
+	}
+	return ChangeEvent{}, false
+}
+
 // DetectChanges scans a series for routing change events. It computes
 // Φ(t, t+1) for every adjacent observed pair (collection gaps break
 // adjacency) and flags epochs where similarity drops at least MinDrop
@@ -48,48 +107,16 @@ func DefaultDetectOptions() DetectOptions {
 // simple — the paper's contribution is the vector encoding that makes a
 // scalar drop meaningful, not the change-point statistics.
 func DetectChanges(s *Series, w []float64, opts DetectOptions) []ChangeEvent {
-	if opts.Window <= 0 {
-		opts.Window = 30
-	}
-	if opts.MinDrop <= 0 {
-		opts.MinDrop = 0.05
-	}
+	d := newDetector(opts)
 	var events []ChangeEvent
-	var history []float64
-	cooldown := 0
 	for i := 0; i+1 < len(s.Vectors); i++ {
 		a, b := s.Vectors[i], s.Vectors[i+1]
 		if b.T != a.T+1 {
-			// Collection gap: reset the baseline; routing may legitimately
-			// differ across an outage without that being an "event" at
-			// this timescale.
-			history = history[:0]
-			cooldown = 0
+			d.reset()
 			continue
 		}
-		phi := Gower(a, b, w, opts.Mode)
-		baseline := median(history)
-		if len(history) >= 3 && cooldown == 0 && baseline-phi >= opts.MinDrop {
-			events = append(events, ChangeEvent{
-				At:        b.T,
-				Phi:       phi,
-				Baseline:  baseline,
-				Magnitude: baseline - phi,
-			})
-			cooldown = opts.Cooldown
-			// Do not feed the anomalous pair into the baseline; the next
-			// pairs (new-mode internal similarity) re-establish it.
-		} else {
-			// The cooldown counts down only on non-event iterations, so
-			// Cooldown: N suppresses detection for exactly the N epochs
-			// following an event.
-			if cooldown > 0 {
-				cooldown--
-			}
-			history = append(history, phi)
-			if len(history) > opts.Window {
-				history = history[1:]
-			}
+		if ev, ok := d.step(b.T, Gower(a, b, w, opts.Mode)); ok {
+			events = append(events, ev)
 		}
 	}
 	return events

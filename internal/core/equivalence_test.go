@@ -328,6 +328,61 @@ func TestClusterAdaptiveIncrementalEquivalence(t *testing.T) {
 	}
 }
 
+// TestSimilarityMatrixForcedKernelEquivalence pins both engines to the
+// naive reference when selected explicitly: KernelBitset and
+// KernelScalar must produce bit-identical matrices regardless of what
+// the auto heuristic would pick, across parallelism levels, both
+// UnknownModes, nil/random weights, and shapes straddling the 64-bit
+// word boundary.
+func TestSimilarityMatrixForcedKernelEquivalence(t *testing.T) {
+	shapes := []struct{ epochs, networks int }{{9, 65}, {20, 64}, {33, 127}, {17, 40}}
+	for _, seed := range []uint64{21, 22} {
+		for _, shape := range shapes {
+			s := randomSeries(t, shape.epochs, shape.networks, 0.3, seed)
+			weights := [][]float64{nil, randomWeights(shape.networks, seed+300)}
+			for _, mode := range []UnknownMode{PessimisticUnknown, KnownOnly} {
+				for wi, w := range weights {
+					ref := naiveSimilarityMatrix(s, w, mode)
+					for _, kern := range []SimKernel{KernelBitset, KernelScalar} {
+						for _, p := range []int{1, 2, 8, 0} {
+							got := SimilarityMatrixParallel(s, w, mode, MatrixOptions{Kernel: kern, Parallelism: p})
+							for i := 0; i < ref.N; i++ {
+								for j := 0; j < ref.N; j++ {
+									if got.At(i, j) != ref.At(i, j) {
+										t.Fatalf("seed=%d shape=%v mode=%v w=%d kern=%v P=%d: Φ(%d,%d) = %v, reference %v",
+											seed, shape, mode, wi, kern, p, i, j, got.At(i, j), ref.At(i, j))
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSimilarityMatrixEngineMetric asserts the engine-selection counter
+// reports which kernel actually ran.
+func TestSimilarityMatrixEngineMetric(t *testing.T) {
+	s := randomSeries(t, 10, 64, 0.2, 31)
+	for _, tc := range []struct {
+		kern SimKernel
+		want string
+	}{
+		{KernelBitset, "bitset"},
+		{KernelScalar, "scalar"},
+		{KernelAuto, "bitset"}, // 4 sites × 64 nets: packed is profitable
+	} {
+		reg := obs.NewRegistry()
+		SimilarityMatrixParallel(s, nil, PessimisticUnknown, MatrixOptions{Kernel: tc.kern, Obs: reg})
+		name := fmt.Sprintf("fenrir_similarity_engine_total{engine=%q}", tc.want)
+		if got := reg.Counter(name).Value(); got != 1 {
+			t.Fatalf("kern=%v: counter %s = %d, want 1", tc.kern, name, got)
+		}
+	}
+}
+
 // TestSimilarityMatrixMixedSpacePanics pins the mixed-space guard: a
 // hand-assembled series whose vectors disagree on Space must panic at
 // matrix construction with a message naming the offending vector.

@@ -26,13 +26,32 @@ type Monitor struct {
 	w     []float64
 	mode  UnknownMode
 
+	// kern and detKern are the packed Gower kernels for the similarity
+	// mode and the detection mode, selected once at construction instead
+	// of re-derived (with a fresh closure) for every pair of every
+	// append. detKern is only consulted when the two modes differ —
+	// otherwise the freshly computed Φ row already holds the adjacent
+	// similarity the detector needs.
+	kern    packedKern
+	detKern packedKern
+
 	mu      sync.Mutex
 	vectors []*Vector
+	// packed mirrors vectors in bit-plane form (see bitset.go): each
+	// vector is packed exactly once, on append or on restore, and every
+	// later Φ against it is AND+popcount over the packed words — the
+	// serve daemon never re-packs a vector and never rebuilds a matrix
+	// on the ingest path.
+	packed []*packedVector
 	// sim holds the lower-triangular similarity values: sim[i][j] for
 	// j < i. Kept triangular so appends never reallocate earlier rows.
 	sim [][]float64
 
 	detect DetectOptions
+	// det is the streaming change detector: the same state machine
+	// DetectChanges drives in batch, advanced one adjacent pair per
+	// append instead of replaying the full history every epoch.
+	det *detector
 
 	// Ingest statistics, guarded by mu; see Snapshot.
 	appends     uint64
@@ -45,13 +64,23 @@ type Monitor struct {
 	obs *obs.Registry
 }
 
-// NewMonitor starts an empty monitor over a space. w may be nil.
+// NewMonitor starts an empty monitor over a space. w may be nil. Both
+// mode and detect.Mode are validated here: a miswired detection mode
+// used to surface as a panic on the first append (inside the batch
+// detector's Gower call); failing at construction keeps the same
+// loudness with a better stack.
 func NewMonitor(space *Space, sched timeline.Schedule, w []float64, mode UnknownMode, detect DetectOptions) *Monitor {
 	if w != nil && len(w) != space.NumNetworks() {
 		panic(fmt.Sprintf("core: monitor weight length %d != networks %d", len(w), space.NumNetworks()))
 	}
 	validateMode(mode)
-	return &Monitor{space: space, sched: sched, w: w, mode: mode, detect: detect}
+	validateMode(detect.Mode)
+	return &Monitor{
+		space: space, sched: sched, w: w, mode: mode, detect: detect,
+		kern:    packedGowerKernel(w, mode),
+		detKern: packedGowerKernel(w, detect.Mode),
+		det:     newDetector(detect),
+	}
 }
 
 // Instrument attaches a metrics registry: each append then feeds the
@@ -95,25 +124,37 @@ func (m *Monitor) Append(v *Vector) (ChangeEvent, bool, error) {
 		}
 		return ChangeEvent{}, false, &OutOfOrderEpochError{Epoch: v.T, Newest: newest}
 	}
+	// Incremental Φ row: the new vector is packed once, and each entry
+	// is AND+popcount over the cached packed history — O(T·N/64) words
+	// per append instead of O(T·N) scalar comparisons, bit-identical to
+	// the scalar kernels (bitset.go).
+	pv := packVector(v)
 	row := make([]float64, len(m.vectors))
-	for j, prev := range m.vectors {
-		row[j] = Gower(v, prev, m.w, m.mode)
+	for j, prev := range m.packed {
+		row[j] = m.kern(pv, prev)
 	}
-	m.vectors = append(m.vectors, v)
-	m.sim = append(m.sim, row)
 
-	// Change check: replay the batch detector over the adjacent-pair
-	// series. The series is short in operational use (bounded history) so
-	// this stays cheap while guaranteeing batch/stream agreement.
+	// Change check: advance the streaming detector by the one adjacent
+	// pair this append created — the same state machine DetectChanges
+	// drives in batch, so batch/stream agreement holds without replaying
+	// the full history every epoch.
 	var event ChangeEvent
 	var changed bool
-	events := DetectChanges(m.seriesLocked(), m.w, m.detect)
-	if len(events) > 0 {
-		last := events[len(events)-1]
-		if last.At == v.T {
-			event, changed = last, true
+	if n := len(m.vectors); n > 0 {
+		prev := m.vectors[n-1]
+		if v.T != prev.T+1 {
+			m.det.reset()
+		} else {
+			phi := row[n-1]
+			if m.detect.Mode != m.mode {
+				phi = m.detKern(pv, m.packed[n-1])
+			}
+			event, changed = m.det.step(v.T, phi)
 		}
 	}
+	m.vectors = append(m.vectors, v)
+	m.packed = append(m.packed, pv)
+	m.sim = append(m.sim, row)
 
 	ingest := time.Since(t0)
 	m.appends++
@@ -301,6 +342,12 @@ func RestoreMonitor(st MonitorState) (*Monitor, error) {
 	if !st.Mode.Valid() {
 		return nil, fmt.Errorf("core: restore monitor: invalid UnknownMode %d", int(st.Mode))
 	}
+	if !st.Detect.Mode.Valid() {
+		// NewMonitor panics on a miswired detection mode; a snapshot is
+		// untrusted input, so the decoder's contract (error, not crash)
+		// holds here too.
+		return nil, fmt.Errorf("core: restore monitor: invalid detection UnknownMode %d", int(st.Detect.Mode))
+	}
 	if st.Weights != nil && len(st.Weights) != st.Space.NumNetworks() {
 		return nil, fmt.Errorf("core: restore monitor: weight length %d != networks %d",
 			len(st.Weights), st.Space.NumNetworks())
@@ -323,6 +370,13 @@ func RestoreMonitor(st MonitorState) (*Monitor, error) {
 	}
 	m := NewMonitor(st.Space, st.Schedule, st.Weights, st.Mode, st.Detect)
 	m.vectors = append([]*Vector(nil), st.Vectors...)
+	// Rebuild the packed bit-planes from the restored vectors — the
+	// snapshot codec persists only the raw assignment rows (unchanged
+	// format), so packing happens once per vector here and never again.
+	m.packed = make([]*packedVector, len(m.vectors))
+	for i, v := range m.vectors {
+		m.packed[i] = packVector(v)
+	}
 	m.sim = make([][]float64, len(st.Sim))
 	for i, row := range st.Sim {
 		m.sim[i] = append([]float64(nil), row...)
@@ -330,7 +384,32 @@ func RestoreMonitor(st MonitorState) (*Monitor, error) {
 	m.appends, m.events = st.Appends, st.Events
 	m.totalIngest, m.lastIngest = st.TotalIngest, st.LastIngest
 	m.lastEvent, m.hasEvent = st.LastEvent, st.HasEvent
+	m.rebuildDetectorLocked()
 	return m, nil
+}
+
+// rebuildDetectorLocked replays the streaming detector over the retained
+// history — what a batch DetectChanges over the current series would
+// leave behind. Adjacent-pair similarities come from the cached Φ rows
+// when the detection mode matches the similarity mode (the common case:
+// zero Gower calls), and from the packed detection kernel otherwise
+// (O(T·N/64) words, once per rebuild). Callers hold mu or own m
+// exclusively.
+func (m *Monitor) rebuildDetectorLocked() {
+	m.det.reset()
+	for i := 1; i < len(m.vectors); i++ {
+		if m.vectors[i].T != m.vectors[i-1].T+1 {
+			m.det.reset()
+			continue
+		}
+		var phi float64
+		if m.detect.Mode == m.mode {
+			phi = m.sim[i][i-1]
+		} else {
+			phi = m.detKern(m.packed[i], m.packed[i-1])
+		}
+		m.det.step(m.vectors[i].T, phi)
+	}
 }
 
 // TrimBefore drops observations older than epoch, bounding memory for
@@ -346,10 +425,15 @@ func (m *Monitor) TrimBefore(epoch timeline.Epoch) {
 		return
 	}
 	m.vectors = append([]*Vector(nil), m.vectors[cut:]...)
+	m.packed = append([]*packedVector(nil), m.packed[cut:]...)
 	sim := make([][]float64, len(m.vectors))
 	for i := range m.vectors {
 		old := m.sim[i+cut]
 		sim[i] = append([]float64(nil), old[cut:]...)
 	}
 	m.sim = sim
+	// Forget detector state derived from trimmed epochs, exactly as the
+	// old replay-the-batch-detector append did implicitly: the baseline
+	// is rebuilt from the retained window's cached similarities.
+	m.rebuildDetectorLocked()
 }

@@ -323,6 +323,174 @@ func TestMonitorConcurrentIngest(t *testing.T) {
 	}
 }
 
+// gapSeries builds a deterministic series with collection gaps (epochs
+// skip ahead), mode shifts, and unknowns — the adversarial input for
+// streaming-vs-batch detector equivalence.
+func gapSeries(networks int, seed uint64) (*Space, []*Vector) {
+	r := rng.New(seed)
+	s := NewSpace(nets(networks))
+	sites := []string{"A", "B", "C"}
+	var vs []*Vector
+	e := timeline.Epoch(0)
+	for k := 0; k < 120; k++ {
+		if r.Bool(0.07) {
+			e += timeline.Epoch(1 + r.Intn(4)) // gap: break adjacency
+		}
+		v := s.NewVector(e)
+		base := sites[(k/22)%len(sites)]
+		for i := 0; i < networks; i++ {
+			switch {
+			case r.Bool(0.05):
+				// leave Unknown
+			case r.Bool(0.1):
+				v.Set(i, sites[r.Intn(len(sites))])
+			default:
+				v.Set(i, base)
+			}
+		}
+		vs = append(vs, v)
+		e++
+	}
+	return s, vs
+}
+
+// TestMonitorStreamingDetectorMatchesBatch is the satellite-1 proof:
+// for same-seed gap-y series, the events the incremental per-append
+// detector fires must equal (epoch, Φ, baseline, magnitude — all
+// bitwise) the events batch DetectChanges reports over the same
+// history, across both modes, weighted and uniform, and with
+// detect.Mode differing from the monitor's similarity mode.
+func TestMonitorStreamingDetectorMatchesBatch(t *testing.T) {
+	for _, seed := range []uint64{41, 42, 43} {
+		space, vs := gapSeries(150, seed)
+		weights := [][]float64{nil, randomWeights(150, seed+9)}
+		for _, simMode := range []UnknownMode{PessimisticUnknown, KnownOnly} {
+			for _, detMode := range []UnknownMode{PessimisticUnknown, KnownOnly} {
+				for wi, w := range weights {
+					opts := DetectOptions{Window: 12, MinDrop: 0.04, Mode: detMode, Cooldown: 2}
+					mon := NewMonitor(space, sched(1<<20), w, simMode, opts)
+					var stream []ChangeEvent
+					for _, v := range vs {
+						ev, ok, err := mon.Append(v)
+						if err != nil {
+							t.Fatalf("seed=%d: append epoch %d: %v", seed, v.T, err)
+						}
+						if ok {
+							stream = append(stream, ev)
+						}
+					}
+					batch := DetectChanges(mon.Series(), w, opts)
+					if len(stream) != len(batch) {
+						t.Fatalf("seed=%d sim=%v det=%v w=%d: %d streamed events, %d batch",
+							seed, simMode, detMode, wi, len(stream), len(batch))
+					}
+					for i := range batch {
+						if stream[i] != batch[i] {
+							t.Fatalf("seed=%d sim=%v det=%v w=%d: event %d: stream %+v, batch %+v",
+								seed, simMode, detMode, wi, i, stream[i], batch[i])
+						}
+					}
+					if len(batch) == 0 {
+						t.Fatalf("seed=%d sim=%v det=%v w=%d: fixture fired no events — test is vacuous",
+							seed, simMode, detMode, wi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMonitorTrimDetectorEquivalence pins TrimBefore's detector
+// semantics: after trimming, the monitor must fire exactly the events a
+// monitor that only ever saw the retained suffix would fire.
+func TestMonitorTrimDetectorEquivalence(t *testing.T) {
+	space, vs := monitorFixtureVectors(60)
+	opts := DefaultDetectOptions()
+	trimmed := NewMonitor(space, sched(60), nil, PessimisticUnknown, opts)
+	for _, v := range vs[:40] {
+		if _, _, err := trimmed.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trimmed.TrimBefore(20)
+	fresh := NewMonitor(space, sched(60), nil, PessimisticUnknown, opts)
+	for _, v := range vs[20:40] {
+		if _, _, err := fresh.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range vs[40:] {
+		evA, okA, errA := trimmed.Append(v)
+		evB, okB, errB := fresh.Append(v)
+		if errA != nil || errB != nil {
+			t.Fatalf("append epoch %d: %v / %v", v.T, errA, errB)
+		}
+		if okA != okB || evA != evB {
+			t.Fatalf("epoch %d: trimmed (%v,%v) vs fresh (%v,%v)", v.T, evA, okA, evB, okB)
+		}
+	}
+}
+
+// TestRestoreMonitorInvalidDetectMode asserts a corrupt snapshot's
+// detection mode comes back as an error, not a panic.
+func TestRestoreMonitorInvalidDetectMode(t *testing.T) {
+	space, vs := monitorFixtureVectors(4)
+	mon := NewMonitor(space, sched(4), nil, PessimisticUnknown, DefaultDetectOptions())
+	for _, v := range vs {
+		if _, _, err := mon.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := mon.State()
+	st.Detect.Mode = UnknownMode(99)
+	if _, err := RestoreMonitor(st); err == nil {
+		t.Fatal("invalid detection mode accepted")
+	}
+}
+
+// TestMonitorStateRestoreWeightedKnownOnly extends the continuation
+// proof to the weighted known-only configuration — the packed kernels'
+// hardest case (per-pair total accumulator) must survive a restore
+// bit-identically too.
+func TestMonitorStateRestoreWeightedKnownOnly(t *testing.T) {
+	space, vs := gapSeries(130, 77)
+	w := randomWeights(130, 78)
+	opts := DetectOptions{Window: 10, MinDrop: 0.04, Mode: KnownOnly, Cooldown: 1}
+	uninterrupted := NewMonitor(space, sched(1<<20), w, KnownOnly, opts)
+	first := NewMonitor(space, sched(1<<20), w, KnownOnly, opts)
+	for _, v := range vs {
+		if _, _, err := uninterrupted.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range vs[:50] {
+		if _, _, err := first.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	restored, err := RestoreMonitor(first.State())
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for _, v := range vs[50:] {
+		if _, _, err := restored.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := uninterrupted.Matrix(), restored.Matrix()
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatalf("cell (%d,%d): %v != %v", i, j, a.At(i, j), b.At(i, j))
+			}
+		}
+	}
+	sa, sb := uninterrupted.Snapshot(), restored.Snapshot()
+	if sa.Events != sb.Events || sa.LastEvent != sb.LastEvent || sa.HasEvent != sb.HasEvent {
+		t.Fatalf("snapshots diverge: %+v vs %+v", sa, sb)
+	}
+}
+
 func BenchmarkMonitorAppend(b *testing.B) {
 	space, vs := monitorFixtureVectors(2)
 	mon := NewMonitor(space, sched(1<<30), nil, PessimisticUnknown, DefaultDetectOptions())

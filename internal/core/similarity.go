@@ -173,8 +173,65 @@ type SimMatrix struct {
 	vals   []float64 // row-major N×N
 }
 
+// SimKernel selects the Φ engine implementation. Every kernel produces
+// the bit-identical matrix (see equivalence_test.go and bitset_test.go);
+// the choice only affects speed.
+type SimKernel int
+
+const (
+	// KernelAuto (the default) resolves to the process default kernel:
+	// the packed-bitset engine when it is expected to be profitable for
+	// the space's site-alphabet size, the scalar kernels otherwise.
+	KernelAuto SimKernel = iota
+	// KernelBitset forces the packed popcount engine.
+	KernelBitset
+	// KernelScalar forces the pre-bitset scalar kernels — the rollback
+	// and benchmarking reference path.
+	KernelScalar
+)
+
+func (k SimKernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelBitset:
+		return "bitset"
+	case KernelScalar:
+		return "scalar"
+	}
+	return fmt.Sprintf("sim-kernel(%d)", int(k))
+}
+
+// defaultKernel is the process-wide resolution of KernelAuto,
+// overridable with SetDefaultKernel (the `fenrir -kernel` debug lever).
+var defaultKernel atomic.Int32 // a SimKernel; KernelAuto = heuristic
+
+// SetDefaultKernel overrides how KernelAuto resolves for the whole
+// process: KernelBitset or KernelScalar force that engine everywhere,
+// KernelAuto restores the profitability heuristic. It exists as an
+// operational rollback lever; outputs are bit-identical either way.
+func SetDefaultKernel(k SimKernel) { defaultKernel.Store(int32(k)) }
+
+// resolveKernel turns an options-level kernel request into a concrete
+// engine for a space with the given site/network counts.
+func resolveKernel(k SimKernel, numSites, numNetworks int) SimKernel {
+	if k == KernelAuto {
+		k = SimKernel(defaultKernel.Load())
+	}
+	if k == KernelAuto {
+		if packedProfitable(numSites, numNetworks) {
+			return KernelBitset
+		}
+		return KernelScalar
+	}
+	return k
+}
+
 // MatrixOptions tunes the parallel similarity engine.
 type MatrixOptions struct {
+	// Kernel selects the Φ engine (auto, bitset, scalar). All choices
+	// produce the bit-identical matrix; see SimKernel.
+	Kernel SimKernel
 	// Parallelism is the number of worker goroutines filling the matrix.
 	// 0 (the default) sizes the pool to runtime.GOMAXPROCS(0); 1 runs
 	// the exact serial reference path on the calling goroutine. Values
@@ -249,16 +306,48 @@ func SimilarityMatrixParallel(s *Series, w []float64, mode UnknownMode, opts Mat
 	if w != nil && len(w) != len(assigns[0]) {
 		panic(fmt.Sprintf("core: weight length %d != networks %d", len(w), len(assigns[0])))
 	}
-	kern := gowerKernel(w, mode)
+	engine := resolveKernel(opts.Kernel, s.Space.NumSites(), len(assigns[0]))
 
-	fill := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			m.vals[i*n+i] = 1
-			ai := assigns[i]
-			for j := i + 1; j < n; j++ {
-				phi := kern(ai, assigns[j])
-				m.vals[i*n+j] = phi
-				m.vals[j*n+i] = phi
+	// fill computes the upper-triangle segments of rows [lo,hi); mirror
+	// selects whether it also writes the symmetric cells. The serial path
+	// mirrors inline; the parallel path fills the upper triangle only and
+	// mirrors in one blocked pass after the join, so concurrent tiles
+	// never write into each other's rows (the mirror of row i scatters
+	// over every later row — under the old scheme, a guaranteed source of
+	// false sharing between workers).
+	var fill func(lo, hi int, mirror bool)
+	if engine == KernelBitset {
+		packed := make([]*packedVector, n)
+		for i, a := range assigns {
+			packed[i] = packAssign(a)
+		}
+		kern := packedGowerKernel(w, mode)
+		fill = func(lo, hi int, mirror bool) {
+			for i := lo; i < hi; i++ {
+				m.vals[i*n+i] = 1
+				pi := packed[i]
+				for j := i + 1; j < n; j++ {
+					phi := kern(pi, packed[j])
+					m.vals[i*n+j] = phi
+					if mirror {
+						m.vals[j*n+i] = phi
+					}
+				}
+			}
+		}
+	} else {
+		kern := gowerKernel(w, mode)
+		fill = func(lo, hi int, mirror bool) {
+			for i := lo; i < hi; i++ {
+				m.vals[i*n+i] = 1
+				ai := assigns[i]
+				for j := i + 1; j < n; j++ {
+					phi := kern(ai, assigns[j])
+					m.vals[i*n+j] = phi
+					if mirror {
+						m.vals[j*n+i] = phi
+					}
+				}
 			}
 		}
 	}
@@ -275,14 +364,15 @@ func SimilarityMatrixParallel(s *Series, w []float64, mode UnknownMode, opts Mat
 		// per-pair loop: one monotonic time.Since per tile, never per
 		// pair, and only when a registry is attached.
 		opts.Obs.Counter(`fenrir_gower_kernel_total{kernel="` + kernelName(w, mode) + `"}`).Inc()
+		opts.Obs.Counter(`fenrir_similarity_engine_total{engine="` + engine.String() + `"}`).Inc()
 		opts.Obs.Counter("fenrir_similarity_matrices_total").Inc()
 		opts.Obs.Gauge("fenrir_similarity_workers").Set(float64(p))
 		tileDur := opts.Obs.Histogram("fenrir_similarity_tile_seconds")
 		pairs := opts.Obs.Counter("fenrir_similarity_pairs_total")
 		base := fill
-		fill = func(lo, hi int) {
+		fill = func(lo, hi int, mirror bool) {
 			t0 := time.Now()
-			base(lo, hi)
+			base(lo, hi, mirror)
 			tileDur.ObserveSince(t0)
 			np := 0
 			for i := lo; i < hi; i++ {
@@ -295,46 +385,158 @@ func SimilarityMatrixParallel(s *Series, w []float64, mode UnknownMode, opts Mat
 		tsp := opts.Span.Child("tile")
 		tsp.SetAttr("row0", 0)
 		tsp.SetAttr("rows", n)
-		fill(0, n)
+		fill(0, n, true)
 		tsp.End()
 		return m
 	}
-	tile := opts.TileRows
-	if tile <= 0 {
-		// Aim for ~8 tiles per worker: small enough that the atomic
-		// counter evens out the triangular row costs, large enough to
-		// amortize dispatch.
-		tile = n / (p * 8)
-		if tile < 1 {
-			tile = 1
+
+	var tiles []rowSpan
+	if opts.TileRows > 0 {
+		// Explicit tile shape: fixed consecutive-row tiles, kept for
+		// tests and for callers that tuned a shape.
+		for lo := 0; lo < n; lo += opts.TileRows {
+			tiles = append(tiles, rowSpan{lo, min(lo+opts.TileRows, n)})
+		}
+	} else {
+		tiles = balancedTriangleTiles(n, p)
+	}
+	opts.Obs.Gauge("fenrir_similarity_tile_rows").Set(float64(n) / float64(len(tiles)))
+
+	// Tiles are claimed off an atomic counter by the persistent worker
+	// pool plus the calling goroutine, which always participates — so the
+	// matrix completes even when the pool is busy with another matrix
+	// (helpers are best-effort, correctness never depends on them).
+	var next atomic.Int64
+	drain := func(lane int) {
+		for {
+			t := int(next.Add(1)) - 1
+			if t >= len(tiles) {
+				return
+			}
+			tsp := opts.Span.Child("tile")
+			tsp.SetLane(lane)
+			tsp.SetAttr("row0", tiles[t].lo)
+			tsp.SetAttr("rows", tiles[t].hi-tiles[t].lo)
+			fill(tiles[t].lo, tiles[t].hi, false)
+			tsp.End()
 		}
 	}
-	opts.Obs.Gauge("fenrir_similarity_tile_rows").Set(float64(tile))
-	numTiles := (n + tile - 1) / tile
-	var next atomic.Int64
 	var wg sync.WaitGroup
-	for k := 0; k < p; k++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				t := int(next.Add(1)) - 1
-				if t >= numTiles {
-					return
-				}
-				lo := t * tile
-				hi := min(lo+tile, n)
-				tsp := opts.Span.Child("tile")
-				tsp.SetLane(worker + 1)
-				tsp.SetAttr("row0", lo)
-				tsp.SetAttr("rows", hi-lo)
-				fill(lo, hi)
-				tsp.End()
-			}
-		}(k)
+	for k := 1; k < p; k++ {
+		lane := k + 1
+		if !submitSimWork(func() { drain(lane) }, &wg) {
+			break // pool saturated; the caller drains the rest
+		}
 	}
+	drain(1)
 	wg.Wait()
+	mirrorLower(m.vals, n)
 	return m
+}
+
+// rowSpan is one work unit: consecutive matrix rows [lo,hi).
+type rowSpan struct{ lo, hi int }
+
+// balancedTriangleTiles splits the upper triangle's n rows into at most
+// p spans carrying near-equal pair counts. Row i contributes n-i-1 pairs,
+// so equal-row tiles front-load ~2× the work into the early tiles; the
+// balanced boundaries instead cut the cumulative pair count at k/p
+// increments. Boundaries are padded up to multiples of 8 rows (one
+// 64-byte cache line of float64 row starts) so adjacent tiles' row
+// ranges never share a line at the seam.
+func balancedTriangleTiles(n, p int) []rowSpan {
+	if p > n {
+		p = n
+	}
+	total := float64(n) * float64(n-1) / 2
+	tiles := make([]rowSpan, 0, p)
+	lo, acc := 0, 0.0
+	for k := 1; k <= p && lo < n; k++ {
+		target := total * float64(k) / float64(p)
+		hi := lo
+		for hi < n && (acc < target || hi == lo) {
+			acc += float64(n - hi - 1)
+			hi++
+		}
+		if k < p {
+			// Pad the boundary to an 8-row multiple; the final tile
+			// always ends at n.
+			if rem := hi % 8; rem != 0 && hi+8-rem < n {
+				for i := hi; i < hi+8-rem; i++ {
+					acc += float64(n - i - 1)
+				}
+				hi += 8 - rem
+			}
+		} else {
+			for hi < n {
+				acc += float64(n - hi - 1)
+				hi++
+			}
+		}
+		tiles = append(tiles, rowSpan{lo, hi})
+		lo = hi
+	}
+	if lo < n {
+		tiles = append(tiles, rowSpan{lo, n})
+	}
+	return tiles
+}
+
+// mirrorLower copies the upper triangle onto the lower one in 64×64
+// blocks, keeping both the reads and the writes within a few cache lines
+// per step instead of striding a full row per element.
+func mirrorLower(vals []float64, n int) {
+	const blk = 64
+	for bi := 0; bi < n; bi += blk {
+		iHi := min(bi+blk, n)
+		for bj := bi; bj < n; bj += blk {
+			jHi := min(bj+blk, n)
+			for i := bi; i < iHi; i++ {
+				jLo := bj
+				if jLo <= i {
+					jLo = i + 1
+				}
+				for j := jLo; j < jHi; j++ {
+					vals[j*n+i] = vals[i*n+j]
+				}
+			}
+		}
+	}
+}
+
+// simPool is the persistent worker pool behind every parallel matrix
+// fill: GOMAXPROCS goroutines started on first use and kept for the
+// process lifetime, so the serve daemon's steady stream of matrix
+// queries never pays goroutine startup on the hot path.
+var (
+	simPoolOnce sync.Once
+	simWork     chan func()
+)
+
+// submitSimWork hands a task to the pool without ever blocking: if every
+// worker is busy and the queue is full it reports false and the caller
+// runs the work itself. wg is incremented on acceptance and released by
+// the worker.
+func submitSimWork(f func(), wg *sync.WaitGroup) bool {
+	simPoolOnce.Do(func() {
+		workers := runtime.GOMAXPROCS(0)
+		simWork = make(chan func(), 4*workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				for task := range simWork {
+					task()
+				}
+			}()
+		}
+	})
+	wg.Add(1)
+	select {
+	case simWork <- func() { defer wg.Done(); f() }:
+		return true
+	default:
+		wg.Done()
+		return false
+	}
 }
 
 // At returns Φ between rows i and j.

@@ -41,6 +41,12 @@ type DetectSpec struct {
 	Window   int     `json:"window,omitempty"`
 	MinDrop  float64 `json:"min_drop,omitempty"`
 	Cooldown int     `json:"cooldown,omitempty"`
+	// Mode optionally decouples detection's unknown handling from the
+	// tenant's unknown_mode: "pessimistic" or "known-only". Empty
+	// inherits unknown_mode (the historical behavior). A known-only
+	// tenant can then still run the paper's pessimistic detector, whose
+	// Φ drops on visibility loss as well as on genuine moves.
+	Mode string `json:"mode,omitempty"`
 }
 
 // Observation is the POST …/observations request body: one routing
@@ -207,14 +213,9 @@ func monitorFromSpec(spec TenantSpec) (*core.Monitor, error) {
 	if spec.Weights != nil && len(spec.Weights) != len(spec.Networks) {
 		return nil, fmt.Errorf("spec: %d weights for %d networks", len(spec.Weights), len(spec.Networks))
 	}
-	var mode core.UnknownMode
-	switch spec.UnknownMode {
-	case "", "pessimistic":
-		mode = core.PessimisticUnknown
-	case "known-only":
-		mode = core.KnownOnly
-	default:
-		return nil, fmt.Errorf("spec: unknown_mode %q (want pessimistic or known-only)", spec.UnknownMode)
+	mode, err := parseUnknownMode(spec.UnknownMode, "unknown_mode")
+	if err != nil {
+		return nil, err
 	}
 	detect := core.DefaultDetectOptions()
 	detect.Mode = mode
@@ -228,10 +229,28 @@ func monitorFromSpec(spec TenantSpec) (*core.Monitor, error) {
 		if d.Cooldown > 0 {
 			detect.Cooldown = d.Cooldown
 		}
+		if d.Mode != "" {
+			if detect.Mode, err = parseUnknownMode(d.Mode, "detect.mode"); err != nil {
+				return nil, err
+			}
+		}
 	}
 	space := core.NewSpace(spec.Networks)
 	sched := timeline.NewSchedule(spec.Start.UTC(), time.Duration(spec.IntervalSeconds)*time.Second, spec.Epochs)
 	return core.NewMonitor(space, sched, spec.Weights, mode, detect), nil
+}
+
+// parseUnknownMode maps a wire mode string to core.UnknownMode; field
+// names the spec field in errors.
+func parseUnknownMode(s, field string) (core.UnknownMode, error) {
+	switch s {
+	case "", "pessimistic":
+		return core.PessimisticUnknown, nil
+	case "known-only":
+		return core.KnownOnly, nil
+	default:
+		return 0, fmt.Errorf("spec: %s %q (want pessimistic or known-only)", field, s)
+	}
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request, t *tenant) {

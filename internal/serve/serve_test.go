@@ -315,6 +315,49 @@ func TestServeTenantAdmin(t *testing.T) {
 	}
 }
 
+// TestServeDetectModeSpec pins the detect.mode wire field: empty
+// inherits the tenant's unknown_mode, an explicit value decouples the
+// detector's unknown handling from the similarity mode, and an invalid
+// value is a 400 at tenant creation.
+func TestServeDetectModeSpec(t *testing.T) {
+	spec := defaultSpec(6)
+	spec.UnknownMode = "known-only"
+	mon, err := monitorFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mon.Detect().Mode; got != mon.Mode() {
+		t.Fatalf("empty detect.mode: detector mode %v != tenant mode %v", got, mon.Mode())
+	}
+
+	spec.Detect = &DetectSpec{Mode: "pessimistic", Window: 5}
+	mon, err = monitorFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.Mode().String() != "known-only" || mon.Detect().Mode.String() != "pessimistic" {
+		t.Fatalf("decoupled modes: tenant %v, detector %v", mon.Mode(), mon.Detect().Mode)
+	}
+	if mon.Detect().Window != 5 {
+		t.Fatalf("detect window = %d, want 5", mon.Detect().Window)
+	}
+
+	_, ts := testServer(t, Config{})
+	bad := defaultSpec(6)
+	bad.Detect = &DetectSpec{Mode: "optimistic"}
+	if code, body := doReq(t, ts, http.MethodPut, "/v1/tenants/dm", bad); code != http.StatusBadRequest {
+		t.Fatalf("bad detect.mode accepted: %d %s", code, body)
+	}
+	good := defaultSpec(6)
+	good.UnknownMode = "known-only"
+	good.Detect = &DetectSpec{Mode: "pessimistic"}
+	if code, body := doReq(t, ts, http.MethodPut, "/v1/tenants/dm", good); code != http.StatusCreated {
+		t.Fatalf("valid detect.mode rejected: %d %s", code, body)
+	}
+	mustIngest(t, ts, "dm", specNets(6), 0, 10, 5)
+	waitHistory(t, ts, "dm", 10)
+}
+
 // Backpressure: when the queue is full the daemon answers 429 +
 // Retry-After instead of blocking the producer or buffering without
 // bound. The worker is deliberately not running so the queue state is

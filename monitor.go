@@ -6,9 +6,13 @@ import (
 
 // Monitor re-exports the streaming pipeline: append observations as they
 // arrive, get change events immediately, and query the current routing
-// mode without batch recomputation. Monitor is safe for concurrent use;
-// poll Snapshot for live ingest statistics, or attach a Registry with
-// Instrument. See examples/monitoring.
+// mode without batch recomputation. Each append packs the new vector
+// into bit-planes once and extends the Φ history with popcount kernels
+// — O(history·networks/64) words per observation, with change detection
+// advanced incrementally rather than replayed over the full history.
+// Monitor is safe for concurrent use; poll Snapshot for live ingest
+// statistics, or attach a Registry with Instrument. See
+// examples/monitoring.
 type Monitor = core.Monitor
 
 // MonitorSnapshot is a point-in-time view of a monitor's ingest and

@@ -1,0 +1,75 @@
+#!/bin/sh
+# benchguard.sh — perf regression gate for the similarity hot path.
+#
+# Re-runs the serial T=1024 bitset similarity benchmark and compares the
+# best (minimum) ns/op of a few repetitions against the committed
+# baseline in BENCH_core.json. Fails if the fresh number is more than
+# GUARD_PCT percent slower — `make check` then refuses to pass a change
+# that quietly gives back the bitset engine's speedup. Refresh the
+# baseline with `make bench` after a deliberate perf change.
+#
+# The minimum over -count runs is the standard noise filter: a loaded
+# box can only make code look slower, never faster, so min-vs-baseline
+# with a 15% margin keeps false alarms rare without masking real
+# regressions.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GUARD_PCT="${GUARD_PCT:-15}"
+BASELINE="BENCH_core.json"
+BENCH='SimilarityMatrix/T=1024/K=bitset/P=1$'
+KEY='SimilarityMatrix/T=1024/K=bitset/P=1'
+
+if [ ! -f "$BASELINE" ]; then
+	echo "benchguard: $BASELINE not found — run 'make bench' and commit it" >&2
+	exit 1
+fi
+
+base_ns="$(awk -v key="$KEY" '
+	$0 ~ key && $0 !~ /P=auto/ {
+		if (match($0, /"ns_per_op": [0-9.]+/)) {
+			m = substr($0, RSTART, RLENGTH)
+			sub(/.*: /, "", m)
+			print m
+			exit
+		}
+	}
+' "$BASELINE")"
+if [ -z "$base_ns" ]; then
+	echo "benchguard: no '$KEY' entry in $BASELINE — run 'make bench' to refresh it" >&2
+	exit 1
+fi
+
+out="$(go test -run '^$' -bench "$BENCH" -count=3 . 2>&1)" || {
+	echo "$out" >&2
+	echo "benchguard: benchmark run failed" >&2
+	exit 1
+}
+
+fresh_ns="$(echo "$out" | awk '
+	/^Benchmark/ {
+		for (i = 2; i < NF; i++) if ($(i+1) == "ns/op" && (best == "" || $i + 0 < best + 0)) best = $i
+	}
+	END { print best }
+')"
+if [ -z "$fresh_ns" ]; then
+	echo "$out" >&2
+	echo "benchguard: no benchmark results for '$BENCH'" >&2
+	exit 1
+fi
+
+awk -v base="$base_ns" -v fresh="$fresh_ns" -v pct="$GUARD_PCT" '
+BEGIN {
+	limit = base * (1 + pct / 100)
+	printf "benchguard: %s baseline %.0f ns/op, fresh (min of 3) %.0f ns/op, limit +%s%% = %.0f ns/op\n",
+		"T=1024/K=bitset/P=1", base, fresh, pct, limit
+	if (fresh > limit) {
+		printf "benchguard: FAIL — serial bitset similarity regressed %.1f%% over baseline\n",
+			(fresh / base - 1) * 100
+		exit 1
+	}
+	print "benchguard: OK"
+}
+'
