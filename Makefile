@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchguard cover obs-smoke faults-smoke serve-smoke trace-smoke serve-load check clean
+.PHONY: all build vet test race bench benchguard cover obs-smoke faults-smoke serve-smoke trace-smoke explain-smoke serve-load check clean
 
 all: build test
 
@@ -73,12 +73,20 @@ serve-smoke:
 trace-smoke:
 	./scripts/trace_smoke.sh
 
+# End-to-end provenance check: run the groot scenario (which drains the
+# STR site) with -explain and assert every change event carries a
+# verdict, the first drain's top flow names STR, and the repeated drain
+# is labeled a recurrence of the earlier drained mode.
+explain-smoke:
+	./scripts/explain_smoke.sh
+
 # Concurrent-load check (not part of `check`; slower): N writers + N
-# contended writers + readers against a -race daemon build.
+# contended writers + readers against a -race daemon build. Writes
+# throughput and admission-latency quantiles to BENCH_serve.json.
 serve-load:
 	./scripts/serve_load.sh
 
-check: test race cover obs-smoke faults-smoke serve-smoke trace-smoke benchguard
+check: test race cover obs-smoke faults-smoke serve-smoke trace-smoke explain-smoke benchguard
 
 clean:
 	rm -f BENCH_core.json BENCH_core.json.tmp bench.out cover.out

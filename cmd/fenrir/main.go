@@ -58,6 +58,7 @@ type cliOptions struct {
 	seed       uint64
 	heatmapDim int
 	stack      bool
+	explain    bool
 	export     string
 	parallel   int
 	kernel     string
@@ -79,6 +80,7 @@ func main() {
 	flag.Uint64Var(&o.seed, "seed", 42, "root seed")
 	flag.IntVar(&o.heatmapDim, "heatmap", 60, "heatmap resolution (cells per side)")
 	flag.BoolVar(&o.stack, "stack", false, "also print the catchment stack plot CSV")
+	flag.BoolVar(&o.explain, "explain", false, "print each change event's provenance: verdict, site flows, top contributors")
 	flag.StringVar(&o.export, "export", "", "write the scenario's vector dataset to this CSV file")
 	flag.IntVar(&o.parallel, "parallelism", 0, "similarity-matrix workers (0 = all cores, 1 = serial)")
 	flag.StringVar(&o.kernel, "kernel", "auto", "similarity engine: auto bitset scalar (all bit-identical)")
@@ -164,6 +166,7 @@ func run(o cliOptions) error {
 		series   *core.Series
 		matrix   *core.SimMatrix
 		modes    *core.ModesResult
+		changes  []core.ChangeEvent
 		faultRep *faults.Report
 		cfgAny   any // scenario config, recorded verbatim in the manifest
 	)
@@ -207,6 +210,7 @@ func run(o cliOptions) error {
 		if modes != nil {
 			m.Modes = len(modes.Modes)
 		}
+		m.Detections = core.SummarizeDetections(changes)
 		m.PeakGoroutines, m.PeakHeapBytes = sampler.Stop()
 		if err := obs.WriteManifest(o.manifest, m); err != nil {
 			return err
@@ -286,10 +290,21 @@ func run(o cliOptions) error {
 		}
 		series, matrix, modes, faultRep = res.Series, res.Matrix, res.Modes, res.Faults
 		sp := reg.StartSpan("report")
+		changes = res.Detections
 		v := res.Validation
 		fmt.Printf("ground-truth groups: %d (from %d raw entries)\n", len(res.Groups), res.RawEntries)
 		fmt.Printf("TP=%d FN=%d FP=%d TN=%d unmatched=%d\n", v.TP, v.FN, v.FP, v.TN, v.Unmatched)
 		fmt.Printf("recall=%.2f precision=%.2f accuracy=%.2f\n", v.Recall(), v.Precision(), v.Accuracy())
+		if n := v.DrainAttributed + v.DrainMisattributed; n > 0 {
+			fmt.Printf("drain attribution: %d/%d top flows name the drained site\n", v.DrainAttributed, n)
+		}
+		if o.explain {
+			for _, c := range changes {
+				fmt.Printf("change at epoch %d: Phi %.2f (baseline %.2f)\n", c.At, c.Phi, c.Baseline)
+				fmt.Print(explainText(c))
+			}
+		}
+		sp.SetItems(int64(len(changes)))
 		sp.End()
 		return finish()
 	default:
@@ -317,9 +332,13 @@ func run(o cliOptions) error {
 	if o.stack {
 		fmt.Print(report.StackPlot(series))
 	}
-	changes := core.DetectChanges(series, nil, core.DefaultDetectOptions())
+	changes = core.DetectChanges(series, nil, core.DefaultDetectOptions())
+	core.ObserveDetections(reg, spRep, changes)
 	for _, c := range changes {
 		fmt.Printf("change at epoch %d: Phi %.2f (baseline %.2f)\n", c.At, c.Phi, c.Baseline)
+		if o.explain {
+			fmt.Print(explainText(c))
+		}
 	}
 	if len(changes) == 0 {
 		fmt.Println("no change events detected at default sensitivity")
@@ -418,4 +437,30 @@ func runServe(o cliOptions) error {
 		fmt.Fprintf(os.Stderr, "fenrir: manifest written to %s (%.2fs wall)\n", o.manifest, m.WallSeconds)
 	}
 	return nil
+}
+
+// explainText renders a change event's provenance for -explain output:
+// the recurrence verdict, the largest site-to-site weight flows, the
+// moved/stayed/unobserved mass split, and the top contributing networks.
+func explainText(c core.ChangeEvent) string {
+	ex := c.Explanation
+	if ex == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  verdict: %s\n", ex.Label())
+	fmt.Fprintf(&b, "  mass: moved %.0f stayed %.0f unobserved %.0f of %.0f",
+		ex.Moved, ex.Stayed, ex.Unobserved, ex.Total)
+	if ex.WentUnknown > 0 || ex.BecameKnown > 0 {
+		fmt.Fprintf(&b, " (went-unknown %.0f, became-known %.0f)", ex.WentUnknown, ex.BecameKnown)
+	}
+	b.WriteString("\n")
+	for _, f := range ex.TopFlows {
+		fmt.Fprintf(&b, "  flow: %s -> %s (%.0f)\n", f.From, f.To, f.Count)
+	}
+	fmt.Fprintf(&b, "  changed networks: %d (weight %.0f)\n", ex.ChangedCount, ex.ChangedWeight)
+	for _, ct := range ex.Contributors {
+		fmt.Fprintf(&b, "  contributor: %s %s -> %s (%.1f)\n", ct.Network, ct.From, ct.To, ct.Weight)
+	}
+	return b.String()
 }

@@ -83,6 +83,14 @@ type (
 	TransitionMatrix = core.TransitionMatrix
 	// ChangeEvent is a detected routing change.
 	ChangeEvent = core.ChangeEvent
+	// Explanation is a change event's provenance: contributing
+	// networks, site weight flows, unknown-mass accounting, and the
+	// recurrence verdict.
+	Explanation = core.Explanation
+	// Contributor is one network's part in a change event.
+	Contributor = core.Contributor
+	// Flow is one site→site weight flow of a transition matrix.
+	Flow = core.Flow
 	// UnknownMode selects Φ's treatment of unobserved networks.
 	UnknownMode = core.UnknownMode
 	// SimKernel selects the similarity engine (bitset vs scalar).
@@ -264,6 +272,7 @@ func Analyze(s *Series, opts AnalysisOptions) *Analysis {
 	spCl.End()
 	spDet := opts.Obs.StartSpan("detect")
 	a.Changes = core.DetectChanges(s, opts.Weights, opts.Detection)
+	core.ObserveDetections(opts.Obs, spDet, a.Changes)
 	spDet.SetItems(int64(len(a.Changes)))
 	spDet.End()
 	return a
@@ -287,6 +296,13 @@ func (a *Analysis) Heatmap(dim int) string { return report.Heatmap(a.Matrix, dim
 func (a *Analysis) StackPlot() string { return report.StackPlot(a.Series) }
 
 func formatChange(c ChangeEvent) string {
-	return fmt.Sprintf("change at epoch %d: Phi dropped to %.2f (baseline %.2f)\n",
+	out := fmt.Sprintf("change at epoch %d: Phi dropped to %.2f (baseline %.2f)\n",
 		int(c.At), c.Phi, c.Baseline)
+	if ex := c.Explanation; ex != nil {
+		out += fmt.Sprintf("  %s\n", ex.Label())
+		if f, ok := ex.TopFlow(); ok {
+			out += fmt.Sprintf("  top flow: %s -> %s (%.0f)\n", f.From, f.To, f.Count)
+		}
+	}
+	return out
 }

@@ -16,6 +16,11 @@ type ChangeEvent struct {
 	Baseline float64
 	// Magnitude is Baseline − Phi: how much more changed than usual.
 	Magnitude float64
+	// Explanation is the event's provenance: contributing networks,
+	// site weight flows, unknown-mass accounting, and the recurrence
+	// verdict. Always populated by the detector (see explain.go);
+	// batch and streaming runs produce byte-identical explanations.
+	Explanation *Explanation
 }
 
 // DetectOptions tunes adjacent-pair change detection (§3's "examining
@@ -51,40 +56,51 @@ type detector struct {
 	opts     DetectOptions
 	history  []float64
 	cooldown int
+	// ex carries the provenance state (mode centroids) that turns a
+	// bare (epoch, Φ) event into an explained one.
+	ex explainer
 }
 
 // newDetector applies the same defaulting DetectChanges always did.
-func newDetector(opts DetectOptions) *detector {
+// w is the per-network weight vector the explanations rank by (nil for
+// uniform); it must be the same vector detection Φ is computed with.
+func newDetector(opts DetectOptions, w []float64) *detector {
 	if opts.Window <= 0 {
 		opts.Window = 30
 	}
 	if opts.MinDrop <= 0 {
 		opts.MinDrop = 0.05
 	}
-	return &detector{opts: opts}
+	return &detector{opts: opts, ex: explainer{w: w, mode: opts.Mode}}
 }
 
 // reset clears the baseline at a collection gap: routing may
 // legitimately differ across an outage without that being an "event" at
-// this timescale.
+// this timescale. The explainer's mode centroids survive the gap —
+// recognizing a pre-outage mode on the far side is precisely the
+// recurrence the provenance layer labels.
 func (d *detector) reset() {
 	d.history = d.history[:0]
 	d.cooldown = 0
 }
 
-// step consumes the similarity of one adjacent pair whose second epoch
-// is at, and reports whether that pair constitutes a change event.
-func (d *detector) step(at timeline.Epoch, phi float64) (ChangeEvent, bool) {
+// step consumes one adjacent pair (prev, cur) with its similarity phi,
+// and reports whether that pair constitutes a change event. The vectors
+// are only read when an event fires — building its Explanation — so the
+// stable-path cost is unchanged.
+func (d *detector) step(prev, cur *Vector, phi float64) (ChangeEvent, bool) {
+	d.ex.observe(prev)
 	baseline := median(d.history)
 	if len(d.history) >= 3 && d.cooldown == 0 && baseline-phi >= d.opts.MinDrop {
 		d.cooldown = d.opts.Cooldown
 		// Do not feed the anomalous pair into the baseline; the next
 		// pairs (new-mode internal similarity) re-establish it.
 		return ChangeEvent{
-			At:        at,
-			Phi:       phi,
-			Baseline:  baseline,
-			Magnitude: baseline - phi,
+			At:          cur.T,
+			Phi:         phi,
+			Baseline:    baseline,
+			Magnitude:   baseline - phi,
+			Explanation: d.ex.explain(prev, cur, phi, baseline),
 		}, true
 	}
 	// The cooldown counts down only on non-event iterations, so
@@ -107,7 +123,7 @@ func (d *detector) step(at timeline.Epoch, phi float64) (ChangeEvent, bool) {
 // simple — the paper's contribution is the vector encoding that makes a
 // scalar drop meaningful, not the change-point statistics.
 func DetectChanges(s *Series, w []float64, opts DetectOptions) []ChangeEvent {
-	d := newDetector(opts)
+	d := newDetector(opts, w)
 	var events []ChangeEvent
 	for i := 0; i+1 < len(s.Vectors); i++ {
 		a, b := s.Vectors[i], s.Vectors[i+1]
@@ -115,7 +131,7 @@ func DetectChanges(s *Series, w []float64, opts DetectOptions) []ChangeEvent {
 			d.reset()
 			continue
 		}
-		if ev, ok := d.step(b.T, Gower(a, b, w, opts.Mode)); ok {
+		if ev, ok := d.step(a, b, Gower(a, b, w, opts.Mode)); ok {
 			events = append(events, ev)
 		}
 	}

@@ -79,7 +79,7 @@ func NewMonitor(space *Space, sched timeline.Schedule, w []float64, mode Unknown
 		space: space, sched: sched, w: w, mode: mode, detect: detect,
 		kern:    packedGowerKernel(w, mode),
 		detKern: packedGowerKernel(w, detect.Mode),
-		det:     newDetector(detect),
+		det:     newDetector(detect, w),
 	}
 }
 
@@ -149,7 +149,7 @@ func (m *Monitor) Append(v *Vector) (ChangeEvent, bool, error) {
 			if m.detect.Mode != m.mode {
 				phi = m.detKern(pv, m.packed[n-1])
 			}
-			event, changed = m.det.step(v.T, phi)
+			event, changed = m.det.step(prev, v, phi)
 		}
 	}
 	m.vectors = append(m.vectors, v)
@@ -171,6 +171,7 @@ func (m *Monitor) Append(v *Vector) (ChangeEvent, bool, error) {
 		m.obs.Gauge("fenrir_monitor_history").Set(float64(len(m.vectors)))
 		if changed {
 			m.obs.Counter("fenrir_monitor_events_total").Inc()
+			ObserveDetection(m.obs, event)
 		}
 	}
 	return event, changed, nil
@@ -390,13 +391,16 @@ func RestoreMonitor(st MonitorState) (*Monitor, error) {
 
 // rebuildDetectorLocked replays the streaming detector over the retained
 // history — what a batch DetectChanges over the current series would
-// leave behind. Adjacent-pair similarities come from the cached Φ rows
-// when the detection mode matches the similarity mode (the common case:
-// zero Gower calls), and from the packed detection kernel otherwise
-// (O(T·N/64) words, once per rebuild). Callers hold mu or own m
-// exclusively.
+// leave behind. The detector is rebuilt from scratch (not reset): a gap
+// reset deliberately keeps the explainer's mode centroids, but after a
+// trim or restore the centroid memory must equal what a batch run over
+// the retained series alone would hold. Adjacent-pair similarities come
+// from the cached Φ rows when the detection mode matches the similarity
+// mode (the common case: zero Gower calls), and from the packed
+// detection kernel otherwise (O(T·N/64) words, once per rebuild).
+// Callers hold mu or own m exclusively.
 func (m *Monitor) rebuildDetectorLocked() {
-	m.det.reset()
+	m.det = newDetector(m.detect, m.w)
 	for i := 1; i < len(m.vectors); i++ {
 		if m.vectors[i].T != m.vectors[i-1].T+1 {
 			m.det.reset()
@@ -408,7 +412,7 @@ func (m *Monitor) rebuildDetectorLocked() {
 		} else {
 			phi = m.detKern(m.packed[i], m.packed[i-1])
 		}
-		m.det.step(m.vectors[i].T, phi)
+		m.det.step(m.vectors[i-1], m.vectors[i], phi)
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -385,7 +386,10 @@ func TestMonitorStreamingDetectorMatchesBatch(t *testing.T) {
 							seed, simMode, detMode, wi, len(stream), len(batch))
 					}
 					for i := range batch {
-						if stream[i] != batch[i] {
+						// DeepEqual follows the Explanation pointer, so
+						// provenance (contributors, flows, verdict) must
+						// match field for field, not just the scalars.
+						if !reflect.DeepEqual(stream[i], batch[i]) {
 							t.Fatalf("seed=%d sim=%v det=%v w=%d: event %d: stream %+v, batch %+v",
 								seed, simMode, detMode, wi, i, stream[i], batch[i])
 						}

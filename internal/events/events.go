@@ -100,6 +100,17 @@ func (g Group) Operator() string {
 	return g.Entries[0].Operator
 }
 
+// Site returns the site the event touched: the first non-empty Site among
+// the entries ("" when the event named no site, e.g. pure internal work).
+func (g Group) Site() string {
+	for _, e := range g.Entries {
+		if e.Site != "" {
+			return e.Site
+		}
+	}
+	return ""
+}
+
 func visRank(k Kind) int {
 	switch k {
 	case SiteDrain:
@@ -121,6 +132,14 @@ type Validation struct {
 	// Unmatched counts detections matching no group at all — the paper's
 	// "(*) external changes?" row of suspected third-party events.
 	Unmatched int
+	// DrainAttributed / DrainMisattributed audit detection provenance
+	// against ground truth: for every detection matched to a site-drain
+	// group, the explanation's top site flow must name the drained site
+	// (as source when the site empties, destination when it refills).
+	// A matched drain detection carrying no explanation, or whose top
+	// flow names some other site, counts as misattributed.
+	DrainAttributed    int
+	DrainMisattributed int
 }
 
 // Recall is TP/(TP+FN); 0 when undefined.
@@ -145,6 +164,7 @@ func ratio(num, den int) float64 {
 // group's start. Each detection matches at most one group (the nearest);
 // each group counts once.
 func Validate(groups []Group, detections []core.ChangeEvent, window timeline.Epoch) Validation {
+	var v Validation
 	matched := make([]bool, len(groups)) // group had a detection
 	used := make([]bool, len(detections))
 	// Nearest-match assignment, detections in time order.
@@ -162,9 +182,23 @@ func Validate(groups []Group, detections []core.ChangeEvent, window timeline.Epo
 		if best >= 0 {
 			matched[best] = true
 			used[di] = true
+			if g := groups[best]; g.Kind == SiteDrain {
+				if site := g.Site(); site != "" {
+					attributed := false
+					if ex := d.Explanation; ex != nil {
+						if f, ok := ex.TopFlow(); ok && (f.From == site || f.To == site) {
+							attributed = true
+						}
+					}
+					if attributed {
+						v.DrainAttributed++
+					} else {
+						v.DrainMisattributed++
+					}
+				}
+			}
 		}
 	}
-	var v Validation
 	for gi, g := range groups {
 		switch {
 		case g.Kind.Visible() && matched[gi]:

@@ -140,3 +140,45 @@ func TestRatiosUndefined(t *testing.T) {
 
 // timelineEpoch keeps literals short.
 func timelineEpoch(i int) timeline.Epoch { return timeline.Epoch(i) }
+
+// TestValidateDrainAttribution pins the provenance audit: a detection
+// matched to a logged site drain is attributed when its explanation's
+// top flow names the drained site (as source or destination), and
+// misattributed when the flow names another site or the detection
+// carries no explanation at all. Non-drain groups and unmatched
+// detections never enter the tally.
+func TestValidateDrainAttribution(t *testing.T) {
+	groups := []Group{
+		{At: 10, Kind: SiteDrain, Entries: []LogEntry{{At: 10, Operator: "a", Kind: SiteDrain, Site: "STR"}}},
+		{At: 30, Kind: SiteDrain, Entries: []LogEntry{{At: 30, Operator: "a", Kind: SiteDrain, Site: "LAX"}}},
+		{At: 50, Kind: SiteDrain, Entries: []LogEntry{{At: 50, Operator: "a", Kind: SiteDrain, Site: "AMS"}}},
+		{At: 70, Kind: TrafficEngineering, Entries: []LogEntry{{At: 70, Operator: "a", Kind: TrafficEngineering}}},
+	}
+	exp := func(from, to string) *core.Explanation {
+		return &core.Explanation{TopFlows: []core.Flow{{From: from, To: to, Count: 9}}}
+	}
+	detections := []core.ChangeEvent{
+		{At: 11, Explanation: exp("STR", "NAP")}, // drain: site is the source
+		{At: 31, Explanation: exp("NAP", "LAX")}, // refill: site is the destination
+		{At: 51, Explanation: exp("SIN", "NAP")}, // names the wrong site
+		{At: 71, Explanation: exp("SIN", "NAP")}, // TE group: not audited
+	}
+	v := Validate(groups, detections, 3)
+	if v.DrainAttributed != 2 || v.DrainMisattributed != 1 {
+		t.Fatalf("attribution = %d/%d, want 2 attributed, 1 misattributed: %+v",
+			v.DrainAttributed, v.DrainMisattributed, v)
+	}
+
+	// A matched drain detection with no explanation is misattributed —
+	// missing provenance is a failure the audit must surface, not skip.
+	v = Validate(groups[:1], []core.ChangeEvent{{At: 9}}, 3)
+	if v.DrainAttributed != 0 || v.DrainMisattributed != 1 {
+		t.Fatalf("bare detection: %d/%d, want 0/1", v.DrainAttributed, v.DrainMisattributed)
+	}
+
+	// Unmatched detections stay out of the tally entirely.
+	v = Validate(groups[:1], []core.ChangeEvent{{At: 99, Explanation: exp("STR", "NAP")}}, 3)
+	if v.DrainAttributed != 0 || v.DrainMisattributed != 0 || v.Unmatched != 1 {
+		t.Fatalf("unmatched detection entered the audit: %+v", v)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -37,6 +38,10 @@ type FlightRecorder struct {
 	head int // index of oldest event once the ring has wrapped
 	n    int // events currently stored
 	seq  uint64
+	// evicted counts events overwritten after the ring wrapped. Atomic
+	// so exposition paths can read it without taking mu; surfaced as
+	// fenrir_flight_events_evicted_total.
+	evicted atomic.Uint64
 }
 
 // NewFlightRecorder builds a recorder holding at most capacity events
@@ -63,6 +68,17 @@ func (fr *FlightRecorder) add(e Event) {
 	}
 	fr.buf[fr.head] = e
 	fr.head = (fr.head + 1) % cap(fr.buf)
+	fr.evicted.Add(1)
+}
+
+// Evicted returns how many events the ring has overwritten since
+// creation — nonzero means Events no longer reaches back to the start
+// of the run. Returns 0 on a nil recorder.
+func (fr *FlightRecorder) Evicted() uint64 {
+	if fr == nil {
+		return 0
+	}
+	return fr.evicted.Load()
 }
 
 // Events returns up to n of the most recent events, oldest first.

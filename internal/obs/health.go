@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// RuntimeHealth is a point-in-time view of runtime pressure, surfaced
+// by the serve daemon's /status endpoint so load tests can correlate
+// SLO drift (admission latency, queue depth) with what the runtime was
+// doing at the time.
+type RuntimeHealth struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapBytes      uint64  `json:"heap_bytes"`
+	GCPauseP99Secs float64 `json:"gc_pause_p99_seconds"`
+}
+
+// runtimeSamples are the runtime/metrics series health reads. The slice
+// is recreated per read: metrics.Read mutates the sample values and
+// ReadRuntimeHealth may be called concurrently from request handlers.
+func runtimeSamples() []metrics.Sample {
+	return []metrics.Sample{
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/pauses:seconds"},
+	}
+}
+
+// ReadRuntimeHealth samples the runtime: live goroutines, bytes in heap
+// objects, and the p99 of the process-lifetime GC pause distribution.
+func ReadRuntimeHealth() RuntimeHealth {
+	samples := runtimeSamples()
+	metrics.Read(samples)
+	var h RuntimeHealth
+	for _, s := range samples {
+		if s.Value.Kind() == metrics.KindBad {
+			continue
+		}
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			h.Goroutines = int(s.Value.Uint64())
+		case "/memory/classes/heap/objects:bytes":
+			h.HeapBytes = s.Value.Uint64()
+		case "/gc/pauses:seconds":
+			h.GCPauseP99Secs = histogramQuantile(s.Value.Float64Histogram(), 0.99)
+		}
+	}
+	return h
+}
+
+// histogramQuantile estimates quantile q from a runtime/metrics
+// histogram: find the bucket where the cumulative count crosses rank
+// q·total and report its finite upper bound (the lower bound for the
+// +Inf tail). Returns 0 for an empty histogram.
+func histogramQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			// Buckets[i+1] is bucket i's upper bound; clamp the +Inf
+			// tail to the last finite edge.
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, +1) {
+				hi = h.Buckets[len(h.Buckets)-2]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-2]
+}

@@ -46,6 +46,26 @@ type Manifest struct {
 	// structured events (quarantines, retries, 429s, checkpoints, fault
 	// injections), oldest first.
 	Events []Event `json:"events,omitempty"`
+	// Detections are the run's explained change events: one provenance
+	// rollup per ChangeEvent (verdict, magnitude, headline flow), in
+	// detection order.
+	Detections []DetectionSummary `json:"detections,omitempty"`
+}
+
+// DetectionSummary is the manifest's per-event provenance rollup,
+// filled from a core.ChangeEvent's Explanation (see
+// core.SummarizeDetections). Flow fields are empty when no weight
+// verifiably moved between observed sites.
+type DetectionSummary struct {
+	At         int64   `json:"at"`
+	Phi        float64 `json:"phi"`
+	Baseline   float64 `json:"baseline"`
+	Magnitude  float64 `json:"magnitude"`
+	Verdict    string  `json:"verdict,omitempty"`
+	Changed    int     `json:"changed,omitempty"`
+	FlowFrom   string  `json:"flow_from,omitempty"`
+	FlowTo     string  `json:"flow_to,omitempty"`
+	FlowWeight float64 `json:"flow_weight,omitempty"`
 }
 
 // StageSeconds sums the recorded stage durations.
@@ -77,9 +97,12 @@ func (m *Manifest) FillFromRegistry(r *Registry) {
 	m.Events = r.Events(0)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	m.Counters = make(map[string]int64, len(r.counters))
+	m.Counters = make(map[string]int64, len(r.counters)+2)
 	for k, v := range r.counters {
 		m.Counters[k] = v.Value()
+	}
+	for k, v := range r.evictionCounters() {
+		m.Counters[k] = v
 	}
 	m.Gauges = make(map[string]float64, len(r.gauges))
 	for k, v := range r.gauges {

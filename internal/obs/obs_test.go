@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"io"
 	"net/http"
 	"path/filepath"
@@ -261,5 +262,81 @@ func TestRuntimeSampler(t *testing.T) {
 	// Stop is idempotent.
 	if g2, _ := s.Stop(); g2 != g {
 		t.Fatalf("second Stop changed peaks: %d vs %d", g2, g)
+	}
+}
+
+// TestEvictionCounters pins the bounded-ring eviction accounting: both
+// counters are always present (zero included — presence is the proof
+// nothing was dropped), the flight ring counts overwrites once it
+// wraps, the trace ring likewise, and both surface through
+// WritePrometheus, Snapshot, and the manifest.
+func TestEvictionCounters(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	for _, name := range []string{"fenrir_trace_spans_evicted_total 0", "fenrir_flight_events_evicted_total 0"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("fresh registry missing %q:\n%s", name, buf.String())
+		}
+	}
+	if r.TraceEvicted() != 0 || r.FlightEvicted() != 0 {
+		t.Fatal("fresh registry reports evictions")
+	}
+
+	// Wrap the flight ring: flightCap+7 events must evict exactly 7.
+	for i := 0; i < flightCap+7; i++ {
+		r.Logger().Info("event", "i", i)
+	}
+	if got := r.FlightEvicted(); got != 7 {
+		t.Fatalf("flight evictions = %d, want 7", got)
+	}
+
+	// Wrap the trace ring: traceCap+3 finished spans must evict 3.
+	root := r.BeginTrace("run")
+	for i := 0; i < traceCap+2; i++ {
+		root.Child("s").End()
+	}
+	root.End()
+	if got := r.TraceEvicted(); got != 3 {
+		t.Fatalf("trace evictions = %d, want 3", got)
+	}
+
+	snapCounters := r.Snapshot()["counters"].(map[string]int64)
+	if snapCounters["fenrir_flight_events_evicted_total"] != 7 ||
+		snapCounters["fenrir_trace_spans_evicted_total"] != 3 {
+		t.Fatalf("snapshot counters wrong: %+v", snapCounters)
+	}
+	var m Manifest
+	m.FillFromRegistry(r)
+	if m.Counters["fenrir_flight_events_evicted_total"] != 7 ||
+		m.Counters["fenrir_trace_spans_evicted_total"] != 3 {
+		t.Fatalf("manifest counters wrong: %+v", m.Counters)
+	}
+	buf.Reset()
+	r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "fenrir_flight_events_evicted_total 7") {
+		t.Fatalf("prometheus output missing eviction count:\n%s", buf.String())
+	}
+
+	// Nil-registry accessors are no-ops, per the obs contract.
+	var nilReg *Registry
+	if nilReg.TraceEvicted() != 0 || nilReg.FlightEvicted() != 0 {
+		t.Fatal("nil registry reports evictions")
+	}
+}
+
+// TestReadRuntimeHealth exercises the /status runtime block: the
+// sampled values must be live (goroutines, heap) and the GC-pause
+// quantile non-negative even when no GC has run yet.
+func TestReadRuntimeHealth(t *testing.T) {
+	h := ReadRuntimeHealth()
+	if h.Goroutines < 1 {
+		t.Fatalf("goroutines = %d", h.Goroutines)
+	}
+	if h.HeapBytes == 0 {
+		t.Fatal("heap bytes = 0")
+	}
+	if h.GCPauseP99Secs < 0 {
+		t.Fatalf("gc pause p99 = %v", h.GCPauseP99Secs)
 	}
 }

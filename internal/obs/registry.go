@@ -44,12 +44,15 @@ type Registry struct {
 	hasFlight atomic.Bool
 
 	// Trace-tree state (see trace.go): monotone span ids, the active
-	// root, and the bounded completed-span ring.
-	nextSpanID int64
-	root       *Span
-	traceOn    atomic.Bool
-	trace      []TraceRecord
-	traceHead  int
+	// root, and the bounded completed-span ring. traceEvicted counts
+	// spans the ring overwrote; atomic so exposition paths read it
+	// without mu.
+	nextSpanID   int64
+	root         *Span
+	traceOn      atomic.Bool
+	trace        []TraceRecord
+	traceHead    int
+	traceEvicted atomic.Uint64
 }
 
 // NewRegistry returns an empty registry anchored at the current time,
@@ -373,6 +376,18 @@ func (h *Histogram) Summary() HistogramSummary {
 	return s
 }
 
+// evictionCounters reports the bounded rings' eviction totals as
+// synthetic counters, so /metrics, Snapshot, and manifests always carry
+// them (zero included — a zero is the proof nothing was silently
+// dropped). Safe to call with or without r.mu: both sources are their
+// own synchronization.
+func (r *Registry) evictionCounters() map[string]int64 {
+	return map[string]int64{
+		"fenrir_trace_spans_evicted_total":   int64(r.traceEvicted.Load()),
+		"fenrir_flight_events_evicted_total": int64(r.flight.Evicted()),
+	}
+}
+
 // splitName splits a metric name into its base and an optional verbatim
 // label block (without braces): `m{a="b"}` → (`m`, `a="b"`).
 func splitName(name string) (base, labels string) {
@@ -492,6 +507,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		counters[k] = v
 	}
 	floats := make(map[string]*FloatCounter, len(r.floats))
+	evictions := r.evictionCounters()
 	for k, v := range r.floats {
 		floats[k] = v
 	}
@@ -513,9 +529,16 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
 		}
 	}
-	for _, name := range sortedKeys(counters) {
+	counterVals := make(map[string]int64, len(counters)+len(evictions))
+	for k, c := range counters {
+		counterVals[k] = c.Value()
+	}
+	for k, v := range evictions {
+		counterVals[k] = v
+	}
+	for _, name := range sortedKeys(counterVals) {
 		typeLine(name, "counter")
-		fmt.Fprintf(w, "%s %d\n", name, counters[name].Value())
+		fmt.Fprintf(w, "%s %d\n", name, counterVals[name])
 	}
 	for _, name := range sortedKeys(floats) {
 		typeLine(name, "counter")
@@ -571,9 +594,12 @@ func (r *Registry) Snapshot() map[string]any {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	counters := make(map[string]int64, len(r.counters))
+	counters := make(map[string]int64, len(r.counters)+2)
 	for k, v := range r.counters {
 		counters[k] = v.Value()
+	}
+	for k, v := range r.evictionCounters() {
+		counters[k] = v
 	}
 	floats := make(map[string]float64, len(r.floats))
 	for k, v := range r.floats {

@@ -201,6 +201,26 @@ func (r *Registry) traceAppendLocked(rec TraceRecord) {
 	}
 	r.trace[r.traceHead] = rec
 	r.traceHead = (r.traceHead + 1) % traceCap
+	r.traceEvicted.Add(1)
+}
+
+// TraceEvicted returns how many completed spans the trace ring has
+// overwritten since creation — nonzero means an exported trace is
+// missing its oldest spans. Returns 0 on a nil registry.
+func (r *Registry) TraceEvicted() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.traceEvicted.Load()
+}
+
+// FlightEvicted returns how many events the flight-recorder ring has
+// overwritten since creation. Returns 0 on a nil registry.
+func (r *Registry) FlightEvicted() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.flight.Evicted()
 }
 
 // TraceRecords returns the ring's completed spans, oldest first. Returns

@@ -323,6 +323,7 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 	}
 	spDet := cfg.Obs.StartSpan("detect")
 	detections := core.DetectChanges(series, nil, opts)
+	core.ObserveDetections(cfg.Obs, spDet, detections)
 	groups := events.GroupEntries(log, 2)
 	val := events.Validate(groups, detections, 3)
 	spDet.SetItems(int64(len(detections)))

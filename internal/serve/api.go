@@ -110,6 +110,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": s.isDraining()})
 	})
+	mux.HandleFunc("GET /status", s.timed("server-status", s.handleServerStatus))
 	mux.Handle("GET /metrics", obs.Handler(s.cfg.Obs))
 	mux.HandleFunc("GET /v1/tenants", s.timed("tenants", s.handleListTenants))
 	mux.HandleFunc("PUT /v1/tenants/{name}", s.handleCreateTenant)
@@ -117,6 +118,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/tenants/{name}/observations", s.withTenant(s.handleIngest))
 	mux.HandleFunc("GET /v1/tenants/{name}/mode", s.timed("mode", s.withTenant(s.handleMode)))
 	mux.HandleFunc("GET /v1/tenants/{name}/events", s.timed("events", s.withTenant(s.handleEvents)))
+	mux.HandleFunc("GET /v1/tenants/{name}/events/{at}/explain", s.timed("explain", s.withTenant(s.handleExplain)))
 	mux.HandleFunc("GET /v1/tenants/{name}/heatmap", s.timed("heatmap", s.withTenant(s.handleHeatmap)))
 	mux.HandleFunc("GET /v1/tenants/{name}/transitions", s.timed("transitions", s.withTenant(s.handleTransitions)))
 	mux.HandleFunc("GET /v1/tenants/{name}/flows", s.timed("flows", s.withTenant(s.handleFlows)))
@@ -416,23 +418,113 @@ func (s *Server) handleMode(w http.ResponseWriter, _ *http.Request, t *tenant) {
 // handleEvents replays batch detection over the history, so the answer
 // depends only on ingested observations — a warm-restarted daemon
 // reports the identical event list without having witnessed the events
-// live.
+// live. With ?explain=1 each event carries its full provenance; the
+// replay uses the same shared detector the live stream does, so the
+// explanations are byte-identical to the ones Append produced.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, t *tenant) {
 	n := intQuery(r, "n", 20)
+	explain := intQuery(r, "explain", 0) != 0
 	events := core.DetectChanges(t.mon.Series(), t.mon.Weights(), t.mon.Detect())
 	if n > 0 && len(events) > n {
 		events = events[len(events)-n:]
 	}
 	out := make([]map[string]any, 0, len(events))
 	for _, ev := range events {
-		out = append(out, map[string]any{
+		e := map[string]any{
 			"at":        int64(ev.At),
 			"phi":       ev.Phi,
 			"baseline":  ev.Baseline,
 			"magnitude": ev.Magnitude,
-		})
+		}
+		if explain && ev.Explanation != nil {
+			e["explanation"] = explanationJSON(ev.Explanation)
+		}
+		out = append(out, e)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"events": out})
+}
+
+// handleExplain serves one event's full provenance by epoch:
+// GET /v1/tenants/{name}/events/{at}/explain.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, t *tenant) {
+	at, err := strconv.ParseInt(r.PathValue("at"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "epoch %q is not an integer", r.PathValue("at"))
+		return
+	}
+	events := core.DetectChanges(t.mon.Series(), t.mon.Weights(), t.mon.Detect())
+	for _, ev := range events {
+		if int64(ev.At) != at || ev.Explanation == nil {
+			continue
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"at":          at,
+			"phi":         ev.Phi,
+			"baseline":    ev.Baseline,
+			"magnitude":   ev.Magnitude,
+			"explanation": explanationJSON(ev.Explanation),
+		})
+		return
+	}
+	writeErr(w, http.StatusNotFound, "no change event at epoch %d", at)
+}
+
+// explanationJSON renders an Explanation for the wire with stable keys.
+func explanationJSON(ex *core.Explanation) map[string]any {
+	contributors := make([]map[string]any, 0, len(ex.Contributors))
+	for _, c := range ex.Contributors {
+		contributors = append(contributors, map[string]any{
+			"network": c.Network, "from": c.From, "to": c.To, "weight": c.Weight,
+		})
+	}
+	flows := make([]map[string]any, 0, len(ex.TopFlows))
+	for _, f := range ex.TopFlows {
+		flows = append(flows, map[string]any{"from": f.From, "to": f.To, "count": f.Count})
+	}
+	return map[string]any{
+		"verdict":        ex.Label(),
+		"recurrence":     ex.Recurrence,
+		"matched_mode":   ex.MatchedMode,
+		"mode_phi":       ex.ModePhi,
+		"mode_count":     ex.ModeCount,
+		"contributors":   contributors,
+		"changed_count":  ex.ChangedCount,
+		"changed_weight": ex.ChangedWeight,
+		"moved":          ex.Moved,
+		"stayed":         ex.Stayed,
+		"unobserved":     ex.Unobserved,
+		"total":          ex.Total,
+		"went_unknown":   ex.WentUnknown,
+		"became_known":   ex.BecameKnown,
+		"top_flows":      flows,
+	}
+}
+
+// handleServerStatus is the daemon-level rollup: tenant fleet shape plus
+// a runtime health block (goroutines, heap, GC pause p99) so load tests
+// can correlate SLO drift with runtime pressure.
+func (s *Server) handleServerStatus(w http.ResponseWriter, _ *http.Request) {
+	var history int
+	var appends, events uint64
+	names := s.tenantNames()
+	for _, name := range names {
+		t := s.tenant(name)
+		if t == nil {
+			continue
+		}
+		snap := t.mon.Snapshot()
+		history += snap.History
+		appends += snap.Appends
+		events += snap.Events
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenants":  len(names),
+		"history":  history,
+		"appends":  appends,
+		"events":   events,
+		"draining": s.isDraining(),
+		"runtime":  obs.ReadRuntimeHealth(),
+	})
 }
 
 func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request, t *tenant) {

@@ -649,3 +649,117 @@ func TestServeDrain(t *testing.T) {
 		t.Fatalf("drain checkpoint incomplete: %d %s", code, body)
 	}
 }
+
+// TestServeExplainAndServerStatus covers the provenance surface: events
+// with ?explain=1 carry full explanations whose headline flow names the
+// drained site, the per-event explain endpoint serves the same payload,
+// missing epochs 404, the recurrence/novel counters are fed, and the
+// daemon-level GET /status reports the runtime health block.
+func TestServeExplainAndServerStatus(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := testServer(t, Config{Obs: reg})
+	nets := specNets(90)
+	if code, body := doReq(t, ts, http.MethodPut, "/v1/tenants/anycast", defaultSpec(90)); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	mustIngest(t, ts, "anycast", nets, 0, 40, 20)
+	waitHistory(t, ts, "anycast", 40)
+
+	type explanation struct {
+		Verdict  string `json:"verdict"`
+		TopFlows []struct {
+			From  string  `json:"from"`
+			To    string  `json:"to"`
+			Count float64 `json:"count"`
+		} `json:"top_flows"`
+		Contributors []struct {
+			Network string `json:"network"`
+		} `json:"contributors"`
+		Moved      float64 `json:"moved"`
+		Stayed     float64 `json:"stayed"`
+		Unobserved float64 `json:"unobserved"`
+		Total      float64 `json:"total"`
+		ModeCount  int     `json:"mode_count"`
+	}
+	code, body := doReq(t, ts, http.MethodGet, "/v1/tenants/anycast/events?explain=1", nil)
+	if code != http.StatusOK {
+		t.Fatalf("events?explain=1: %d %s", code, body)
+	}
+	var evs struct {
+		Events []struct {
+			At          int64        `json:"at"`
+			Explanation *explanation `json:"explanation"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(body, &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs.Events) != 1 || evs.Events[0].At != 20 {
+		t.Fatalf("events = %s, want exactly the epoch-20 flip", body)
+	}
+	ex := evs.Events[0].Explanation
+	if ex == nil {
+		t.Fatalf("explain=1 event carries no explanation: %s", body)
+	}
+	if ex.Verdict == "" || len(ex.Contributors) == 0 {
+		t.Fatalf("explanation incomplete: %+v", ex)
+	}
+	if len(ex.TopFlows) == 0 || ex.TopFlows[0].From != "alpha" || ex.TopFlows[0].To != "beta" {
+		t.Fatalf("top flow should be the alpha→beta drain: %+v", ex.TopFlows)
+	}
+	if got := ex.Moved + ex.Stayed + ex.Unobserved; got != ex.Total {
+		t.Fatalf("mass partition violated over HTTP: %v + %v + %v != %v", ex.Moved, ex.Stayed, ex.Unobserved, ex.Total)
+	}
+
+	code, body = doReq(t, ts, http.MethodGet, "/v1/tenants/anycast/events/20/explain", nil)
+	if code != http.StatusOK {
+		t.Fatalf("event explain: %d %s", code, body)
+	}
+	var one struct {
+		At          int64        `json:"at"`
+		Explanation *explanation `json:"explanation"`
+	}
+	if err := json.Unmarshal(body, &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.Explanation == nil || one.Explanation.Verdict != ex.Verdict || len(one.Explanation.TopFlows) != len(ex.TopFlows) {
+		t.Fatalf("per-event explain diverges from events?explain=1: %s", body)
+	}
+	if code, _ := doReq(t, ts, http.MethodGet, "/v1/tenants/anycast/events/7/explain", nil); code != http.StatusNotFound {
+		t.Fatalf("explain at quiet epoch: %d, want 404", code)
+	}
+	if code, _ := doReq(t, ts, http.MethodGet, "/v1/tenants/anycast/events/x/explain", nil); code != http.StatusBadRequest {
+		t.Fatalf("explain at non-integer epoch: %d, want 400", code)
+	}
+
+	if got := reg.Counter("fenrir_detect_recurrence_total").Value() + reg.Counter("fenrir_detect_novel_total").Value(); got == 0 {
+		t.Fatal("detection verdict counters not fed by streaming ingest")
+	}
+
+	code, body = doReq(t, ts, http.MethodGet, "/status", nil)
+	if code != http.StatusOK {
+		t.Fatalf("server status: %d %s", code, body)
+	}
+	var st struct {
+		Tenants int  `json:"tenants"`
+		History int  `json:"history"`
+		Drain   bool `json:"draining"`
+		Runtime struct {
+			Goroutines int     `json:"goroutines"`
+			HeapBytes  uint64  `json:"heap_bytes"`
+			GCPauseP99 float64 `json:"gc_pause_p99_seconds"`
+		} `json:"runtime"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenants != 1 || st.History != 40 {
+		t.Fatalf("fleet rollup wrong: %s", body)
+	}
+	if st.Runtime.Goroutines < 1 || st.Runtime.HeapBytes == 0 {
+		t.Fatalf("runtime health block empty: %s", body)
+	}
+	if st.Runtime.GCPauseP99 < 0 {
+		t.Fatalf("negative GC pause quantile: %s", body)
+	}
+}

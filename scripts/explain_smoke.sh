@@ -1,0 +1,56 @@
+#!/bin/sh
+# explain_smoke.sh — end-to-end check of detection provenance: run the
+# groot scenario (whose scripted calendar drains the STR site) with
+# -explain and assert every change event carries a verdict, the first
+# drain's top flow names STR as the emptied site, and at least one later
+# event is labeled a recurrence — the repeated drain rediscovering the
+# earlier drained mode. Additionally assert the manifest's detections
+# section records the same headline flow. Used by `make explain-smoke` /
+# `make check`.
+set -e
+cd "$(dirname "$0")/.."
+
+m="$(mktemp /tmp/fenrir-manifest.XXXXXX.json)"
+out="$(mktemp /tmp/fenrir-explain.XXXXXX.txt)"
+trap 'rm -f "$m" "$out"' EXIT
+
+go run ./cmd/fenrir -scenario groot -explain -manifest "$m" >"$out"
+
+events=$(grep -c '^change at epoch' "$out") || {
+    echo "explain-smoke: no change events in output" >&2
+    cat "$out" >&2
+    exit 1
+}
+verdicts=$(grep -c '  verdict: ' "$out")
+if [ "$verdicts" -ne "$events" ]; then
+    echo "explain-smoke: $events events but $verdicts verdicts — some event has no explanation" >&2
+    cat "$out" >&2
+    exit 1
+fi
+
+# The first change is the first STR drain: its headline flow must name
+# STR as the source the mass left.
+first_flow=$(sed -n '/^change at epoch/,$p' "$out" | grep '  flow: ' | head -1)
+case "$first_flow" in
+*"flow: STR -> "*) ;;
+*)
+    echo "explain-smoke: first drain's top flow does not name STR: '$first_flow'" >&2
+    cat "$out" >&2
+    exit 1
+    ;;
+esac
+
+if ! grep -q '  verdict: recurrence-of mode ' "$out"; then
+    echo "explain-smoke: repeated drain was never labeled a recurrence" >&2
+    cat "$out" >&2
+    exit 1
+fi
+
+# The manifest's detections section must carry the same headline flow.
+if ! grep -q '"flow_from":"STR"' "$m" && ! grep -q '"flow_from": *"STR"' "$m"; then
+    echo "explain-smoke: manifest detections do not record the STR drain flow" >&2
+    cat "$m" >&2
+    exit 1
+fi
+
+echo "explain-smoke: ok — $events explained events, first drain attributed to STR, recurrences labeled"

@@ -42,6 +42,7 @@ func main() {
 	if *checkEvents {
 		checkManifestEvents(m)
 	}
+	checkEvictions(m)
 	if *checkServe {
 		checkServeManifest(m)
 		return
@@ -149,6 +150,29 @@ func checkManifestEvents(m *obs.Manifest) {
 	}
 	fmt.Printf("manifestcheck: events ok — %d flight-recorder events (seq %d..%d)\n",
 		len(m.Events), m.Events[0].Seq, m.Events[len(m.Events)-1].Seq)
+}
+
+// checkEvictions asserts the telemetry-ring eviction counters landed in
+// the manifest — their presence (zero included) is the proof that no
+// span or event silently fell out of the bounded rings — and flags any
+// nonzero eviction loudly: the manifest's trace and event sections are
+// then known to be truncated views.
+func checkEvictions(m *obs.Manifest) {
+	for _, name := range []string{
+		"fenrir_trace_spans_evicted_total",
+		"fenrir_flight_events_evicted_total",
+	} {
+		v, ok := m.Counters[name]
+		if !ok {
+			fail("eviction counter %q missing from manifest", name)
+		}
+		if v < 0 {
+			fail("counter %q is negative: %d", name, v)
+		}
+		if v > 0 {
+			fmt.Fprintf(os.Stderr, "manifestcheck: WARNING — %s = %d: telemetry rings overflowed, manifest trace/events are truncated\n", name, v)
+		}
+	}
 }
 
 func fail(format string, args ...any) {

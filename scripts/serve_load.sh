@@ -7,6 +7,11 @@
 # path), while READERS goroutines hammer the query and metrics
 # endpoints. Any race report or 5xx fails the script.
 #
+# On success the run's ingest throughput and client-observed admission
+# latency quantiles (per accepted POST, ordered writers only) are written
+# to BENCH_OUT in the same JSON shape bench2json.sh produces for `make
+# bench`, so serve-path regressions diff exactly like kernel ones.
+#
 #   WRITERS=8 EPOCHS=200 READERS=6 ./scripts/serve_load.sh
 set -e
 cd "$(dirname "$0")/.."
@@ -14,6 +19,7 @@ cd "$(dirname "$0")/.."
 WRITERS="${WRITERS:-4}"
 EPOCHS="${EPOCHS:-120}"
 READERS="${READERS:-4}"
+BENCH_OUT="${BENCH_OUT:-BENCH_serve.json}"
 
 work="$(mktemp -d /tmp/fenrir-serve-load.XXXXXX)"
 pids=""
@@ -73,12 +79,17 @@ curl -s -o /dev/null -X PUT -d "$spec" "$url/v1/tenants/shared"
 
 writer() { # tenant
     e=0
+    lat="$work/lat.$1"
     while [ $e -lt "$EPOCHS" ]; do
         body=$(obs_json $e)
-        code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d "$body" \
+        out=$(curl -s -o /dev/null -w '%{http_code} %{time_total}' -X POST -d "$body" \
             "$url/v1/tenants/$1/observations")
+        code="${out%% *}"
         case "$code" in
-        202) e=$((e + 1)) ;;
+        202)
+            echo "${out#* }" >>"$lat"
+            e=$((e + 1))
+            ;;
         429) sleep 0.02 ;; # backpressure: retry same epoch
         *)
             echo "serve-load: writer $1 epoch $e: HTTP $code" >&2
@@ -117,6 +128,7 @@ reader() { # id
     done
 }
 
+start_ns=$(date +%s%N)
 writer_pids=""
 w=0
 while [ $w -lt "$WRITERS" ]; do
@@ -139,6 +151,7 @@ fail=0
 for p in $writer_pids; do
     wait "$p" || fail=1
 done
+end_ns=$(date +%s%N)
 touch "$work/stop"
 for p in $reader_pids; do
     wait "$p" || true
@@ -157,4 +170,25 @@ if [ "$fail" -ne 0 ]; then
     echo "serve-load: failed (writer error, reader 5xx, or unclean shutdown)" >&2
     exit 1
 fi
+
+# Roll the accepted-POST latencies into bench2json.sh-shaped rows:
+# throughput as ns per accepted observation over the whole write phase,
+# plus p50/p90/p99 admission latency across ordered writers.
+sort -g "$work"/lat.w* | awk \
+    -v wall_ns=$((end_ns - start_ns)) \
+    -v writers="$WRITERS" -v readers="$READERS" '
+    { v[NR] = $1 }
+    END {
+        if (NR == 0) exit 1
+        q50 = v[int(0.50 * (NR - 1)) + 1] * 1e9
+        q90 = v[int(0.90 * (NR - 1)) + 1] * 1e9
+        q99 = v[int(0.99 * (NR - 1)) + 1] * 1e9
+        printf "[\n"
+        printf "  {\"name\": \"ServeLoad/ingest-throughput/W=%d/R=%d\", \"iterations\": %d, \"ns_per_op\": %.0f},\n", writers, readers, NR, wall_ns / NR
+        printf "  {\"name\": \"ServeLoad/admission-latency-p50\", \"iterations\": %d, \"ns_per_op\": %.0f},\n", NR, q50
+        printf "  {\"name\": \"ServeLoad/admission-latency-p90\", \"iterations\": %d, \"ns_per_op\": %.0f},\n", NR, q90
+        printf "  {\"name\": \"ServeLoad/admission-latency-p99\", \"iterations\": %d, \"ns_per_op\": %.0f}\n", NR, q99
+        printf "]\n"
+    }' >"$BENCH_OUT"
+echo "serve-load: bench written to $BENCH_OUT"
 echo "serve-load: ok — $WRITERS ordered writers + $WRITERS contended writers + $READERS readers, $EPOCHS epochs each, no races, no 5xx"
