@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchguard cover obs-smoke faults-smoke serve-smoke trace-smoke explain-smoke serve-load check clean
+.PHONY: all build vet test race bench benchguard cover obs-smoke faults-smoke serve-smoke window-smoke trace-smoke explain-smoke serve-load check clean
 
 all: build test
 
@@ -66,6 +66,13 @@ faults-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# End-to-end sliding-window check: kill a windowed checkpointing daemon
+# mid-stream (evictions and live engine state in the snapshot), restart
+# it, and assert the restored daemon's query output is byte-identical to
+# an uninterrupted windowed run.
+window-smoke:
+	./scripts/window_smoke.sh
+
 # End-to-end tracing check: run a scenario twice with -trace and assert
 # both outputs are valid Chrome trace JSON with tile/sweep/ingest spans
 # nested under the run root, and that the canonical trees (timestamps
@@ -86,7 +93,7 @@ explain-smoke:
 serve-load:
 	./scripts/serve_load.sh
 
-check: test race cover obs-smoke faults-smoke serve-smoke trace-smoke explain-smoke benchguard
+check: test race cover obs-smoke faults-smoke serve-smoke window-smoke trace-smoke explain-smoke benchguard
 
 clean:
 	rm -f BENCH_core.json BENCH_core.json.tmp bench.out cover.out

@@ -29,6 +29,7 @@
 //
 //	fenrir -serve :8080 -snapshot-dir /var/lib/fenrir
 //	fenrir -serve :8080 -snapshot-dir state -faults light -manifest run.json
+//	fenrir -serve :8080 -window 2048           # bounded tenant history
 package main
 
 import (
@@ -72,6 +73,7 @@ type cliOptions struct {
 	snapshotDir   string
 	snapshotEvery int
 	queueDepth    int
+	window        int
 }
 
 func main() {
@@ -93,6 +95,7 @@ func main() {
 	flag.StringVar(&o.snapshotDir, "snapshot-dir", "", "daemon checkpoint directory (warm-restarts tenants found there)")
 	flag.IntVar(&o.snapshotEvery, "snapshot-every", 0, "daemon: checkpoint a tenant after this many accepted observations (0 = 64)")
 	flag.IntVar(&o.queueDepth, "queue-depth", 0, "daemon: per-tenant ingest queue depth (0 = 256)")
+	flag.IntVar(&o.window, "window", 0, "daemon: default sliding-window bound for tenants whose spec sets none (0 = unbounded history)")
 	flag.Parse()
 
 	if err := applyKernelFlag(o.kernel); err != nil {
@@ -379,6 +382,7 @@ func runServe(o cliOptions) error {
 		SnapshotDir:   o.snapshotDir,
 		SnapshotEvery: o.snapshotEvery,
 		QueueDepth:    o.queueDepth,
+		DefaultWindow: o.window,
 		Obs:           reg,
 		Faults:        inj,
 	})

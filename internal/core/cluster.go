@@ -61,6 +61,25 @@ func HAC(m *SimMatrix, linkage Linkage) *Dendrogram {
 			}
 		}
 	}
+	return hacDistances(d, n, linkage, nil)
+}
+
+// nnScan is one nearest-neighbour scan of the NN-chain run: the chain
+// top, the winning neighbour, its distance, and whether the scan ended
+// in a merge. The sequence of scans is a complete record of the
+// algorithm's control flow — the online mode engine (online.go) replays
+// it to decide whether a new leaf can be grafted onto an existing
+// dendrogram without changing any recorded decision.
+type nnScan struct {
+	top, best int
+	bestD     float64
+	merged    bool
+}
+
+// hacDistances is HAC over a dense distance buffer (d[i*n+j], diagonal
+// zero, clobbered during the run). When trace is non-nil, every
+// nearest-neighbour scan is appended to it in execution order.
+func hacDistances(d []float64, n int, linkage Linkage, trace *[]nnScan) *Dendrogram {
 	size := make([]int, n)
 	active := make([]bool, n)
 	id := make([]int, n) // current dendrogram node id of row i
@@ -95,6 +114,12 @@ func HAC(m *SimMatrix, linkage Linkage) *Dendrogram {
 				if best == -1 || dj < bestD || (dj == bestD && j < best) {
 					best, bestD = j, dj
 				}
+			}
+			if trace != nil {
+				*trace = append(*trace, nnScan{
+					top: top, best: best, bestD: bestD,
+					merged: len(chain) >= 2 && best == chain[len(chain)-2],
+				})
 			}
 			if len(chain) >= 2 && best == chain[len(chain)-2] {
 				// Reciprocal nearest neighbours: merge top and best.
@@ -232,6 +257,15 @@ func DefaultAdaptiveOptions() AdaptiveOptions {
 // by applying a height-filtered merge subset is order-independent, so
 // sorted application matches Cut's execution-order application exactly.
 func ClusterAdaptive(m *SimMatrix, opts AdaptiveOptions) (threshold float64, clusters [][]int) {
+	opts = normalizeAdaptive(opts)
+	dg := HAC(m, opts.Linkage)
+	return sweepDendrogram(dg, opts)
+}
+
+// normalizeAdaptive applies the §2.6.2 defaults ClusterAdaptive always
+// applied, so sweeps driven elsewhere (the online engine) select the
+// same thresholds for the same zero-valued options.
+func normalizeAdaptive(opts AdaptiveOptions) AdaptiveOptions {
 	if opts.MaxClusters <= 0 {
 		opts.MaxClusters = 15
 	}
@@ -241,8 +275,14 @@ func ClusterAdaptive(m *SimMatrix, opts AdaptiveOptions) (threshold float64, clu
 	if opts.Step <= 0 {
 		opts.Step = 0.01
 	}
-	dg := HAC(m, opts.Linkage)
+	return opts
+}
 
+// sweepDendrogram is the threshold sweep of ClusterAdaptive over an
+// already-built dendrogram; opts must be normalized. Factored out so the
+// online mode engine can re-sweep an incrementally maintained dendrogram
+// without recomputing HAC.
+func sweepDendrogram(dg *Dendrogram, opts AdaptiveOptions) (threshold float64, clusters [][]int) {
 	// Representative leaf of every dendrogram node, in execution order
 	// (same mapping Cut builds).
 	rep := make([]int, dg.N+len(dg.Merges))
@@ -332,7 +372,18 @@ func ClusterAdaptive(m *SimMatrix, opts AdaptiveOptions) (threshold float64, clu
 		len   int
 	}
 	var first, longest, cur run
-	for t := 0.0; t <= 1.0+1e-9; t += opts.Step {
+	// Each threshold is computed as i·Step rather than accumulated with
+	// t += Step: the accumulated form drifts (after 30 additions of 0.01
+	// the sum is below 0.30 by ~5 ulps), which can put a merge whose
+	// height sits exactly on a step boundary on the wrong side of
+	// `Height <= t` compared to a from-scratch Cut at the nominal
+	// threshold — and the threshold returned to callers was the drifted
+	// value, not the grid point the paper's sweep describes.
+	for i := 0; ; i++ {
+		t := float64(i) * opts.Step
+		if t > 1.0+1e-9 {
+			break
+		}
 		isp := opts.Span.Child("sweep")
 		advance(t)
 		sweepCounts.Observe(float64(numClusters))

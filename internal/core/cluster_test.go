@@ -324,3 +324,44 @@ func BenchmarkHAC500(b *testing.B) {
 		HAC(m, AverageLinkage)
 	}
 }
+
+// TestClusterAdaptiveNominalThresholds pins the float-drift fix in the
+// threshold sweep: thresholds must be the nominal grid points i·Step,
+// not an accumulated t += Step sum. The fixture's single-linkage A–B
+// merge height is exactly 0.5 + 2⁻⁵³ — just above the nominal grid
+// point 0.50 (float64(50)*0.01 == 0.5 exactly) but below the
+// accumulated sum after fifty additions of 0.01 (≈ 0.5 + 2.2e-16) —
+// so the drifting sweep merged A and B one step early and reported the
+// drifted threshold 0.50000000000000022, while the nominal sweep first
+// sees the merged clustering at exactly 0.51.
+func TestClusterAdaptiveNominalThresholds(t *testing.T) {
+	hStar := 0.5 + 0x1p-53
+	m := NewSimMatrix(8)
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			switch {
+			case j <= 2: // within A = {0,1,2}
+				m.Set(i, j, 0.995)
+			case i >= 3 && j <= 5: // within B = {3,4,5}
+				m.Set(i, j, 0.995)
+			case i <= 2 && j <= 5: // A×B cross pairs
+				m.Set(i, j, 0.2)
+			default: // pairs touching the singletons 6, 7
+				m.Set(i, j, 0.05)
+			}
+		}
+	}
+	// Closest A–B pair: Φ = 1 − hStar is exact (Sterbenz), and the
+	// sweep's d = 1 − Φ recovers exactly hStar as the merge height.
+	m.Set(2, 3, 1-hStar)
+
+	opts := AdaptiveOptions{MaxClusters: 4, MinMembers: 2, Step: 0.01, Linkage: SingleLinkage}
+	threshold, clusters := ClusterAdaptive(m, opts)
+	if threshold != 0.51 {
+		t.Fatalf("threshold = %.20g, want the nominal grid point 0.51", threshold)
+	}
+	want := [][]int{{0, 1, 2, 3, 4, 5}, {6}, {7}}
+	if !sameClusters(clusters, want) {
+		t.Fatalf("clusters = %v, want %v", clusters, want)
+	}
+}

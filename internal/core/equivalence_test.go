@@ -95,7 +95,12 @@ func naiveClusterAdaptive(m *SimMatrix, opts AdaptiveOptions) (float64, [][]int)
 		len   int
 	}
 	var first, longest, cur run
-	for t := 0.0; t <= 1.0+1e-9; t += opts.Step {
+	// Nominal grid thresholds, mirroring the drift fix in the real sweep.
+	for i := 0; ; i++ {
+		t := float64(i) * opts.Step
+		if t > 1.0+1e-9 {
+			break
+		}
 		cut := dg.Cut(t)
 		if !admissible(cut) {
 			cur = run{}

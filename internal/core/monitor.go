@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -53,6 +54,21 @@ type Monitor struct {
 	// append instead of replaying the full history every epoch.
 	det *detector
 
+	// window, when positive, bounds the retained history to the newest
+	// window observations: Append evicts the oldest epochs *before*
+	// accepting a new one, so every detection and mode decision is
+	// computed over exactly the suffix a fresh monitor fed only those
+	// epochs would hold. 0 means unbounded.
+	window int
+	// engine is the online mode-discovery state (online.go). It stays
+	// dormant (built=false) until the first LiveModes call pays for one
+	// full clustering; every later append then grafts the new epoch
+	// onto the live dendrogram instead of rebuilding it.
+	engine *modeEngine
+	// evictions counts observations dropped by the window (TrimBefore
+	// counts too; both retire Φ rows the same way).
+	evictions uint64
+
 	// Ingest statistics, guarded by mu; see Snapshot.
 	appends     uint64
 	events      uint64
@@ -70,16 +86,51 @@ type Monitor struct {
 // detector's Gower call); failing at construction keeps the same
 // loudness with a better stack.
 func NewMonitor(space *Space, sched timeline.Schedule, w []float64, mode UnknownMode, detect DetectOptions) *Monitor {
+	return NewMonitorOpts(space, sched, MonitorOptions{Weights: w, Mode: mode, Detect: detect})
+}
+
+// MonitorOptions is the full monitor configuration. The zero value is a
+// valid unbounded monitor with uniform weights and default adaptive
+// clustering.
+type MonitorOptions struct {
+	// Weights is the per-network weight vector (nil for uniform).
+	Weights []float64
+	// Mode selects unknown handling for the similarity matrix.
+	Mode UnknownMode
+	// Detect tunes adjacent-pair change detection.
+	Detect DetectOptions
+	// Window bounds the retained history to the newest Window
+	// observations. Before an append that would exceed it, the oldest
+	// epochs are evicted with exact Φ row retirement — identical to
+	// TrimBefore at the cut epoch — keeping memory O(Window²) worst
+	// case instead of O(T²) for a stream of length T. 0 (or negative)
+	// means unbounded.
+	Window int
+	// Adaptive configures the online mode engine behind LiveModes; the
+	// zero value means DefaultAdaptiveOptions (§2.6.2). Obs and Span
+	// are ignored — the registry attached via Instrument is used.
+	Adaptive AdaptiveOptions
+}
+
+// NewMonitorOpts starts an empty monitor with explicit options; see
+// NewMonitor for the validation contract.
+func NewMonitorOpts(space *Space, sched timeline.Schedule, opts MonitorOptions) *Monitor {
+	w := opts.Weights
 	if w != nil && len(w) != space.NumNetworks() {
 		panic(fmt.Sprintf("core: monitor weight length %d != networks %d", len(w), space.NumNetworks()))
 	}
-	validateMode(mode)
-	validateMode(detect.Mode)
+	validateMode(opts.Mode)
+	validateMode(opts.Detect.Mode)
+	if opts.Window < 0 {
+		opts.Window = 0
+	}
 	return &Monitor{
-		space: space, sched: sched, w: w, mode: mode, detect: detect,
-		kern:    packedGowerKernel(w, mode),
-		detKern: packedGowerKernel(w, detect.Mode),
-		det:     newDetector(detect, w),
+		space: space, sched: sched, w: w, mode: opts.Mode, detect: opts.Detect,
+		kern:    packedGowerKernel(w, opts.Mode),
+		detKern: packedGowerKernel(w, opts.Detect.Mode),
+		det:     newDetector(opts.Detect, w),
+		window:  opts.Window,
+		engine:  newModeEngine(opts.Adaptive),
 	}
 }
 
@@ -124,6 +175,13 @@ func (m *Monitor) Append(v *Vector) (ChangeEvent, bool, error) {
 		}
 		return ChangeEvent{}, false, &OutOfOrderEpochError{Epoch: v.T, Newest: newest}
 	}
+	// Window eviction happens before the new observation is admitted, so
+	// the Φ row, the detection decision, and the mode assignment for this
+	// epoch are computed over exactly the retained suffix — the same
+	// state a fresh monitor fed only the last Window epochs would hold.
+	if m.window > 0 && len(m.vectors) >= m.window {
+		m.evictLocked(len(m.vectors) - m.window + 1)
+	}
 	// Incremental Φ row: the new vector is packed once, and each entry
 	// is AND+popcount over the cached packed history — O(T·N/64) words
 	// per append instead of O(T·N) scalar comparisons, bit-identical to
@@ -150,6 +208,20 @@ func (m *Monitor) Append(v *Vector) (ChangeEvent, bool, error) {
 				phi = m.detKern(pv, m.packed[n-1])
 			}
 			event, changed = m.det.step(prev, v, phi)
+		}
+	}
+	// Graft the new epoch onto the live dendrogram while the Φ row is
+	// hot. Skipped while the engine is dormant (no LiveModes call yet)
+	// or stale (a rebuild is already owed); a refused graft just defers
+	// to the next query's rebuild.
+	if m.engine.built && !m.engine.stale {
+		grafted := m.engine.appendRow(row)
+		if m.obs != nil {
+			if grafted {
+				m.obs.Counter("fenrir_monitor_mode_grafts_total").Inc()
+			} else {
+				m.obs.Counter("fenrir_monitor_mode_graft_spills_total").Inc()
+			}
 		}
 	}
 	m.vectors = append(m.vectors, v)
@@ -194,6 +266,10 @@ type MonitorSnapshot struct {
 	// reports whether any event has fired.
 	LastEvent timeline.Epoch
 	HasEvent  bool
+	// Window is the sliding-window bound (0 = unbounded); Evictions
+	// counts observations retired by the window or by TrimBefore.
+	Window    int
+	Evictions uint64
 }
 
 // MeanIngest returns the average per-observation ingest latency.
@@ -216,6 +292,8 @@ func (m *Monitor) Snapshot() MonitorSnapshot {
 		TotalIngest: m.totalIngest,
 		LastEvent:   m.lastEvent,
 		HasEvent:    m.hasEvent,
+		Window:      m.window,
+		Evictions:   m.evictions,
 	}
 }
 
@@ -306,6 +384,19 @@ type MonitorState struct {
 	LastIngest  time.Duration
 	LastEvent   timeline.Epoch
 	HasEvent    bool
+
+	// Window is the sliding-window bound (0 = unbounded) and Evictions
+	// the number of observations it has retired so far.
+	Window    int
+	Evictions uint64
+	// Adaptive is the online mode engine's sweep configuration
+	// (normalized; Obs/Span always nil).
+	Adaptive AdaptiveOptions
+	// EngineMerges, when EngineValid, is the engine's live dendrogram
+	// over len(Vectors) leaves — persisting it lets a restored monitor
+	// answer LiveModes by re-sweeping instead of re-clustering.
+	EngineValid  bool
+	EngineMerges []Merge
 }
 
 // State exports the monitor's full state. The similarity rows are
@@ -317,7 +408,7 @@ func (m *Monitor) State() MonitorState {
 	for i, row := range m.sim {
 		sim[i] = append([]float64(nil), row...)
 	}
-	return MonitorState{
+	st := MonitorState{
 		Space:    m.space,
 		Schedule: m.sched,
 		Weights:  append([]float64(nil), m.w...),
@@ -328,7 +419,14 @@ func (m *Monitor) State() MonitorState {
 		Appends:  m.appends, Events: m.events,
 		TotalIngest: m.totalIngest, LastIngest: m.lastIngest,
 		LastEvent: m.lastEvent, HasEvent: m.hasEvent,
+		Window: m.window, Evictions: m.evictions,
+		Adaptive: m.engine.opts,
 	}
+	if e := m.engine; e.built && !e.stale && e.n == len(m.vectors) {
+		st.EngineValid = true
+		st.EngineMerges = append([]Merge(nil), e.dg.Merges...)
+	}
+	return st
 }
 
 // RestoreMonitor rebuilds a monitor from an exported state, validating
@@ -357,6 +455,33 @@ func RestoreMonitor(st MonitorState) (*Monitor, error) {
 		return nil, fmt.Errorf("core: restore monitor: %d sim rows for %d vectors",
 			len(st.Sim), len(st.Vectors))
 	}
+	if st.Window < 0 {
+		return nil, fmt.Errorf("core: restore monitor: negative window %d", st.Window)
+	}
+	if st.Window > 0 && len(st.Vectors) > st.Window {
+		return nil, fmt.Errorf("core: restore monitor: %d vectors exceed window %d",
+			len(st.Vectors), st.Window)
+	}
+	if st.EngineValid {
+		n := len(st.Vectors)
+		want := n - 1
+		if want < 0 {
+			want = 0
+		}
+		if len(st.EngineMerges) != want {
+			return nil, fmt.Errorf("core: restore monitor: %d engine merges for %d vectors",
+				len(st.EngineMerges), n)
+		}
+		for k, mg := range st.EngineMerges {
+			// Node ids reference leaves (< n) or earlier merges (n+j, j<k).
+			if mg.A < 0 || mg.A >= n+k || mg.B < 0 || mg.B >= n+k {
+				return nil, fmt.Errorf("core: restore monitor: engine merge %d references node out of range", k)
+			}
+			if !(mg.Height >= 0) {
+				return nil, fmt.Errorf("core: restore monitor: engine merge %d has invalid height", k)
+			}
+		}
+	}
 	for i, v := range st.Vectors {
 		if v.Space != st.Space {
 			return nil, fmt.Errorf("core: restore monitor: vector %d from foreign space", i)
@@ -369,7 +494,14 @@ func RestoreMonitor(st MonitorState) (*Monitor, error) {
 				i, len(st.Sim[i]), i)
 		}
 	}
-	m := NewMonitor(st.Space, st.Schedule, st.Weights, st.Mode, st.Detect)
+	m := NewMonitorOpts(st.Space, st.Schedule, MonitorOptions{
+		Weights: st.Weights, Mode: st.Mode, Detect: st.Detect,
+		Window: st.Window, Adaptive: st.Adaptive,
+	})
+	m.evictions = st.Evictions
+	if st.EngineValid {
+		m.engine.restore(&Dendrogram{N: len(st.Vectors), Merges: append([]Merge(nil), st.EngineMerges...)})
+	}
 	m.vectors = append([]*Vector(nil), st.Vectors...)
 	// Rebuild the packed bit-planes from the restored vectors — the
 	// snapshot codec persists only the raw assignment rows (unchanged
@@ -418,6 +550,10 @@ func (m *Monitor) rebuildDetectorLocked() {
 
 // TrimBefore drops observations older than epoch, bounding memory for
 // long-running monitors. Mode history before the cut is forgotten.
+// Repeated small trims are amortized-cheap: the retained triangle is
+// never copied (see evictLocked), where the old implementation
+// reallocated and copied all O(T²) retained Φ values even for a
+// one-epoch trim.
 func (m *Monitor) TrimBefore(epoch timeline.Epoch) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -425,19 +561,173 @@ func (m *Monitor) TrimBefore(epoch timeline.Epoch) {
 	for cut < len(m.vectors) && m.vectors[cut].T < epoch {
 		cut++
 	}
-	if cut == 0 {
+	m.evictLocked(cut)
+}
+
+// evictLocked retires the cut oldest observations without copying the
+// retained state: dead prefix entries are nil'd for the collector and
+// every slice advances in place over its backing array. Go's append
+// then grows an advanced slice only when it exhausts the remaining
+// backing capacity, at which point the copy it performs is O(retained)
+// — so the backing arrays behave as a ring with amortized O(1) slots
+// per append, and a windowed monitor's heap stays bounded by the window
+// instead of growing O(T²) with the stream. The similarity triangle
+// keeps its row-length invariant (len(sim[i]) == i) because dropping
+// the cut oldest rows removes exactly the first cut columns of every
+// retained row. Callers hold mu.
+func (m *Monitor) evictLocked(cut int) {
+	if cut <= 0 {
 		return
 	}
-	m.vectors = append([]*Vector(nil), m.vectors[cut:]...)
-	m.packed = append([]*packedVector(nil), m.packed[cut:]...)
-	sim := make([][]float64, len(m.vectors))
-	for i := range m.vectors {
-		old := m.sim[i+cut]
-		sim[i] = append([]float64(nil), old[cut:]...)
+	if cut > len(m.vectors) {
+		cut = len(m.vectors)
 	}
-	m.sim = sim
-	// Forget detector state derived from trimmed epochs, exactly as the
-	// old replay-the-batch-detector append did implicitly: the baseline
-	// is rebuilt from the retained window's cached similarities.
+	for i := 0; i < cut; i++ {
+		m.vectors[i] = nil
+		m.packed[i] = nil
+		m.sim[i] = nil
+	}
+	m.vectors = m.vectors[cut:]
+	m.packed = m.packed[cut:]
+	m.sim = m.sim[cut:]
+	for i, row := range m.sim {
+		m.sim[i] = row[cut:]
+	}
+	m.evictions += uint64(cut)
+	// Forget detector state derived from the evicted epochs, exactly as
+	// a batch DetectChanges over the retained series would: baseline,
+	// cooldown, and the explainer's mode centroids are all rebuilt from
+	// the retained suffix (O(window) with cached similarities).
 	m.rebuildDetectorLocked()
+	// The dendrogram cannot lose a leaf incrementally without risking a
+	// different merge order, and the equivalence contract is byte-exact;
+	// the next mode query re-clusters the (window-bounded) suffix.
+	m.engine.invalidate()
+	if m.obs != nil {
+		m.obs.Counter("fenrir_monitor_evictions_total").Add(int64(cut))
+	}
 }
+
+// LiveModes is mode discovery served from the online engine: the
+// dendrogram is maintained incrementally across appends (grafted in
+// O(history) when the new epoch joins without disturbing any recorded
+// merge decision, rebuilt from the cached Φ triangle otherwise) and the
+// threshold sweep is cached between appends. The result is
+// byte-identical to Modes(opts) for the engine's configured
+// AdaptiveOptions — pinned by the equivalence tests — except that the
+// returned ModesResult carries a nil Matrix (the O(T²) dense matrix is
+// exactly what this path avoids materializing), so CrossPhi is not
+// available on it.
+func (m *Monitor) LiveModes() *ModesResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	threshold, clusters := m.liveClustersLocked()
+	return m.modesResultLocked(threshold, clusters)
+}
+
+// LiveThreshold returns the engine's current (threshold, clusters)
+// without assembling Mode structures — the cheapest live view, used by
+// tests and by callers that only need the partition.
+func (m *Monitor) LiveThreshold() (float64, [][]int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.liveClustersLocked()
+}
+
+// liveClustersLocked brings the engine up to date with the retained
+// history and returns the swept partition. Callers hold mu.
+func (m *Monitor) liveClustersLocked() (float64, [][]int) {
+	e := m.engine
+	rebuilt := false
+	if !e.built || e.stale || e.n != len(m.vectors) {
+		e.rebuildFromTriangle(m.sim, len(m.vectors))
+		rebuilt = true
+	}
+	var sp *obs.Span
+	if m.obs != nil {
+		sp = m.obs.TraceRoot().Child("recluster")
+		if rebuilt {
+			sp.SetAttr("path", "rebuild")
+			m.obs.Counter("fenrir_monitor_mode_rebuilds_total").Inc()
+		} else if e.swept {
+			sp.SetAttr("path", "cached")
+		} else {
+			sp.SetAttr("path", "graft")
+		}
+		if e.bandSet {
+			// The threshold band this query had to re-examine: new merge
+			// heights since the last sweep (a rebuild widens it to [0,1]).
+			sp.SetAttr("band_lo", e.bandLo)
+			sp.SetAttr("band_hi", e.bandHi)
+		}
+	}
+	threshold, clusters, churn := e.sweep(m.obs, sp)
+	if sp != nil {
+		sp.SetAttr("threshold", threshold)
+		sp.SetAttr("clusters", len(clusters))
+		sp.End()
+	}
+	if churn && m.obs != nil {
+		m.obs.Counter("fenrir_monitor_mode_churn_total").Inc()
+	}
+	return threshold, clusters
+}
+
+// modesResultLocked assembles a ModesResult from a partition over the
+// retained rows, mirroring DiscoverModes exactly but reading Φ ranges
+// from the triangular rows instead of a dense matrix. Callers hold mu.
+func (m *Monitor) modesResultLocked(threshold float64, clusters [][]int) *ModesResult {
+	res := &ModesResult{Threshold: threshold}
+	for _, rows := range clusters {
+		mode := Mode{Rows: rows}
+		for _, r := range rows {
+			mode.Epochs = append(mode.Epochs, m.vectors[r].T)
+		}
+		sort.Slice(mode.Epochs, func(i, j int) bool { return mode.Epochs[i] < mode.Epochs[j] })
+		mode.Ranges = consecutiveRanges(mode.Epochs)
+		if len(rows) >= 2 {
+			mode.InternalLo, mode.InternalHi = m.triPhiRangeLocked(rows, rows)
+		} else {
+			mode.InternalLo, mode.InternalHi = 1, 1
+		}
+		res.Modes = append(res.Modes, mode)
+	}
+	sort.Slice(res.Modes, func(i, j int) bool { return res.Modes[i].Epochs[0] < res.Modes[j].Epochs[0] })
+	for i := range res.Modes {
+		res.Modes[i].ID = i + 1
+	}
+	return res
+}
+
+// triPhiRangeLocked is SimMatrix.PhiRange over the monitor's triangular
+// rows: the [min,max] Φ across a×b, diagonal excluded. Callers hold mu.
+func (m *Monitor) triPhiRangeLocked(a, b []int) (lo, hi float64) {
+	ok := false
+	for _, i := range a {
+		for _, j := range b {
+			if i == j {
+				continue
+			}
+			v := 0.0
+			if i > j {
+				v = m.sim[i][j]
+			} else {
+				v = m.sim[j][i]
+			}
+			if !ok {
+				lo, hi, ok = v, v, true
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Window returns the sliding-window bound (0 = unbounded).
+func (m *Monitor) Window() int { return m.window }

@@ -34,6 +34,11 @@ type TenantSpec struct {
 	UnknownMode string `json:"unknown_mode,omitempty"`
 	// Detect overrides change-detection tuning; nil = defaults.
 	Detect *DetectSpec `json:"detect,omitempty"`
+	// Window bounds the tenant's retained history to the newest Window
+	// observations (sliding-window eviction with exact Φ retirement);
+	// 0 inherits the server's -window default, which is itself 0
+	// (unbounded) unless set.
+	Window int `json:"window,omitempty"`
 }
 
 // DetectSpec mirrors core.DetectOptions for the wire.
@@ -174,7 +179,7 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "parse spec: %v", err)
 		return
 	}
-	mon, err := monitorFromSpec(spec)
+	mon, err := monitorFromSpec(spec, s.cfg.DefaultWindow)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -193,7 +198,7 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func monitorFromSpec(spec TenantSpec) (*core.Monitor, error) {
+func monitorFromSpec(spec TenantSpec, defaultWindow int) (*core.Monitor, error) {
 	if len(spec.Networks) == 0 {
 		return nil, fmt.Errorf("spec: networks are required")
 	}
@@ -237,9 +242,18 @@ func monitorFromSpec(spec TenantSpec) (*core.Monitor, error) {
 			}
 		}
 	}
+	window := spec.Window
+	if window == 0 {
+		window = defaultWindow
+	}
+	if window < 0 {
+		return nil, fmt.Errorf("spec: window must be non-negative")
+	}
 	space := core.NewSpace(spec.Networks)
 	sched := timeline.NewSchedule(spec.Start.UTC(), time.Duration(spec.IntervalSeconds)*time.Second, spec.Epochs)
-	return core.NewMonitor(space, sched, spec.Weights, mode, detect), nil
+	return core.NewMonitorOpts(space, sched, core.MonitorOptions{
+		Weights: spec.Weights, Mode: mode, Detect: detect, Window: window,
+	}), nil
 }
 
 // parseUnknownMode maps a wire mode string to core.UnknownMode; field
@@ -271,6 +285,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request, t *tenant)
 		"queue_capacity": cap(t.queue),
 		"mean_ingest_us": float64(snap.MeanIngest().Microseconds()),
 		"networks":       t.mon.Space().NumNetworks(),
+		"window":         snap.Window,
+		"evictions":      snap.Evictions,
 		// Per-tenant SLO telemetry: count/sum/p50/p90/p99 rollups of the
 		// admission, lag, depth, and checkpoint histograms.
 		"slo": t.slo(),
@@ -394,7 +410,12 @@ func (s *Server) handleMode(w http.ResponseWriter, _ *http.Request, t *tenant) {
 		writeErr(w, http.StatusNotFound, "tenant %q has no observations", t.name)
 		return
 	}
-	modes := t.mon.Modes(core.DefaultAdaptiveOptions())
+	// LiveModes serves from the online engine: the dendrogram survives
+	// across queries and appends, so steady-state /mode answers cost a
+	// cached (or graft-extended) sweep instead of a fresh HAC + dense
+	// matrix per request. Byte-identical to the batch pipeline with
+	// default adaptive options, pinned by the core equivalence tests.
+	modes := t.mon.LiveModes()
 	cur := modes.ModeOf(t.mon.Len() - 1)
 	if cur == nil {
 		writeErr(w, http.StatusNotFound, "latest observation is in no mode")

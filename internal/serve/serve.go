@@ -43,6 +43,10 @@ type Config struct {
 	// QueueDepth bounds each tenant's ingest queue (<= 0 means 256).
 	// A full queue rejects with 429 rather than stalling the producer.
 	QueueDepth int
+	// DefaultWindow is the sliding-window bound applied to tenants whose
+	// spec does not set one (0 = unbounded). A windowed tenant retains
+	// only its newest Window observations; see core.MonitorOptions.
+	DefaultWindow int
 	// Obs receives serve metrics; nil disables instrumentation.
 	Obs *obs.Registry
 	// Faults, when non-nil, mangles ingest the way it mangles every

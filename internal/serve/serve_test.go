@@ -322,7 +322,7 @@ func TestServeTenantAdmin(t *testing.T) {
 func TestServeDetectModeSpec(t *testing.T) {
 	spec := defaultSpec(6)
 	spec.UnknownMode = "known-only"
-	mon, err := monitorFromSpec(spec)
+	mon, err := monitorFromSpec(spec, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +331,7 @@ func TestServeDetectModeSpec(t *testing.T) {
 	}
 
 	spec.Detect = &DetectSpec{Mode: "pessimistic", Window: 5}
-	mon, err = monitorFromSpec(spec)
+	mon, err = monitorFromSpec(spec, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +366,7 @@ func TestServeBackpressure(t *testing.T) {
 	reg := obs.NewRegistry()
 	s, ts := testServer(t, Config{QueueDepth: 2, Obs: reg})
 	nets := specNets(10)
-	mon, err := monitorFromSpec(defaultSpec(10))
+	mon, err := monitorFromSpec(defaultSpec(10), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -761,5 +761,123 @@ func TestServeExplainAndServerStatus(t *testing.T) {
 	}
 	if st.Runtime.GCPauseP99 < 0 {
 		t.Fatalf("negative GC pause quantile: %s", body)
+	}
+}
+
+// waitAppends polls tenant status until the monitor has accepted n
+// appends. waitHistory cannot serve here: a windowed tenant's history
+// plateaus at the window bound while appends keep counting.
+func waitAppends(t *testing.T, ts *httptest.Server, tenant string, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		_, body := doReq(t, ts, http.MethodGet, "/v1/tenants/"+tenant, nil)
+		var st struct {
+			Appends uint64 `json:"appends"`
+		}
+		if json.Unmarshal(body, &st) == nil && st.Appends >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("tenant %q never reached %d appends", tenant, n)
+}
+
+// Windowed tenants through the API: the server default applies when the
+// spec is silent, an explicit spec window overrides it, history plateaus
+// at the bound with evictions counted, /mode answers exactly as a fresh
+// tenant fed only the retained suffix, and a warm restart preserves all
+// of it.
+func TestServeWindowedTenant(t *testing.T) {
+	const W = 16
+	nets := specNets(40)
+	dir := t.TempDir()
+	s1, ts1 := testServer(t, Config{SnapshotDir: dir, DefaultWindow: W})
+
+	// "edge" inherits the server-wide default window.
+	if code, body := doReq(t, ts1, http.MethodPut, "/v1/tenants/edge", defaultSpec(40)); code != http.StatusCreated {
+		t.Fatalf("create edge: %d %s", code, body)
+	}
+	// "pinned" overrides it per spec.
+	pinned := defaultSpec(40)
+	pinned.Window = 8
+	if code, body := doReq(t, ts1, http.MethodPut, "/v1/tenants/pinned", pinned); code != http.StatusCreated {
+		t.Fatalf("create pinned: %d %s", code, body)
+	}
+	_, body := doReq(t, ts1, http.MethodGet, "/v1/tenants/pinned", nil)
+	var pst struct {
+		Window int `json:"window"`
+	}
+	if err := json.Unmarshal(body, &pst); err != nil {
+		t.Fatal(err)
+	}
+	if pst.Window != 8 {
+		t.Fatalf("pinned window = %d, want spec override 8", pst.Window)
+	}
+
+	mustIngest(t, ts1, "edge", nets, 0, 40, 20)
+	waitAppends(t, ts1, "edge", 40)
+
+	_, body = doReq(t, ts1, http.MethodGet, "/v1/tenants/edge", nil)
+	var st struct {
+		History   int    `json:"history"`
+		Appends   uint64 `json:"appends"`
+		Window    int    `json:"window"`
+		Evictions uint64 `json:"evictions"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Window != W || st.History != W {
+		t.Fatalf("status = %+v, want window and history %d", st, W)
+	}
+	if st.Evictions != 40-W {
+		t.Fatalf("evictions = %d, want %d", st.Evictions, 40-W)
+	}
+
+	// /mode from the windowed tenant must equal /mode from an unbounded
+	// tenant that only ever saw the retained suffix.
+	code, modeBody := doReq(t, ts1, http.MethodGet, "/v1/tenants/edge/mode", nil)
+	if code != http.StatusOK {
+		t.Fatalf("mode: %d %s", code, modeBody)
+	}
+	_, fresh := testServer(t, Config{})
+	if code, _ := doReq(t, fresh, http.MethodPut, "/v1/tenants/edge", defaultSpec(40)); code != http.StatusCreated {
+		t.Fatal("fresh create failed")
+	}
+	mustIngest(t, fresh, "edge", nets, 40-W, 40, 20)
+	waitHistory(t, fresh, "edge", W)
+	if _, want := doReq(t, fresh, http.MethodGet, "/v1/tenants/edge/mode", nil); string(modeBody) != string(want) {
+		t.Fatalf("windowed /mode diverged from fresh-suffix tenant:\nwindowed: %s\nfresh:    %s", modeBody, want)
+	}
+
+	// Kill and warm-restart: bound, eviction count, and history survive,
+	// and the restored tenant keeps evicting as ingest continues.
+	if code, body := doReq(t, ts1, http.MethodPost, "/v1/tenants/edge/checkpoint", nil); code != http.StatusOK {
+		t.Fatalf("checkpoint: %d %s", code, body)
+	}
+	if err := s1.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	_, ts2 := testServer(t, Config{SnapshotDir: dir})
+	_, body = doReq(t, ts2, http.MethodGet, "/v1/tenants/edge", nil)
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Window != W || st.History != W || st.Evictions != 40-W {
+		t.Fatalf("restored status = %+v, want window/history %d with %d evictions", st, W, 40-W)
+	}
+	mustIngest(t, ts2, "edge", nets, 40, 48, 20)
+	waitAppends(t, ts2, "edge", 48)
+	_, body = doReq(t, ts2, http.MethodGet, "/v1/tenants/edge", nil)
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.History != W || st.Evictions != 48-W {
+		t.Fatalf("post-restart status = %+v, want history %d with %d evictions", st, W, 48-W)
+	}
+	if code, body := doReq(t, ts2, http.MethodGet, "/v1/tenants/edge/mode", nil); code != http.StatusOK {
+		t.Fatalf("restored mode: %d %s", code, body)
 	}
 }

@@ -43,7 +43,7 @@ func TestRetryAfterEstimate(t *testing.T) {
 func TestBackpressureRetryAfterHeader(t *testing.T) {
 	reg := obs.NewRegistry()
 	s, ts := testServer(t, Config{QueueDepth: 2, Obs: reg})
-	mon, err := monitorFromSpec(defaultSpec(10))
+	mon, err := monitorFromSpec(defaultSpec(10), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -141,7 +141,7 @@ func EncodeSeries(w io.Writer, s *core.Series) error {
 
 // DecodeSeries reads a series snapshot written by EncodeSeries.
 func DecodeSeries(r io.Reader) (*core.Series, error) {
-	kind, err := readHeader(r)
+	kind, _, err := readHeader(r)
 	if err != nil {
 		return nil, err
 	}
@@ -245,7 +245,33 @@ func EncodeMonitor(w io.Writer, st core.MonitorState) error {
 	} else {
 		stats.u8(0)
 	}
-	return writeFrame(w, stats.buf)
+	if err := writeFrame(w, stats.buf); err != nil {
+		return err
+	}
+
+	// Version-2 trailing frame: sliding window, eviction count, the
+	// online engine's sweep configuration, and — when the engine was
+	// live at export — its dendrogram merges (node ids fit u32: they are
+	// bounded by 2·len(Vectors)).
+	var win enc
+	win.i64(int64(st.Window))
+	win.u64(st.Evictions)
+	win.i64(int64(st.Adaptive.MaxClusters))
+	win.i64(int64(st.Adaptive.MinMembers))
+	win.f64(st.Adaptive.Step)
+	win.u8(uint8(st.Adaptive.Linkage))
+	if st.EngineValid {
+		win.u8(1)
+		win.u32(uint32(len(st.EngineMerges)))
+		for _, mg := range st.EngineMerges {
+			win.u32(uint32(mg.A))
+			win.u32(uint32(mg.B))
+			win.f64(mg.Height)
+		}
+	} else {
+		win.u8(0)
+	}
+	return writeFrame(w, win.buf)
 }
 
 // DecodeMonitor reads a monitor snapshot written by EncodeMonitor. The
@@ -254,7 +280,7 @@ func EncodeMonitor(w io.Writer, st core.MonitorState) error {
 // with core.RestoreMonitor, which re-validates.
 func DecodeMonitor(r io.Reader) (core.MonitorState, error) {
 	var st core.MonitorState
-	kind, err := readHeader(r)
+	kind, version, err := readHeader(r)
 	if err != nil {
 		return st, err
 	}
@@ -338,6 +364,39 @@ func DecodeMonitor(r io.Reader) (core.MonitorState, error) {
 	st.HasEvent = d.u8() == 1
 	if err := d.done("stats"); err != nil {
 		return st, err
+	}
+
+	if version < 2 {
+		// Version-1 file: no window frame. Unbounded window, default
+		// sweep configuration, dormant engine — exactly the state a
+		// pre-window monitor restore produced.
+		return st, nil
+	}
+	payload, err = readFrame(r, "window")
+	if err != nil {
+		return st, err
+	}
+	d = &dec{buf: payload}
+	st.Window = int(d.i64())
+	st.Evictions = d.u64()
+	st.Adaptive.MaxClusters = int(d.i64())
+	st.Adaptive.MinMembers = int(d.i64())
+	st.Adaptive.Step = d.f64()
+	st.Adaptive.Linkage = core.Linkage(d.u8())
+	if d.u8() == 1 {
+		st.EngineValid = true
+		st.EngineMerges = make([]core.Merge, d.u32())
+		for i := range st.EngineMerges {
+			st.EngineMerges[i] = core.Merge{
+				A: int(d.u32()), B: int(d.u32()), Height: d.f64(),
+			}
+		}
+	}
+	if err := d.done("window"); err != nil {
+		return st, err
+	}
+	if st.Window < 0 {
+		return st, corrupt("window", "negative window %d", st.Window)
 	}
 	return st, nil
 }

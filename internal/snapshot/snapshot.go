@@ -8,9 +8,16 @@
 // Format (all integers little-endian):
 //
 //	magic   "FENRSNP1" (8 bytes)
-//	version uint16     (currently 1)
+//	version uint16     (currently 2; readers accept 1 and 2)
 //	kind    uint8      (1 = series, 2 = monitor)
 //	frames  …          one per section, in a fixed kind-specific order
+//
+// Version 2 appends one trailing "window" frame to monitor snapshots:
+// the sliding-window bound, the eviction count, the online engine's
+// sweep configuration, and (when the engine was live at checkpoint
+// time) its dendrogram, so a warm restart answers mode queries without
+// re-clustering. Version-1 files carry no window frame and decode with
+// an unbounded window and a dormant engine — old files still load.
 //
 // Each frame is `len uint32 | payload | crc uint32` where crc is the
 // IEEE CRC-32 of the payload, so truncation and corruption are caught
@@ -34,8 +41,12 @@ import (
 	"math"
 )
 
-// Version is the current snapshot format version.
-const Version = 1
+// Version is the current snapshot format version; MinVersion is the
+// oldest version readers still accept.
+const (
+	Version    = 2
+	MinVersion = 1
+)
 
 var magic = [8]byte{'F', 'E', 'N', 'R', 'S', 'N', 'P', '1'}
 
@@ -55,7 +66,7 @@ type UnsupportedVersionError struct {
 }
 
 func (e *UnsupportedVersionError) Error() string {
-	return fmt.Sprintf("snapshot: unsupported format version %d (reader supports %d)", e.Version, Version)
+	return fmt.Sprintf("snapshot: unsupported format version %d (reader supports %d–%d)", e.Version, MinVersion, Version)
 }
 
 // CorruptError reports a snapshot whose framing or contents failed
@@ -91,23 +102,25 @@ func writeHeader(w io.Writer, kind uint8) error {
 	return err
 }
 
-// readHeader validates magic and version and returns the kind.
-func readHeader(r io.Reader) (kind uint8, err error) {
+// readHeader validates magic and version and returns the kind and the
+// file's format version (within [MinVersion, Version]).
+func readHeader(r io.Reader) (kind uint8, version uint16, err error) {
 	var m [8]byte
 	if _, err := io.ReadFull(r, m[:]); err != nil {
-		return 0, ErrBadMagic
+		return 0, 0, ErrBadMagic
 	}
 	if m != magic {
-		return 0, ErrBadMagic
+		return 0, 0, ErrBadMagic
 	}
 	var hdr [3]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, corrupt("header", "truncated after magic")
+		return 0, 0, corrupt("header", "truncated after magic")
 	}
-	if v := binary.LittleEndian.Uint16(hdr[:2]); v != Version {
-		return 0, &UnsupportedVersionError{Version: v}
+	v := binary.LittleEndian.Uint16(hdr[:2])
+	if v < MinVersion || v > Version {
+		return 0, 0, &UnsupportedVersionError{Version: v}
 	}
-	return hdr[2], nil
+	return hdr[2], v, nil
 }
 
 // writeFrame emits one CRC-checked frame.

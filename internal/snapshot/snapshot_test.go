@@ -2,6 +2,7 @@ package snapshot
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"os"
 	"path/filepath"
@@ -327,5 +328,125 @@ func TestSaveLoadMonitorFile(t *testing.T) {
 	sameMatrix(t, mon.Matrix(), loaded.Matrix())
 	if leftovers, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(leftovers) != 0 {
 		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+}
+
+// TestWindowedMonitorRoundTrip pins the version-2 window frame: a
+// windowed monitor with a live online engine must round-trip window,
+// evictions, sweep configuration, and the engine dendrogram, and the
+// restored monitor must keep answering mode queries and evicting in
+// lockstep with the original.
+func TestWindowedMonitorRoundTrip(t *testing.T) {
+	const W = 10
+	space, vs := fixture(21, 30, nil)
+	mon := core.NewMonitorOpts(space, testSched(30), core.MonitorOptions{
+		Mode: core.PessimisticUnknown, Detect: core.DefaultDetectOptions(), Window: W,
+	})
+	appendAll(t, mon, vs[:24])
+	wantT, wantC := mon.LiveThreshold() // engine live at checkpoint time
+
+	var buf bytes.Buffer
+	if err := EncodeMonitor(&buf, mon.State()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := DecodeMonitor(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Window != W || !st.EngineValid || len(st.EngineMerges) != W-1 {
+		t.Fatalf("decoded window=%d engineValid=%v merges=%d, want %d/true/%d",
+			st.Window, st.EngineValid, len(st.EngineMerges), W, W-1)
+	}
+	rest, err := core.RestoreMonitor(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotT, gotC := rest.LiveThreshold()
+	if gotT != wantT || !deepEqualClusters(gotC, wantC) {
+		t.Fatalf("restored live partition (%v %v) != original (%v %v)", gotT, gotC, wantT, wantC)
+	}
+	cont := rebind(rest.Space(), vs[24:])
+	for i, v := range vs[24:] {
+		e1, ok1, err1 := mon.Append(v)
+		e2, ok2, err2 := rest.Append(cont[i])
+		if ok1 != ok2 || (err1 == nil) != (err2 == nil) || e1.Phi != e2.Phi {
+			t.Fatalf("post-restore append at %d diverged", v.T)
+		}
+		aT, aC := mon.LiveThreshold()
+		bT, bC := rest.LiveThreshold()
+		if aT != bT || !deepEqualClusters(aC, bC) {
+			t.Fatalf("post-restore partition at %d diverged", v.T)
+		}
+	}
+	if rest.Window() != W {
+		t.Fatalf("restored window = %d, want %d", rest.Window(), W)
+	}
+}
+
+func deepEqualClusters(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestVersion1MonitorStillLoads is the backward-compatibility pin: a
+// version-1 monitor snapshot (no trailing window frame) must decode
+// into an unbounded, dormant-engine state that restores and continues
+// exactly as it did before the window existed. The v1 bytes are built
+// from the current encoder by dropping the trailing frame and patching
+// the header version, which is byte-exact because v2 only appended.
+func TestVersion1MonitorStillLoads(t *testing.T) {
+	space, vs := fixture(33, 16, nil)
+	mon := newMon(space, 16)
+	appendAll(t, mon, vs)
+
+	var buf bytes.Buffer
+	if err := EncodeMonitor(&buf, mon.State()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Walk the five v1 frames (space, config, vectors, sim, stats) to
+	// find where the window frame starts, then truncate it away.
+	off := 11 // magic + version + kind
+	for i := 0; i < 5; i++ {
+		n := int(binary.LittleEndian.Uint32(raw[off:]))
+		off += 4 + n + 4
+	}
+	v1 := append([]byte(nil), raw[:off]...)
+	binary.LittleEndian.PutUint16(v1[8:10], 1)
+
+	st, err := DecodeMonitor(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("version-1 snapshot failed to load: %v", err)
+	}
+	if st.Window != 0 || st.Evictions != 0 || st.EngineValid || st.EngineMerges != nil {
+		t.Fatalf("version-1 decode invented window state: %+v", st)
+	}
+	rest, err := core.RestoreMonitor(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest.Len() != mon.Len() || rest.Window() != 0 {
+		t.Fatalf("restored len=%d window=%d, want %d/0", rest.Len(), rest.Window(), mon.Len())
+	}
+	// The restored monitor must produce the matrix the original holds.
+	a, b := mon.Matrix(), rest.Matrix()
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatalf("matrix diverged at (%d,%d)", i, j)
+			}
+		}
 	}
 }

@@ -19,10 +19,24 @@ type Monitor = core.Monitor
 // detection statistics.
 type MonitorSnapshot = core.MonitorSnapshot
 
+// MonitorOptions is the full monitor configuration, including the
+// sliding-window bound (Window) and the online mode engine's sweep
+// settings (Adaptive).
+type MonitorOptions = core.MonitorOptions
+
 // NewMonitor starts a streaming monitor over a space. w may be nil for
 // uniform weights; detect tunes the change criterion.
 func NewMonitor(space *Space, sched Schedule, w []float64, mode UnknownMode, detect core.DetectOptions) *Monitor {
 	return core.NewMonitor(space, sched, w, mode, detect)
+}
+
+// NewBoundedMonitor starts a monitor with explicit options. With
+// opts.Window = W the monitor retains only the newest W observations —
+// older epochs are evicted with exact Φ row retirement, so memory stays
+// bounded by the window while events and LiveModes answers remain
+// byte-identical to a monitor that only ever saw the retained suffix.
+func NewBoundedMonitor(space *Space, sched Schedule, opts MonitorOptions) *Monitor {
+	return core.NewMonitorOpts(space, sched, opts)
 }
 
 // DefaultDetectOptions re-exports the detector defaults used in the §3

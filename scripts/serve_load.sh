@@ -19,6 +19,7 @@ cd "$(dirname "$0")/.."
 WRITERS="${WRITERS:-4}"
 EPOCHS="${EPOCHS:-120}"
 READERS="${READERS:-4}"
+WINDOW="${WINDOW:-32}"
 BENCH_OUT="${BENCH_OUT:-BENCH_serve.json}"
 
 work="$(mktemp -d /tmp/fenrir-serve-load.XXXXXX)"
@@ -69,13 +70,18 @@ obs_json() { # epoch
     printf '}}'
 }
 
-# One tenant per writer plus a shared tenant every writer races to feed.
+# One tenant per writer plus a shared tenant every writer races to feed,
+# plus one sliding-window tenant whose sustained append throughput (every
+# append past the bound also pays an eviction) lands in BENCH_OUT.
+winspec=$(printf '%s' "$spec" | sed "s/^{/{\"window\":$WINDOW,/")
+
 w=0
 while [ $w -lt "$WRITERS" ]; do
     curl -s -o /dev/null -X PUT -d "$spec" "$url/v1/tenants/w$w"
     w=$((w + 1))
 done
 curl -s -o /dev/null -X PUT -d "$spec" "$url/v1/tenants/shared"
+curl -s -o /dev/null -X PUT -d "$winspec" "$url/v1/tenants/bounded"
 
 writer() { # tenant
     e=0
@@ -128,6 +134,15 @@ reader() { # id
     done
 }
 
+# Windowed writer: same strict-order stream, but its wall clock is
+# captured separately so the windowed-ingest row measures only it.
+windowed_writer() {
+    ws=$(date +%s%N)
+    writer bounded
+    we=$(date +%s%N)
+    echo $((we - ws)) >"$work/bounded.wall"
+}
+
 start_ns=$(date +%s%N)
 writer_pids=""
 w=0
@@ -138,6 +153,8 @@ while [ $w -lt "$WRITERS" ]; do
     writer_pids="$writer_pids $!"
     w=$((w + 1))
 done
+windowed_writer &
+writer_pids="$writer_pids $!"
 r=0
 reader_pids=""
 while [ $r -lt "$READERS" ]; do
@@ -158,6 +175,36 @@ for p in $reader_pids; do
 done
 [ -f "$work/reader-failed" ] && fail=1
 
+# The bounded tenant must report its window and, once its queue drains,
+# a history plateaued at the bound with the rest counted as evictions.
+# Status JSON is pretty-printed; strip whitespace before matching.
+status=""
+i=0
+while [ $i -lt 200 ]; do
+    status=$(curl -s "$url/v1/tenants/bounded" | tr -d ' \n\t')
+    case "$status" in
+    *'"appends":'$EPOCHS[,}]*) break ;;
+    esac
+    sleep 0.05
+    i=$((i + 1))
+done
+want_hist=$EPOCHS
+[ "$EPOCHS" -gt "$WINDOW" ] && want_hist=$WINDOW
+case "$status" in
+*'"window":'$WINDOW[,}]*) ;;
+*)
+    echo "serve-load: bounded tenant lost its window: $status" >&2
+    fail=1
+    ;;
+esac
+case "$status" in
+*'"history":'$want_hist[,}]*) ;;
+*)
+    echo "serve-load: bounded history did not plateau at $want_hist: $status" >&2
+    fail=1
+    ;;
+esac
+
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" 2>/dev/null || fail=1
 
@@ -173,13 +220,18 @@ fi
 
 # Roll the accepted-POST latencies into bench2json.sh-shaped rows:
 # throughput as ns per accepted observation over the whole write phase,
-# plus p50/p90/p99 admission latency across ordered writers.
-sort -g "$work"/lat.w* | awk \
+# p50/p90/p99 admission latency across ordered writers, and the bounded
+# tenant's sustained append throughput over its own wall clock (every
+# accepted append past the bound also pays an eviction).
+win_n=$(wc -l <"$work/lat.bounded")
+win_wall=$(cat "$work/bounded.wall")
+sort -g "$work"/lat.w[0-9]* | awk \
     -v wall_ns=$((end_ns - start_ns)) \
-    -v writers="$WRITERS" -v readers="$READERS" '
+    -v writers="$WRITERS" -v readers="$READERS" \
+    -v window="$WINDOW" -v win_n="$win_n" -v win_wall="$win_wall" '
     { v[NR] = $1 }
     END {
-        if (NR == 0) exit 1
+        if (NR == 0 || win_n == 0) exit 1
         q50 = v[int(0.50 * (NR - 1)) + 1] * 1e9
         q90 = v[int(0.90 * (NR - 1)) + 1] * 1e9
         q99 = v[int(0.99 * (NR - 1)) + 1] * 1e9
@@ -187,8 +239,9 @@ sort -g "$work"/lat.w* | awk \
         printf "  {\"name\": \"ServeLoad/ingest-throughput/W=%d/R=%d\", \"iterations\": %d, \"ns_per_op\": %.0f},\n", writers, readers, NR, wall_ns / NR
         printf "  {\"name\": \"ServeLoad/admission-latency-p50\", \"iterations\": %d, \"ns_per_op\": %.0f},\n", NR, q50
         printf "  {\"name\": \"ServeLoad/admission-latency-p90\", \"iterations\": %d, \"ns_per_op\": %.0f},\n", NR, q90
-        printf "  {\"name\": \"ServeLoad/admission-latency-p99\", \"iterations\": %d, \"ns_per_op\": %.0f}\n", NR, q99
+        printf "  {\"name\": \"ServeLoad/admission-latency-p99\", \"iterations\": %d, \"ns_per_op\": %.0f},\n", NR, q99
+        printf "  {\"name\": \"ServeLoad/windowed-ingest-throughput/window=%d\", \"iterations\": %d, \"ns_per_op\": %.0f}\n", window, win_n, win_wall / win_n
         printf "]\n"
     }' >"$BENCH_OUT"
 echo "serve-load: bench written to $BENCH_OUT"
-echo "serve-load: ok — $WRITERS ordered writers + $WRITERS contended writers + $READERS readers, $EPOCHS epochs each, no races, no 5xx"
+echo "serve-load: ok — $WRITERS ordered writers + $WRITERS contended writers + 1 windowed writer (window $WINDOW) + $READERS readers, $EPOCHS epochs each, no races, no 5xx"
