@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchguard cover obs-smoke faults-smoke serve-smoke window-smoke trace-smoke explain-smoke serve-load check clean
+.PHONY: all build vet test race bench benchguard cover obs-smoke faults-smoke serve-smoke window-smoke shard-smoke trace-smoke explain-smoke serve-load check clean
 
 all: build test
 
@@ -73,6 +73,15 @@ serve-smoke:
 window-smoke:
 	./scripts/window_smoke.sh
 
+# End-to-end sharding check: a 4-shard daemon rebalances a tenant
+# between shards mid-stream (the snapshot file physically moves between
+# shard subdirectories), is hard-killed, restarts from the same state
+# dir, and must answer all five deterministic query endpoints
+# byte-identically to an uninterrupted 4-shard daemon that never
+# rebalanced.
+shard-smoke:
+	./scripts/shard_smoke.sh
+
 # End-to-end tracing check: run a scenario twice with -trace and assert
 # both outputs are valid Chrome trace JSON with tile/sweep/ingest spans
 # nested under the run root, and that the canonical trees (timestamps
@@ -93,7 +102,7 @@ explain-smoke:
 serve-load:
 	./scripts/serve_load.sh
 
-check: test race cover obs-smoke faults-smoke serve-smoke window-smoke trace-smoke explain-smoke benchguard
+check: test race cover obs-smoke faults-smoke serve-smoke window-smoke shard-smoke trace-smoke explain-smoke benchguard
 
 clean:
 	rm -f BENCH_core.json BENCH_core.json.tmp bench.out cover.out

@@ -30,6 +30,7 @@
 //	fenrir -serve :8080 -snapshot-dir /var/lib/fenrir
 //	fenrir -serve :8080 -snapshot-dir state -faults light -manifest run.json
 //	fenrir -serve :8080 -window 2048           # bounded tenant history
+//	fenrir -serve :8080 -shards 8              # sharded tenant tier (DESIGN.md §15)
 package main
 
 import (
@@ -74,6 +75,7 @@ type cliOptions struct {
 	snapshotEvery int
 	queueDepth    int
 	window        int
+	shards        int
 }
 
 func main() {
@@ -96,6 +98,7 @@ func main() {
 	flag.IntVar(&o.snapshotEvery, "snapshot-every", 0, "daemon: checkpoint a tenant after this many accepted observations (0 = 64)")
 	flag.IntVar(&o.queueDepth, "queue-depth", 0, "daemon: per-tenant ingest queue depth (0 = 256)")
 	flag.IntVar(&o.window, "window", 0, "daemon: default sliding-window bound for tenants whose spec sets none (0 = unbounded history)")
+	flag.IntVar(&o.shards, "shards", 0, "daemon: in-process tenant shards, each with its own lock and snapshot subdirectory (0 = 1)")
 	flag.Parse()
 
 	if err := applyKernelFlag(o.kernel); err != nil {
@@ -383,6 +386,7 @@ func runServe(o cliOptions) error {
 		SnapshotEvery: o.snapshotEvery,
 		QueueDepth:    o.queueDepth,
 		DefaultWindow: o.window,
+		Shards:        o.shards,
 		Obs:           reg,
 		Faults:        inj,
 	})

@@ -429,6 +429,37 @@ func (m *Monitor) State() MonitorState {
 	return st
 }
 
+// ApplyDefaultWindow bounds an unbounded exported state the way a fresh
+// monitor created under the same server default would have been bounded:
+// if the state carries no window of its own (Window == 0) and w > 0, the
+// window becomes w and any history beyond the newest w observations is
+// retired — the same suffix, Φ triangle, and eviction accounting a
+// windowed monitor fed the identical stream would hold, because Gower
+// similarity is pairwise and the retained triangle is history-free. A
+// state that already has a window, or w <= 0, is left untouched. The
+// live-engine dendrogram is dropped when history is trimmed (its leaves
+// no longer line up); the next mode query re-clusters the bounded
+// suffix, exactly as after any eviction.
+func (st *MonitorState) ApplyDefaultWindow(w int) {
+	if w <= 0 || st.Window != 0 {
+		return
+	}
+	st.Window = w
+	cut := len(st.Vectors) - w
+	if cut <= 0 {
+		return
+	}
+	st.Vectors = append([]*Vector(nil), st.Vectors[cut:]...)
+	sim := make([][]float64, len(st.Sim)-cut)
+	for i := range sim {
+		sim[i] = append([]float64(nil), st.Sim[cut+i][cut:]...)
+	}
+	st.Sim = sim
+	st.Evictions += uint64(cut)
+	st.EngineValid = false
+	st.EngineMerges = nil
+}
+
 // RestoreMonitor rebuilds a monitor from an exported state, validating
 // the invariants the codec cannot express: the triangular Φ shape,
 // strictly increasing epochs, and every vector belonging to the state's

@@ -495,6 +495,93 @@ func TestMonitorStateRestoreWeightedKnownOnly(t *testing.T) {
 	}
 }
 
+// ApplyDefaultWindow on an unbounded exported state must yield exactly
+// the monitor a fresh windowed one fed the identical stream would be:
+// same retained suffix, same Φ triangle, same eviction count, and the
+// same behavior on subsequent appends. This is the regression pin for
+// the serve-restore bug where a v1/unbounded checkpoint restored under
+// a daemon-wide default window stayed unbounded forever.
+func TestApplyDefaultWindowMatchesFreshWindowed(t *testing.T) {
+	const total, tail, W = 40, 5, 16
+	space, vs := monitorFixtureVectors(total + tail)
+
+	unbounded := NewMonitor(space, sched(total+tail), nil, PessimisticUnknown, DefaultDetectOptions())
+	windowed := NewMonitorOpts(space, sched(total+tail), MonitorOptions{
+		Detect: DefaultDetectOptions(), Window: W,
+	})
+	for _, v := range vs[:total] {
+		if _, _, err := unbounded.Append(v); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := windowed.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := unbounded.State()
+	st.ApplyDefaultWindow(W)
+	if st.Window != W || len(st.Vectors) != W {
+		t.Fatalf("trimmed state: window %d, %d vectors, want %d/%d", st.Window, len(st.Vectors), W, W)
+	}
+	rest, err := RestoreMonitor(st)
+	if err != nil {
+		t.Fatalf("restore trimmed state: %v", err)
+	}
+	// Both monitors keep evicting as the stream continues.
+	for _, v := range vs[total:] {
+		if _, _, err := rest.Append(v); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := windowed.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sa, sb := windowed.Snapshot(), rest.Snapshot()
+	if sb.Window != W || sb.History != W {
+		t.Fatalf("restored snapshot = %+v, want window/history %d", sb, W)
+	}
+	if sa.Evictions != sb.Evictions || sa.Events != sb.Events || sa.LastEvent != sb.LastEvent {
+		t.Fatalf("windowed vs restored snapshots diverge: %+v vs %+v", sa, sb)
+	}
+	a, b := windowed.Matrix(), rest.Matrix()
+	if a.N != b.N {
+		t.Fatalf("matrix N %d != %d", a.N, b.N)
+	}
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatalf("cell (%d,%d): %v != %v", i, j, a.At(i, j), b.At(i, j))
+			}
+		}
+	}
+	ta, ca := windowed.LiveThreshold()
+	tb, cb := rest.LiveThreshold()
+	if ta != tb || !reflect.DeepEqual(ca, cb) {
+		t.Fatalf("live clusters diverge: %v/%v vs %v/%v", ta, ca, tb, cb)
+	}
+
+	// No-ops: an already-windowed state, a zero default, and a history
+	// shorter than the bound must all pass through untouched.
+	already := windowed.State()
+	evBefore, n := already.Evictions, len(already.Vectors)
+	already.ApplyDefaultWindow(8)
+	if already.Window != W || len(already.Vectors) != n || already.Evictions != evBefore {
+		t.Fatalf("windowed state mutated by ApplyDefaultWindow: %+v", already)
+	}
+	raw := unbounded.State()
+	raw.ApplyDefaultWindow(0)
+	if raw.Window != 0 || len(raw.Vectors) != total {
+		t.Fatalf("zero default mutated state: window %d, %d vectors", raw.Window, len(raw.Vectors))
+	}
+	short := unbounded.State()
+	short.ApplyDefaultWindow(total + 100)
+	if short.Window != total+100 || len(short.Vectors) != total || short.Evictions != 0 {
+		t.Fatalf("short history trimmed: window %d, %d vectors, %d evictions",
+			short.Window, len(short.Vectors), short.Evictions)
+	}
+}
+
 func BenchmarkMonitorAppend(b *testing.B) {
 	space, vs := monitorFixtureVectors(2)
 	mon := NewMonitor(space, sched(1<<30), nil, PessimisticUnknown, DefaultDetectOptions())

@@ -128,6 +128,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/tenants/{name}/transitions", s.timed("transitions", s.withTenant(s.handleTransitions)))
 	mux.HandleFunc("GET /v1/tenants/{name}/flows", s.timed("flows", s.withTenant(s.handleFlows)))
 	mux.HandleFunc("POST /v1/tenants/{name}/checkpoint", s.withTenant(s.handleCheckpoint))
+	mux.HandleFunc("POST /v1/admin/rebalance", s.handleRebalance)
 	mux.Handle("GET /debug/trace", obs.TraceHandler(s.cfg.Obs))
 	mux.Handle("GET /debug/events", obs.EventsHandler(s.cfg.Obs))
 	return mux
@@ -148,6 +149,7 @@ func (s *Server) withTenant(h func(http.ResponseWriter, *http.Request, *tenant))
 func (s *Server) handleListTenants(w http.ResponseWriter, _ *http.Request) {
 	type entry struct {
 		Name    string `json:"name"`
+		Shard   int    `json:"shard"`
 		History int    `json:"history"`
 		Appends uint64 `json:"appends"`
 		Events  uint64 `json:"events"`
@@ -159,7 +161,7 @@ func (s *Server) handleListTenants(w http.ResponseWriter, _ *http.Request) {
 			continue
 		}
 		snap := t.mon.Snapshot()
-		out = append(out, entry{Name: name, History: snap.History, Appends: snap.Appends, Events: snap.Events})
+		out = append(out, entry{Name: name, Shard: t.sh.id, History: snap.History, Appends: snap.Appends, Events: snap.Events})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"tenants": out})
 }
@@ -184,17 +186,25 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	if _, exists := s.tenants[name]; exists {
-		s.mu.Unlock()
-		writeErr(w, http.StatusConflict, "tenant %q already exists", name)
+	// insert re-checks the draining flag under the shard lock — the same
+	// lock Drain takes to flip it — so a create cannot slip between the
+	// isDraining check above and the map insert and leave a running,
+	// never-drained tenant behind (the old create-vs-drain TOCTOU).
+	sh := s.shardFor(name)
+	if _, err := sh.insert(name, mon); err != nil {
+		switch {
+		case errors.Is(err, errDraining):
+			writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		case errors.Is(err, errExists):
+			writeErr(w, http.StatusConflict, "tenant %q already exists", name)
+		default:
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+		}
 		return
 	}
-	s.tenants[name] = newTenant(name, mon, s)
-	s.mu.Unlock()
 	s.setTenantGauge()
 	writeJSON(w, http.StatusCreated, map[string]any{
-		"name": name, "networks": len(spec.Networks),
+		"name": name, "networks": len(spec.Networks), "shard": sh.id,
 	})
 }
 
@@ -277,6 +287,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request, t *tenant)
 	t.mu.Unlock()
 	out := map[string]any{
 		"name":           t.name,
+		"shard":          t.sh.id,
 		"history":        snap.History,
 		"appends":        snap.Appends,
 		"events":         snap.Events,
@@ -538,8 +549,18 @@ func (s *Server) handleServerStatus(w http.ResponseWriter, _ *http.Request) {
 		appends += snap.Appends
 		events += snap.Events
 	}
+	shards := make([]map[string]any, 0, len(s.shards))
+	for _, sh := range s.shards {
+		shards = append(shards, map[string]any{
+			"shard":         sh.id,
+			"tenants":       sh.count(),
+			"pending":       sh.pending.Load(),
+			"drain_seconds": time.Duration(sh.drainNanos.Load()).Seconds(),
+		})
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"tenants":  len(names),
+		"shards":   shards,
 		"history":  history,
 		"appends":  appends,
 		"events":   events,
@@ -643,6 +664,16 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request, t *ten
 	if s.cfg.SnapshotDir == "" {
 		writeErr(w, http.StatusConflict, "no -snapshot-dir configured")
 		return
+	}
+	// Serialize with rebalance and re-resolve: a move that landed between
+	// routing and here swapped the tenant onto another shard, and writing
+	// through the stale object would resurrect the old shard directory's
+	// snapshot file. Holding rebalanceMu pins the placement for the
+	// duration of the write.
+	s.rebalanceMu.Lock()
+	defer s.rebalanceMu.Unlock()
+	if cur := s.tenant(t.name); cur != nil {
+		t = cur
 	}
 	t.flush()
 	size, err := t.checkpoint()

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"fenrir/internal/core"
+	"fenrir/internal/snapshot"
+)
+
+// rebalanceRequest is the POST /v1/admin/rebalance body: move a tenant
+// onto an explicit shard, overriding its hash-home placement.
+type rebalanceRequest struct {
+	Tenant string `json:"tenant"`
+	Shard  int    `json:"shard"`
+}
+
+// handleRebalance moves a tenant between shards through the FENRSNP1
+// codec: flush and park the source worker, snapshot, restore on the
+// target shard, flip placement. The moved tenant answers every query
+// byte-identically to one that never moved, because the move is the
+// same state round-trip a daemon restart performs. Moves serialize on
+// rebalanceMu so two admins cannot fight over one tenant.
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	var req rebalanceRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "parse rebalance request: %v", err)
+		return
+	}
+	if req.Shard < 0 || req.Shard >= len(s.shards) {
+		writeErr(w, http.StatusBadRequest, "shard %d outside [0,%d)", req.Shard, len(s.shards))
+		return
+	}
+	s.rebalanceMu.Lock()
+	defer s.rebalanceMu.Unlock()
+	if s.isDraining() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	src := s.shardFor(req.Tenant)
+	t := src.tenant(req.Tenant)
+	if t == nil {
+		writeErr(w, http.StatusNotFound, "unknown tenant %q", req.Tenant)
+		return
+	}
+	dst := s.shards[req.Shard]
+	if dst == src {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"tenant": req.Tenant, "shard": src.id, "moved": false,
+		})
+		return
+	}
+	if err := s.moveTenant(t, src, dst); err != nil {
+		if errors.Is(err, errDraining) {
+			writeErr(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, "rebalance %q: %v", req.Tenant, err)
+		return
+	}
+	s.cfg.Obs.Counter("fenrir_serve_rebalances_total").Inc()
+	s.setTenantGauge()
+	s.cfg.Obs.Logger().Info("tenant rebalanced",
+		"tenant", req.Tenant, "from_shard", src.id, "to_shard", dst.id)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant": req.Tenant, "from": src.id, "to": dst.id, "moved": true,
+	})
+}
+
+// moveTenant relocates one tenant from src to dst. The worker is parked
+// first, so the snapshot covers every accepted observation; queries keep
+// answering from the parked source tenant until the placement flips.
+// With a snapshot dir the state rides the same on-disk file a restart
+// would read (written into dst's subdirectory before the source file is
+// removed, so a crash anywhere in between leaves at most a duplicate
+// that restoreAll heals); without one it round-trips through the codec
+// in memory.
+func (s *Server) moveTenant(t *tenant, src, dst *shard) error {
+	t.flush()
+	t.stop()
+	mon, dstPath, err := s.rehydrate(t, dst)
+	if err != nil {
+		// The move never happened: revive the tenant in place on src with
+		// a fresh worker around the untouched monitor.
+		src.mu.Lock()
+		src.tenants[t.name] = newTenant(t.name, t.mon, src)
+		src.mu.Unlock()
+		return err
+	}
+	if _, err := dst.insert(t.name, mon); err != nil {
+		// dst began draining mid-move. Leave the parked tenant on src —
+		// src's own drain stops it again (a no-op) and checkpoints it
+		// there — and discard the half-written target snapshot.
+		if dstPath != "" {
+			os.Remove(dstPath)
+		}
+		return err
+	}
+	s.setPlacement(t.name, dst.id)
+	src.remove(t.name)
+	if s.cfg.SnapshotDir != "" {
+		if err := os.Remove(filepath.Join(src.dir(), t.name+snapSuffix)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("remove source snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// rehydrate produces the destination-shard monitor for a parked tenant:
+// through a real snapshot file in dst's subdirectory when checkpointing
+// is on (returning the path so a failed insert can clean it up), or an
+// in-memory FENRSNP1 round-trip otherwise. Either way the restored
+// monitor is built from identical bytes to what a restart would load.
+func (s *Server) rehydrate(t *tenant, dst *shard) (*core.Monitor, string, error) {
+	st := t.mon.State()
+	if s.cfg.SnapshotDir != "" {
+		path := filepath.Join(dst.dir(), t.name+snapSuffix)
+		if _, err := snapshot.SaveMonitor(path, st); err != nil {
+			s.cfg.Obs.Counter("fenrir_snapshot_errors_total").Inc()
+			return nil, "", fmt.Errorf("snapshot to target shard: %w", err)
+		}
+		s.cfg.Obs.Counter("fenrir_snapshot_writes_total").Inc()
+		mon, err := s.loadMonitor(path)
+		if err != nil {
+			os.Remove(path)
+			return nil, "", fmt.Errorf("restore on target shard: %w", err)
+		}
+		return mon, path, nil
+	}
+	var buf bytes.Buffer
+	if err := snapshot.EncodeMonitor(&buf, st); err != nil {
+		return nil, "", fmt.Errorf("encode state: %w", err)
+	}
+	dec, err := snapshot.DecodeMonitor(&buf)
+	if err != nil {
+		return nil, "", fmt.Errorf("decode state: %w", err)
+	}
+	dec.ApplyDefaultWindow(s.cfg.DefaultWindow)
+	mon, err := core.RestoreMonitor(dec)
+	if err != nil {
+		return nil, "", fmt.Errorf("restore state: %w", err)
+	}
+	return mon, "", nil
+}

@@ -12,6 +12,15 @@
 // serving path like every other substrate; and tenants checkpoint to
 // internal/snapshot files so a restarted daemon answers queries
 // byte-identically to one that never stopped.
+//
+// Tenants are partitioned across S in-process shards (Config.Shards,
+// `fenrir -shards`) by consistent hash of the tenant name. Each shard
+// owns its tenant map, its own lock, and its own snapshot subdirectory
+// (<dir>/shard-<k>/), so admission on one shard never contends with
+// creates, lookups, or drains on another, and SIGTERM drains all
+// shards in parallel. POST /v1/admin/rebalance moves a tenant between
+// shards through the FENRSNP1 codec — flush, snapshot, restore on the
+// target, flip placement — byte-identically to never having moved.
 package serve
 
 import (
@@ -22,19 +31,26 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"fenrir/internal/core"
 	"fenrir/internal/faults"
 	"fenrir/internal/obs"
 	"fenrir/internal/snapshot"
 )
 
 // Config tunes a Server. The zero value serves from memory only: no
-// checkpoints, default queue depth, no instrumentation, no faults.
+// checkpoints, one shard, default queue depth, no instrumentation, no
+// faults.
 type Config struct {
 	// SnapshotDir is where tenant checkpoints live ("" disables
-	// checkpointing). On startup every *.fsnap file in the directory is
-	// restored as a tenant, which is how a warm restart resumes exactly
-	// where the previous process stopped.
+	// checkpointing). Checkpoints are laid out per shard as
+	// <dir>/shard-<k>/<name>.fsnap; on startup every checkpoint found
+	// there is restored as a tenant on the shard whose subdirectory
+	// holds it, which is how both a warm restart and a rebalanced
+	// placement resume exactly where the previous process stopped.
+	// Flat <dir>/<name>.fsnap files from a pre-shard daemon are
+	// migrated into their home shard's subdirectory on startup.
 	SnapshotDir string
 	// SnapshotEvery checkpoints a tenant after this many accepted
 	// observations (<= 0 means every 64). Tenants also checkpoint on
@@ -44,9 +60,17 @@ type Config struct {
 	// A full queue rejects with 429 rather than stalling the producer.
 	QueueDepth int
 	// DefaultWindow is the sliding-window bound applied to tenants whose
-	// spec does not set one (0 = unbounded). A windowed tenant retains
-	// only its newest Window observations; see core.MonitorOptions.
+	// spec does not set one (0 = unbounded), and to restored tenants
+	// whose checkpoint carries no window of its own — so a v1/unbounded
+	// snapshot restarted under -window is bounded exactly like an
+	// identical freshly created tenant. A windowed tenant retains only
+	// its newest Window observations; see core.MonitorOptions.
 	DefaultWindow int
+	// Shards is the number of in-process shard workers tenants are
+	// placed across by consistent hash (jump hash over the tenant
+	// name); <= 0 means 1. Each shard has its own lock, tenant map, and
+	// snapshot subdirectory, and drains in parallel with the others.
+	Shards int
 	// Obs receives serve metrics; nil disables instrumentation.
 	Obs *obs.Registry
 	// Faults, when non-nil, mangles ingest the way it mangles every
@@ -69,24 +93,48 @@ func (c Config) snapshotEvery() int {
 	return c.SnapshotEvery
 }
 
-// Server hosts named monitor tenants. Create with New, mount Handler on
-// an http.Server, and call Drain before exit.
+func (c Config) shardCount() int {
+	if c.Shards <= 0 {
+		return 1
+	}
+	return c.Shards
+}
+
+// Server hosts named monitor tenants across a set of shards. Create
+// with New, mount Handler on an http.Server, and call Drain before
+// exit.
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
 
-	mu       sync.Mutex
-	tenants  map[string]*tenant
-	draining bool
+	shards   []*shard
+	draining atomic.Bool
+
+	// placement holds rebalance overrides: tenant name → shard id, for
+	// tenants living somewhere other than their hash-home shard. Reads
+	// are on every request path, writes only on rebalance and restore.
+	placeMu   sync.RWMutex
+	placement map[string]int
+
+	// rebalanceMu serializes admin rebalances so two concurrent moves
+	// cannot fight over one tenant or interleave placement flips.
+	rebalanceMu sync.Mutex
 }
 
 // New builds a server and, when cfg.SnapshotDir is set, warm-restarts
-// every tenant checkpointed there.
+// every tenant checkpointed there onto the shard whose subdirectory
+// holds its snapshot.
 func New(cfg Config) (*Server, error) {
-	s := &Server{cfg: cfg, tenants: make(map[string]*tenant)}
+	s := &Server{cfg: cfg, placement: make(map[string]int)}
+	s.shards = make([]*shard, cfg.shardCount())
+	for k := range s.shards {
+		s.shards[k] = newShard(k, s)
+	}
 	if cfg.SnapshotDir != "" {
-		if err := os.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
-			return nil, fmt.Errorf("serve: snapshot dir: %w", err)
+		for _, sh := range s.shards {
+			if err := os.MkdirAll(sh.dir(), 0o755); err != nil {
+				return nil, fmt.Errorf("serve: snapshot dir: %w", err)
+			}
 		}
 		if err := s.restoreAll(); err != nil {
 			return nil, err
@@ -97,7 +145,28 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// restoreAll loads every checkpoint in SnapshotDir as a tenant.
+// homeShard is the consistent-hash placement for a tenant name.
+func (s *Server) homeShard(name string) int {
+	return jumpHash(hashTenant(name), len(s.shards))
+}
+
+// shardFor resolves a tenant name to its shard: a rebalance override if
+// one exists, the hash-home shard otherwise.
+func (s *Server) shardFor(name string) *shard {
+	s.placeMu.RLock()
+	k, ok := s.placement[name]
+	s.placeMu.RUnlock()
+	if !ok {
+		k = s.homeShard(name)
+	}
+	return s.shards[k]
+}
+
+// restoreAll loads every checkpoint in SnapshotDir. Legacy flat
+// <dir>/<name>.fsnap files (pre-shard layout) are first renamed into
+// their home shard's subdirectory, then each shard-<k>/ subdirectory is
+// scanned and its tenants restored in place — a tenant checkpointed on
+// shard k (including one rebalanced there) comes back on shard k.
 func (s *Server) restoreAll() error {
 	entries, err := os.ReadDir(s.cfg.SnapshotDir)
 	if err != nil {
@@ -108,13 +177,111 @@ func (s *Server) restoreAll() error {
 			continue
 		}
 		name := strings.TrimSuffix(e.Name(), snapSuffix)
-		mon, err := snapshot.LoadMonitor(filepath.Join(s.cfg.SnapshotDir, e.Name()))
-		if err != nil {
-			return fmt.Errorf("serve: restore tenant %q: %w", name, err)
+		home := s.shards[s.homeShard(name)]
+		from := filepath.Join(s.cfg.SnapshotDir, e.Name())
+		to := filepath.Join(home.dir(), e.Name())
+		if err := os.Rename(from, to); err != nil {
+			return fmt.Errorf("serve: migrate legacy snapshot %q: %w", e.Name(), err)
 		}
-		s.tenants[name] = newTenant(name, mon, s)
+	}
+	for _, sh := range s.shards {
+		files, err := os.ReadDir(sh.dir())
+		if err != nil {
+			return fmt.Errorf("serve: scan shard dir: %w", err)
+		}
+		for _, e := range files {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), snapSuffix) {
+				continue
+			}
+			name := strings.TrimSuffix(e.Name(), snapSuffix)
+			path := filepath.Join(sh.dir(), e.Name())
+			if prev := s.shardFor(name).tenant(name); prev != nil {
+				// The same tenant exists in two shard directories: a crash
+				// landed between a rebalance writing the target snapshot and
+				// removing the source one. Both copies held identical bytes
+				// when written; keep the one with more accepted appends (the
+				// tie goes to the copy already restored) and heal the
+				// directory by deleting the other file.
+				if err := s.resolveDuplicate(prev, sh, name, path); err != nil {
+					return err
+				}
+				continue
+			}
+			mon, err := s.loadMonitor(path)
+			if err != nil {
+				return fmt.Errorf("serve: restore tenant %q: %w", name, err)
+			}
+			sh.mu.Lock()
+			sh.tenants[name] = newTenant(name, mon, sh)
+			sh.mu.Unlock()
+			if home := s.homeShard(name); home != sh.id {
+				s.placeMu.Lock()
+				s.placement[name] = sh.id
+				s.placeMu.Unlock()
+			}
+		}
 	}
 	return nil
+}
+
+// loadMonitor decodes one checkpoint and restores the monitor, applying
+// the server's default window to states that carry none — the restore
+// half of the DefaultWindow contract (see Config.DefaultWindow).
+func (s *Server) loadMonitor(path string) (*core.Monitor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := snapshot.DecodeMonitor(f)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	st.ApplyDefaultWindow(s.cfg.DefaultWindow)
+	m, err := core.RestoreMonitor(st)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// resolveDuplicate handles a tenant found in a second shard directory
+// after a crash mid-rebalance: the copy with more accepted appends wins
+// (ties keep the already-restored one) and the loser's file is removed.
+func (s *Server) resolveDuplicate(prev *tenant, sh *shard, name, path string) error {
+	mon, err := s.loadMonitor(path)
+	if err != nil {
+		return fmt.Errorf("serve: restore tenant %q: %w", name, err)
+	}
+	if mon.Snapshot().Appends <= prev.mon.Snapshot().Appends {
+		s.cfg.Obs.Logger().Warn("duplicate tenant snapshot discarded",
+			"tenant", name, "shard", sh.id, "kept_shard", prev.sh.id)
+		return os.Remove(path)
+	}
+	// The later copy wins: re-home the tenant onto this shard.
+	prev.stop()
+	oldPath := prev.snapshotPath()
+	prev.sh.remove(name)
+	sh.mu.Lock()
+	sh.tenants[name] = newTenant(name, mon, sh)
+	sh.mu.Unlock()
+	s.setPlacement(name, sh.id)
+	s.cfg.Obs.Logger().Warn("duplicate tenant snapshot resolved",
+		"tenant", name, "kept_shard", sh.id)
+	return os.Remove(oldPath)
+}
+
+// setPlacement records where a tenant lives; the override is dropped
+// when it matches the hash-home shard so the table only holds genuine
+// exceptions.
+func (s *Server) setPlacement(name string, shardID int) {
+	s.placeMu.Lock()
+	if s.homeShard(name) == shardID {
+		delete(s.placement, name)
+	} else {
+		s.placement[name] = shardID
+	}
+	s.placeMu.Unlock()
 }
 
 // Handler returns the daemon's HTTP API.
@@ -122,61 +289,63 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // tenant returns the named tenant, or nil.
 func (s *Server) tenant(name string) *tenant {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tenants[name]
+	return s.shardFor(name).tenant(name)
 }
 
-// tenantNames returns the tenant names, sorted for stable listings.
+// tenantNames returns all tenant names across shards, sorted for stable
+// listings.
 func (s *Server) tenantNames() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	names := make([]string, 0, len(s.tenants))
-	for n := range s.tenants {
-		names = append(names, n)
+	var names []string
+	for _, sh := range s.shards {
+		names = append(names, sh.names()...)
 	}
 	sort.Strings(names)
 	return names
 }
 
 func (s *Server) setTenantGauge() {
-	s.mu.Lock()
-	n := len(s.tenants)
-	s.mu.Unlock()
-	s.cfg.Obs.Gauge("fenrir_serve_tenants").Set(float64(n))
+	total := 0
+	for _, sh := range s.shards {
+		n := sh.count()
+		sh.tenantGauge.Set(float64(n))
+		total += n
+	}
+	s.cfg.Obs.Gauge("fenrir_serve_tenants").Set(float64(total))
 }
 
 // Drain stops accepting observations, waits for every tenant's queue to
-// empty, and writes a final checkpoint per tenant. Call it on SIGTERM
+// empty, and writes a final checkpoint per tenant — all shards in
+// parallel, each recording its drain wall time. Call it on SIGTERM
 // before shutting the HTTP server down; afterwards queries still work
-// but ingest returns 503.
+// but ingest and creates return 503.
 func (s *Server) Drain() error {
-	s.mu.Lock()
-	s.draining = true
-	ts := make([]*tenant, 0, len(s.tenants))
-	for _, t := range s.tenants {
-		ts = append(ts, t)
+	// Flip the flag under rebalanceMu: a rebalance holds that mutex for
+	// its whole duration, so acquiring it here means no move is in
+	// flight, and every later move sees isDraining and refuses. Without
+	// this a move could run concurrently with shard drains and scatter a
+	// tenant's checkpoint across two shard directories.
+	s.rebalanceMu.Lock()
+	s.draining.Store(true)
+	s.rebalanceMu.Unlock()
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			errs[i] = sh.drain()
+		}(i, sh)
 	}
-	s.mu.Unlock()
-	var firstErr error
-	for _, t := range ts {
-		// stop drains the queue and parks the worker, so the final
-		// checkpoint below covers every accepted observation and races
-		// with nothing.
-		t.stop()
-		if s.cfg.SnapshotDir == "" {
-			continue
-		}
-		if _, err := t.checkpoint(); err != nil && firstErr == nil {
-			firstErr = err
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
-	return firstErr
+	return nil
 }
 
 // isDraining reports whether Drain has begun.
 func (s *Server) isDraining() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.draining
+	return s.draining.Load()
 }

@@ -371,11 +371,12 @@ func TestServeBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A tenant with no worker: admitted observations stay queued.
-	tn := &tenant{name: "slow", srv: s, mon: mon, queue: make(chan queued, 2), done: make(chan struct{})}
+	sh := s.shardFor("slow")
+	tn := &tenant{name: "slow", srv: s, sh: sh, mon: mon, queue: make(chan queued, 2), done: make(chan struct{})}
 	tn.cond = sync.NewCond(&tn.mu)
-	s.mu.Lock()
-	s.tenants["slow"] = tn
-	s.mu.Unlock()
+	sh.mu.Lock()
+	sh.tenants["slow"] = tn
+	sh.mu.Unlock()
 
 	for e := 0; e < 2; e++ {
 		if code, body := doReq(t, ts, http.MethodPost, "/v1/tenants/slow/observations", observation(nets, e, 99)); code != http.StatusAccepted {

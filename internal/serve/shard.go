@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fenrir/internal/core"
+	"fenrir/internal/obs"
+)
+
+// Sentinel errors the shard's admission-control surface returns; the API
+// layer maps them to 503 and 409.
+var (
+	errDraining = errors.New("serve: server is draining")
+	errExists   = errors.New("serve: tenant already exists")
+)
+
+// shard is one in-process tenant partition: it owns its tenant map, its
+// own lock, and its own snapshot subdirectory, so tenant admission on
+// one shard never contends with lookups, creates, or drains on another.
+// Tenants are placed on shards by consistent hash of their name
+// (jumpHash below); POST /v1/admin/rebalance moves one and records the
+// override in the server's placement table.
+type shard struct {
+	id  int
+	srv *Server
+
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	draining bool
+
+	// pending aggregates admitted-but-not-yet-appended observations
+	// across the shard's tenants, mirrored into pendingGauge so /status
+	// and /metrics can show per-shard queue depth without walking every
+	// tenant under its lock.
+	pending atomic.Int64
+	// drainNanos records the wall time of this shard's part of the last
+	// Drain (0 until one runs); /status and the drain gauge surface it so
+	// parallel-drain speedup is observable per shard.
+	drainNanos atomic.Int64
+
+	tenantGauge  *obs.Gauge
+	pendingGauge *obs.Gauge
+	drainGauge   *obs.Gauge
+}
+
+func newShard(id int, s *Server) *shard {
+	reg := s.cfg.Obs
+	return &shard{
+		id:      id,
+		srv:     s,
+		tenants: make(map[string]*tenant),
+
+		tenantGauge:  reg.Gauge(fmt.Sprintf(`fenrir_serve_shard_tenants{shard="%d"}`, id)),
+		pendingGauge: reg.Gauge(fmt.Sprintf(`fenrir_serve_shard_pending{shard="%d"}`, id)),
+		drainGauge:   reg.Gauge(fmt.Sprintf(`fenrir_serve_shard_drain_seconds{shard="%d"}`, id)),
+	}
+}
+
+// dir is the shard's snapshot subdirectory: <SnapshotDir>/shard-<id>.
+func (sh *shard) dir() string {
+	return filepath.Join(sh.srv.cfg.SnapshotDir, fmt.Sprintf("shard-%d", sh.id))
+}
+
+// tenant returns the named tenant hosted on this shard, or nil.
+func (sh *shard) tenant(name string) *tenant {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tenants[name]
+}
+
+// insert creates and places a tenant, re-checking the draining flag
+// under the same lock Drain uses to set it and snapshot the tenant list.
+// That closes the create-vs-drain TOCTOU: a create either lands before
+// the drain snapshot (and is stopped and checkpointed by Drain) or fails
+// with errDraining — it can never slip in between and leave a running,
+// never-checkpointed tenant behind.
+func (sh *shard) insert(name string, mon *core.Monitor) (*tenant, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.draining {
+		return nil, errDraining
+	}
+	if _, ok := sh.tenants[name]; ok {
+		return nil, errExists
+	}
+	t := newTenant(name, mon, sh)
+	sh.tenants[name] = t
+	return t, nil
+}
+
+// remove drops the named tenant from the shard's map (the caller has
+// already stopped it or re-homed it).
+func (sh *shard) remove(name string) {
+	sh.mu.Lock()
+	delete(sh.tenants, name)
+	sh.mu.Unlock()
+}
+
+// count returns the number of tenants hosted on this shard.
+func (sh *shard) count() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.tenants)
+}
+
+// names returns the shard's tenant names, unsorted.
+func (sh *shard) names() []string {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]string, 0, len(sh.tenants))
+	for n := range sh.tenants {
+		out = append(out, n)
+	}
+	return out
+}
+
+// drain flips the shard to draining and, for every tenant present at
+// that instant, stops the worker and writes a final checkpoint. The
+// draining flag and the tenant list are taken under one critical
+// section (see insert). Shards drain in parallel with each other;
+// within a shard tenants drain serially.
+func (sh *shard) drain() error {
+	t0 := time.Now()
+	sh.mu.Lock()
+	sh.draining = true
+	ts := make([]*tenant, 0, len(sh.tenants))
+	for _, t := range sh.tenants {
+		ts = append(ts, t)
+	}
+	sh.mu.Unlock()
+	var firstErr error
+	for _, t := range ts {
+		// stop drains the queue and parks the worker, so the final
+		// checkpoint below covers every accepted observation and races
+		// with nothing.
+		t.stop()
+		if sh.srv.cfg.SnapshotDir == "" {
+			continue
+		}
+		if _, err := t.checkpoint(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	d := time.Since(t0)
+	sh.drainNanos.Store(d.Nanoseconds())
+	sh.drainGauge.Set(d.Seconds())
+	return firstErr
+}
+
+// addPending tracks the shard-wide admitted-but-unappended backlog.
+func (sh *shard) addPending(delta int64) {
+	sh.pendingGauge.Set(float64(sh.pending.Add(delta)))
+}
+
+// hashTenant is the placement hash: FNV-64a over the tenant name.
+func hashTenant(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// jumpHash is Lamping & Veach's jump consistent hash: maps key to a
+// bucket in [0, buckets) such that growing the bucket count moves only
+// ~1/buckets of the keys, with no ring state to persist.
+func jumpHash(key uint64, buckets int) int {
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}

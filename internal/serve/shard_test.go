@@ -1,0 +1,613 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"fenrir/internal/obs"
+	"fenrir/internal/snapshot"
+)
+
+// jumpHash must be a valid consistent hash: in range, deterministic,
+// and monotone — growing the bucket count only moves keys into the new
+// bucket, never between old ones.
+func TestJumpHashProperties(t *testing.T) {
+	keys := make([]uint64, 0, 500)
+	for i := 0; i < 500; i++ {
+		keys = append(keys, hashTenant(fmt.Sprintf("tenant-%04d", i)))
+	}
+	for _, k := range keys {
+		if got := jumpHash(k, 1); got != 0 {
+			t.Fatalf("jumpHash(%d, 1) = %d, want 0", k, got)
+		}
+		for buckets := 2; buckets <= 8; buckets++ {
+			a, b := jumpHash(k, buckets), jumpHash(k, buckets)
+			if a != b {
+				t.Fatalf("jumpHash not deterministic: %d vs %d", a, b)
+			}
+			if a < 0 || a >= buckets {
+				t.Fatalf("jumpHash(%d, %d) = %d out of range", k, buckets, a)
+			}
+			prev := jumpHash(k, buckets-1)
+			if a != prev && a != buckets-1 {
+				t.Fatalf("growing %d->%d moved key between old buckets: %d -> %d",
+					buckets-1, buckets, prev, a)
+			}
+		}
+	}
+	// The hash must actually spread: 500 tenants over 4 shards should
+	// leave no shard empty.
+	counts := make([]int, 4)
+	for _, k := range keys {
+		counts[jumpHash(k, 4)]++
+	}
+	for sh, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d got no tenants out of 500: %v", sh, counts)
+		}
+	}
+}
+
+// Placement surfaces: the tenant list, per-tenant status, and /status
+// all agree on which shard each tenant lives on, and the per-shard
+// tenant counts sum to the fleet total.
+func TestShardPlacementSurfaces(t *testing.T) {
+	s, ts := testServer(t, Config{Shards: 4, Obs: obs.NewRegistry()})
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("place-%02d", i)
+		code, body := doReq(t, ts, http.MethodPut, "/v1/tenants/"+name, defaultSpec(8))
+		if code != http.StatusCreated {
+			t.Fatalf("create %s: %d %s", name, code, body)
+		}
+		var created struct {
+			Shard int `json:"shard"`
+		}
+		if err := json.Unmarshal(body, &created); err != nil {
+			t.Fatal(err)
+		}
+		if want := s.homeShard(name); created.Shard != want {
+			t.Fatalf("create %s reported shard %d, home is %d", name, created.Shard, want)
+		}
+	}
+	_, body := doReq(t, ts, http.MethodGet, "/v1/tenants", nil)
+	var list struct {
+		Tenants []struct {
+			Name  string `json:"name"`
+			Shard int    `json:"shard"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Tenants) != 12 {
+		t.Fatalf("listed %d tenants, want 12", len(list.Tenants))
+	}
+	for _, e := range list.Tenants {
+		if want := s.homeShard(e.Name); e.Shard != want {
+			t.Fatalf("list says %s on shard %d, home is %d", e.Name, e.Shard, want)
+		}
+	}
+	_, body = doReq(t, ts, http.MethodGet, "/status", nil)
+	var status struct {
+		Tenants int `json:"tenants"`
+		Shards  []struct {
+			Shard   int `json:"shard"`
+			Tenants int `json:"tenants"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatal(err)
+	}
+	if len(status.Shards) != 4 {
+		t.Fatalf("/status reported %d shards, want 4", len(status.Shards))
+	}
+	sum := 0
+	for _, e := range status.Shards {
+		sum += e.Tenants
+	}
+	if sum != status.Tenants || sum != 12 {
+		t.Fatalf("per-shard counts sum to %d, fleet total %d, want 12", sum, status.Tenants)
+	}
+}
+
+// Regression for the create-vs-drain TOCTOU: handleCreateTenant used to
+// check isDraining before taking the tenant-map lock, so a create racing
+// Drain could insert a tenant after the drain snapshot of the tenant
+// list — leaving it running and never checkpointed. Now the draining
+// flag is re-checked under the shard lock: every 201 tenant must end up
+// stopped with a checkpoint file in its shard directory, and every 503
+// tenant must not exist at all.
+func TestCreateDuringDrainRace(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := testServer(t, Config{Shards: 4, SnapshotDir: dir, Obs: obs.NewRegistry()})
+
+	const creators = 48
+	codes := make([]int, creators)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < creators; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			codes[i], _ = doReq(t, ts, http.MethodPut,
+				fmt.Sprintf("/v1/tenants/race-%02d", i), defaultSpec(6))
+		}(i)
+	}
+	drained := make(chan error, 1)
+	go func() {
+		<-start
+		time.Sleep(200 * time.Microsecond) // let some creates land first
+		drained <- s.Drain()
+	}()
+	close(start)
+	wg.Wait()
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	var created, refused int
+	for i, code := range codes {
+		name := fmt.Sprintf("race-%02d", i)
+		sh := s.shardFor(name)
+		switch code {
+		case http.StatusCreated:
+			created++
+			tn := sh.tenant(name)
+			if tn == nil {
+				t.Fatalf("%s got 201 but is missing from shard %d", name, sh.id)
+			}
+			tn.mu.Lock()
+			stopped := tn.stopped
+			tn.mu.Unlock()
+			if !stopped {
+				t.Fatalf("%s got 201 but its worker survived the drain", name)
+			}
+			if _, err := os.Stat(filepath.Join(sh.dir(), name+snapSuffix)); err != nil {
+				t.Fatalf("%s got 201 but drain left no checkpoint: %v", name, err)
+			}
+		case http.StatusServiceUnavailable:
+			refused++
+			if sh.tenant(name) != nil {
+				t.Fatalf("%s got 503 but exists on shard %d", name, sh.id)
+			}
+		default:
+			t.Fatalf("%s: unexpected status %d", name, code)
+		}
+	}
+	t.Logf("created=%d refused=%d", created, refused)
+}
+
+// A checkpoint written without a window frame (or with window 0) must
+// come back bounded when the daemon restarts under -window, exactly like
+// a freshly created windowed tenant that saw the same stream.
+func TestRestoreAppliesDefaultWindow(t *testing.T) {
+	const W, total = 16, 40
+	nets := specNets(30)
+	dir := t.TempDir()
+
+	// Era 1: unbounded daemon, no default window. The checkpoint carries
+	// Window = 0.
+	s1, ts1 := testServer(t, Config{SnapshotDir: dir})
+	if code, _ := doReq(t, ts1, http.MethodPut, "/v1/tenants/bgp", defaultSpec(30)); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	mustIngest(t, ts1, "bgp", nets, 0, total, total/2)
+	waitHistory(t, ts1, "bgp", total)
+	if err := s1.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Era 2: same snapshot dir, restarted with a default window.
+	_, ts2 := testServer(t, Config{SnapshotDir: dir, DefaultWindow: W})
+	_, body := doReq(t, ts2, http.MethodGet, "/v1/tenants/bgp", nil)
+	var st struct {
+		History   int    `json:"history"`
+		Window    int    `json:"window"`
+		Evictions uint64 `json:"evictions"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Window != W || st.History != W {
+		t.Fatalf("restored tenant: window=%d history=%d, want both %d", st.Window, st.History, W)
+	}
+	if want := uint64(total - W); st.Evictions != want {
+		t.Fatalf("restored tenant: evictions=%d, want %d", st.Evictions, want)
+	}
+	got := deterministicQueries(t, ts2, "bgp")
+
+	// Control: a windowed tenant that saw the identical stream from birth.
+	_, ts3 := testServer(t, Config{DefaultWindow: W})
+	if code, _ := doReq(t, ts3, http.MethodPut, "/v1/tenants/bgp", defaultSpec(30)); code != http.StatusCreated {
+		t.Fatal("control create failed")
+	}
+	mustIngest(t, ts3, "bgp", nets, 0, total, total/2)
+	waitHistory(t, ts3, "bgp", W)
+	want := deterministicQueries(t, ts3, "bgp")
+	for path, w := range want {
+		if got[path] != w {
+			t.Fatalf("restored-under-window differs from fresh windowed at %s:\n got: %s\nwant: %s",
+				path, got[path], w)
+		}
+	}
+}
+
+// captureAll snapshots the deterministic query surface plus per-tenant
+// status history/appends for one tenant.
+func rebalanceTarget(s *Server, name string) int {
+	return (s.shardFor(name).id + 1) % len(s.shards)
+}
+
+// Rebalance with a snapshot dir: the tenant's state rides a real file
+// into the target shard's subdirectory, the source file disappears, and
+// every deterministic query answers byte-identically across the move.
+// Ingest keeps working afterwards, with continuity of the epoch cursor.
+func TestRebalanceByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := testServer(t, Config{Shards: 4, SnapshotDir: dir, Obs: obs.NewRegistry()})
+	nets := specNets(40)
+	if code, _ := doReq(t, ts, http.MethodPut, "/v1/tenants/bgp", defaultSpec(40)); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	mustIngest(t, ts, "bgp", nets, 0, 24, 12)
+	waitHistory(t, ts, "bgp", 24)
+	want := deterministicQueries(t, ts, "bgp")
+
+	src := s.shardFor("bgp")
+	target := rebalanceTarget(s, "bgp")
+	code, body := doReq(t, ts, http.MethodPost, "/v1/admin/rebalance",
+		map[string]any{"tenant": "bgp", "shard": target})
+	if code != http.StatusOK {
+		t.Fatalf("rebalance: %d %s", code, body)
+	}
+	var moved struct {
+		From  int  `json:"from"`
+		To    int  `json:"to"`
+		Moved bool `json:"moved"`
+	}
+	if err := json.Unmarshal(body, &moved); err != nil {
+		t.Fatal(err)
+	}
+	if !moved.Moved || moved.From != src.id || moved.To != target {
+		t.Fatalf("rebalance reported %+v, want moved %d -> %d", moved, src.id, target)
+	}
+	if s.shardFor("bgp").id != target {
+		t.Fatalf("placement still resolves to shard %d, want %d", s.shardFor("bgp").id, target)
+	}
+	if _, err := os.Stat(filepath.Join(s.shards[target].dir(), "bgp"+snapSuffix)); err != nil {
+		t.Fatalf("no snapshot in target shard dir: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(src.dir(), "bgp"+snapSuffix)); !os.IsNotExist(err) {
+		t.Fatalf("source shard dir still holds the snapshot: %v", err)
+	}
+	got := deterministicQueries(t, ts, "bgp")
+	for path, w := range want {
+		if got[path] != w {
+			t.Fatalf("query %s changed across rebalance:\n got: %s\nwant: %s", path, got[path], w)
+		}
+	}
+
+	// The moved tenant keeps ingesting where it left off, and a replayed
+	// epoch still bounces.
+	mustIngest(t, ts, "bgp", nets, 24, 36, 12)
+	waitHistory(t, ts, "bgp", 36)
+	if code, _ := doReq(t, ts, http.MethodPost, "/v1/tenants/bgp/observations", observation(nets, 10, 12)); code != http.StatusBadRequest {
+		t.Fatalf("replayed epoch got %d, want 400", code)
+	}
+
+	// Moving a tenant onto the shard it already occupies is a no-op.
+	code, body = doReq(t, ts, http.MethodPost, "/v1/admin/rebalance",
+		map[string]any{"tenant": "bgp", "shard": target})
+	if code != http.StatusOK {
+		t.Fatalf("same-shard rebalance: %d %s", code, body)
+	}
+	var noop struct {
+		Moved bool `json:"moved"`
+	}
+	if err := json.Unmarshal(body, &noop); err != nil {
+		t.Fatal(err)
+	}
+	if noop.Moved {
+		t.Fatal("same-shard rebalance claimed to move")
+	}
+
+	// Error paths: unknown tenant and out-of-range shard.
+	if code, _ := doReq(t, ts, http.MethodPost, "/v1/admin/rebalance",
+		map[string]any{"tenant": "nope", "shard": 0}); code != http.StatusNotFound {
+		t.Fatalf("unknown tenant rebalance got %d, want 404", code)
+	}
+	if code, _ := doReq(t, ts, http.MethodPost, "/v1/admin/rebalance",
+		map[string]any{"tenant": "bgp", "shard": 99}); code != http.StatusBadRequest {
+		t.Fatalf("bad shard rebalance got %d, want 400", code)
+	}
+}
+
+// Rebalance on a memory-only daemon round-trips through the codec in
+// RAM instead of a file, with the same byte-identity guarantee.
+func TestRebalanceInMemory(t *testing.T) {
+	s, ts := testServer(t, Config{Shards: 3, Obs: obs.NewRegistry()})
+	nets := specNets(25)
+	if code, _ := doReq(t, ts, http.MethodPut, "/v1/tenants/mem", defaultSpec(25)); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	mustIngest(t, ts, "mem", nets, 0, 20, 10)
+	waitHistory(t, ts, "mem", 20)
+	want := deterministicQueries(t, ts, "mem")
+	target := rebalanceTarget(s, "mem")
+	code, body := doReq(t, ts, http.MethodPost, "/v1/admin/rebalance",
+		map[string]any{"tenant": "mem", "shard": target})
+	if code != http.StatusOK {
+		t.Fatalf("rebalance: %d %s", code, body)
+	}
+	if s.shardFor("mem").id != target {
+		t.Fatal("placement did not flip")
+	}
+	got := deterministicQueries(t, ts, "mem")
+	for path, w := range want {
+		if got[path] != w {
+			t.Fatalf("query %s changed across in-memory rebalance", path)
+		}
+	}
+	mustIngest(t, ts, "mem", nets, 20, 28, 10)
+	waitHistory(t, ts, "mem", 28)
+}
+
+// A rebalanced tenant restarts onto the shard holding its snapshot, not
+// its hash-home shard, and the placement override is rebuilt.
+func TestRebalanceSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	nets := specNets(30)
+	s1, ts1 := testServer(t, Config{Shards: 4, SnapshotDir: dir, Obs: obs.NewRegistry()})
+	if code, _ := doReq(t, ts1, http.MethodPut, "/v1/tenants/roam", defaultSpec(30)); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	mustIngest(t, ts1, "roam", nets, 0, 18, 9)
+	waitHistory(t, ts1, "roam", 18)
+	target := rebalanceTarget(s1, "roam")
+	if code, body := doReq(t, ts1, http.MethodPost, "/v1/admin/rebalance",
+		map[string]any{"tenant": "roam", "shard": target}); code != http.StatusOK {
+		t.Fatalf("rebalance: %d %s", code, body)
+	}
+	want := deterministicQueries(t, ts1, "roam")
+	if err := s1.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := testServer(t, Config{Shards: 4, SnapshotDir: dir, Obs: obs.NewRegistry()})
+	if got := s2.shardFor("roam").id; got != target {
+		t.Fatalf("restarted tenant on shard %d, want rebalanced shard %d", got, target)
+	}
+	got := deterministicQueries(t, ts2, "roam")
+	for path, w := range want {
+		if got[path] != w {
+			t.Fatalf("query %s changed across rebalance+restart", path)
+		}
+	}
+}
+
+// Crash-mid-rebalance healing: if the same tenant's snapshot exists in
+// two shard directories (the crash landed between writing the target
+// copy and removing the source), restart keeps the copy with more
+// appends and deletes the other file.
+func TestDuplicateSnapshotResolved(t *testing.T) {
+	dir := t.TempDir()
+	nets := specNets(20)
+
+	// Build two checkpoints of one tenant at different progress points by
+	// running a throwaway daemon twice.
+	mkState := func(upto int) []byte {
+		t.Helper()
+		tmp := t.TempDir()
+		s, ts := testServer(t, Config{SnapshotDir: tmp})
+		if code, _ := doReq(t, ts, http.MethodPut, "/v1/tenants/dup", defaultSpec(20)); code != http.StatusCreated {
+			t.Fatal("create failed")
+		}
+		mustIngest(t, ts, "dup", nets, 0, upto, 8)
+		waitHistory(t, ts, "dup", upto)
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(filepath.Join(s.shardFor("dup").dir(), "dup"+snapSuffix))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	older, newer := mkState(10), mkState(16)
+
+	// Plant the older copy on shard 0 and the newer on shard 3.
+	for sh, raw := range map[int][]byte{0: older, 3: newer} {
+		d := filepath.Join(dir, fmt.Sprintf("shard-%d", sh))
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(d, "dup"+snapSuffix), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, ts := testServer(t, Config{Shards: 4, SnapshotDir: dir, Obs: obs.NewRegistry()})
+	if got := s.shardFor("dup").id; got != 3 {
+		t.Fatalf("survivor on shard %d, want 3 (the copy with more appends)", got)
+	}
+	_, body := doReq(t, ts, http.MethodGet, "/v1/tenants/dup", nil)
+	var st struct {
+		History int `json:"history"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.History != 16 {
+		t.Fatalf("survivor history %d, want 16", st.History)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "shard-0", "dup"+snapSuffix)); !os.IsNotExist(err) {
+		t.Fatalf("losing duplicate still on disk: %v", err)
+	}
+}
+
+// Legacy flat layout: <dir>/<name>.fsnap files from a pre-shard daemon
+// are migrated into the tenant's home shard subdirectory on startup.
+func TestLegacyFlatSnapshotMigrated(t *testing.T) {
+	dir := t.TempDir()
+	nets := specNets(20)
+	tmp := t.TempDir()
+	s0, ts0 := testServer(t, Config{SnapshotDir: tmp})
+	if code, _ := doReq(t, ts0, http.MethodPut, "/v1/tenants/old", defaultSpec(20)); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	mustIngest(t, ts0, "old", nets, 0, 12, 6)
+	waitHistory(t, ts0, "old", 12)
+	if err := s0.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(s0.shardFor("old").dir(), "old"+snapSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "old"+snapSuffix), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := testServer(t, Config{Shards: 4, SnapshotDir: dir, Obs: obs.NewRegistry()})
+	home := s.homeShard("old")
+	if got := s.shardFor("old").id; got != home {
+		t.Fatalf("migrated tenant on shard %d, want home %d", got, home)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "old"+snapSuffix)); !os.IsNotExist(err) {
+		t.Fatalf("flat snapshot not migrated: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(s.shards[home].dir(), "old"+snapSuffix)); err != nil {
+		t.Fatalf("snapshot missing from home shard dir: %v", err)
+	}
+	waitHistory(t, ts, "old", 12)
+}
+
+// The full sharded lifecycle under the race detector: concurrent
+// creates, ingest, explicit checkpoints, and rebalances across shards,
+// then a drain racing the lot. Afterwards no tenant may be lost, be
+// resolvable to a shard that does not host it, hold a checkpoint in two
+// shard directories, or still have a live worker.
+func TestShardedConcurrentLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := testServer(t, Config{Shards: 4, SnapshotDir: dir, SnapshotEvery: 8, Obs: obs.NewRegistry()})
+	nets := specNets(12)
+
+	const tenants = 12
+	names := make([]string, tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("life-%02d", i)
+		if code, body := doReq(t, ts, http.MethodPut, "/v1/tenants/"+names[i], defaultSpec(12)); code != http.StatusCreated {
+			t.Fatalf("create %s: %d %s", names[i], code, body)
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	// One writer per tenant, in strict epoch order; during the drain race
+	// it tolerates 503s and stops.
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			<-start
+			for e := 0; e < 32; e++ {
+				code, _ := doReq(t, ts, http.MethodPost,
+					"/v1/tenants/"+name+"/observations", observation(nets, e, 16))
+				if code == http.StatusServiceUnavailable {
+					return
+				}
+				if code != http.StatusAccepted && code != http.StatusTooManyRequests {
+					t.Errorf("%s epoch %d: status %d", name, e, code)
+					return
+				}
+			}
+		}(name)
+	}
+	// Checkpointers hammer two tenants.
+	for _, name := range names[:2] {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 8; i++ {
+				doReq(t, ts, http.MethodPost, "/v1/tenants/"+name+"/checkpoint", nil)
+			}
+		}(name)
+	}
+	// A rebalancer walks one tenant around the ring while it ingests.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 6; i++ {
+			doReq(t, ts, http.MethodPost, "/v1/admin/rebalance",
+				map[string]any{"tenant": names[0], "shard": i % 4})
+		}
+	}()
+	// And a drain lands mid-flight.
+	wg.Add(1)
+	var drainErr error
+	go func() {
+		defer wg.Done()
+		<-start
+		time.Sleep(2 * time.Millisecond)
+		drainErr = s.Drain()
+	}()
+	close(start)
+	wg.Wait()
+	if drainErr != nil {
+		t.Fatalf("drain: %v", drainErr)
+	}
+
+	for _, name := range names {
+		// Exactly one shard hosts the tenant, and placement agrees with it.
+		hosts := 0
+		for _, sh := range s.shards {
+			if sh.tenant(name) != nil {
+				hosts++
+			}
+		}
+		if hosts != 1 {
+			t.Fatalf("%s hosted by %d shards, want exactly 1", name, hosts)
+		}
+		sh := s.shardFor(name)
+		tn := sh.tenant(name)
+		if tn == nil {
+			t.Fatalf("%s: placement points at shard %d but it is not there", name, sh.id)
+		}
+		tn.mu.Lock()
+		stopped := tn.stopped
+		tn.mu.Unlock()
+		if !stopped {
+			t.Fatalf("%s still has a live worker after drain", name)
+		}
+		// Its checkpoint lives in its shard's directory and nowhere else.
+		files := 0
+		for _, other := range s.shards {
+			if _, err := os.Stat(filepath.Join(other.dir(), name+snapSuffix)); err == nil {
+				files++
+				if other.id != sh.id {
+					t.Fatalf("%s checkpointed into shard %d dir but lives on shard %d",
+						name, other.id, sh.id)
+				}
+			}
+		}
+		if files != 1 {
+			t.Fatalf("%s has %d checkpoint files, want 1", name, files)
+		}
+		// The checkpoint loads and covers the monitor's full history.
+		mon, err := snapshot.LoadMonitor(filepath.Join(sh.dir(), name+snapSuffix))
+		if err != nil {
+			t.Fatalf("%s checkpoint unreadable: %v", name, err)
+		}
+		if mon.Len() != tn.mon.Len() {
+			t.Fatalf("%s checkpoint history %d, live history %d", name, mon.Len(), tn.mon.Len())
+		}
+	}
+}

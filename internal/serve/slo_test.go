@@ -22,7 +22,7 @@ func TestRetryAfterEstimate(t *testing.T) {
 		meanAppend time.Duration
 		want       int
 	}{
-		{"no data", 256, 0, 1},       // cold tenant: no throughput history → 1 s floor
+		{"no data", 256, 0, 1}, // cold tenant: no throughput history → 1 s floor
 		{"no backlog", 0, time.Second, 1},
 		{"fast appends floor", 256, 100 * time.Microsecond, 1}, // 25.6 ms of work → floor
 		{"warm estimate", 10, 500 * time.Millisecond, 5},       // 5 s of backlog
@@ -48,11 +48,12 @@ func TestBackpressureRetryAfterHeader(t *testing.T) {
 		t.Fatal(err)
 	}
 	nets := specNets(10)
-	tn := &tenant{name: "stall", srv: s, mon: mon, queue: make(chan queued, 2), done: make(chan struct{})}
+	sh := s.shardFor("stall")
+	tn := &tenant{name: "stall", srv: s, sh: sh, mon: mon, queue: make(chan queued, 2), done: make(chan struct{})}
 	tn.cond = sync.NewCond(&tn.mu)
-	s.mu.Lock()
-	s.tenants["stall"] = tn
-	s.mu.Unlock()
+	sh.mu.Lock()
+	sh.tenants["stall"] = tn
+	sh.mu.Unlock()
 
 	for e := 0; e < 2; e++ {
 		if code, body := doReq(t, ts, http.MethodPost, "/v1/tenants/stall/observations", observation(nets, e, 99)); code != http.StatusAccepted {

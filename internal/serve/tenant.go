@@ -31,6 +31,7 @@ type queued struct {
 type tenant struct {
 	name string
 	srv  *Server
+	sh   *shard // owning shard: placement, snapshot subdirectory, pending rollup
 	mon  *core.Monitor
 
 	mu           sync.Mutex
@@ -60,11 +61,13 @@ type tenant struct {
 	queueGauge *obs.Gauge
 }
 
-func newTenant(name string, mon *core.Monitor, s *Server) *tenant {
+func newTenant(name string, mon *core.Monitor, sh *shard) *tenant {
+	s := sh.srv
 	reg := s.cfg.Obs
 	t := &tenant{
 		name:  name,
 		srv:   s,
+		sh:    sh,
 		mon:   mon,
 		queue: make(chan queued, s.cfg.queueDepth()),
 		done:  make(chan struct{}),
@@ -132,6 +135,7 @@ func (t *tenant) admit(v *core.Vector) (err error, full bool) {
 	t.lastAccepted = v.T
 	t.hasAccepted = true
 	t.pending++
+	t.sh.addPending(1)
 	depth := len(t.queue)
 	t.queueGauge.Set(float64(depth))
 	t.depthHist.Observe(float64(depth))
@@ -160,6 +164,7 @@ func (t *tenant) worker() {
 		t.pending--
 		t.cond.Broadcast()
 		t.mu.Unlock()
+		t.sh.addPending(-1)
 		if err != nil {
 			obsReg.Counter(`fenrir_serve_rejected_total{reason="append"}`).Inc()
 		} else {
@@ -170,8 +175,11 @@ func (t *tenant) worker() {
 			t.lagHist.ObserveSince(q.admitted)
 		}
 		if needCheckpoint {
+			// checkpoint counts its own failures (every failure path —
+			// worker, explicit handler, drain — lands in
+			// fenrir_snapshot_errors_total exactly once); the worker only
+			// adds the log line.
 			if _, err := t.checkpoint(); err != nil {
-				obsReg.Counter("fenrir_snapshot_errors_total").Inc()
 				obsReg.Logger().Error("checkpoint failed", "tenant", t.name, "error", err.Error())
 			}
 		}
@@ -204,9 +212,10 @@ func (t *tenant) stop() {
 	<-t.done
 }
 
-// snapshotPath returns the tenant's checkpoint file path.
+// snapshotPath returns the tenant's checkpoint file path inside its
+// shard's snapshot subdirectory.
 func (t *tenant) snapshotPath() string {
-	return filepath.Join(t.srv.cfg.SnapshotDir, t.name+snapSuffix)
+	return filepath.Join(t.sh.dir(), t.name+snapSuffix)
 }
 
 // checkpoint writes the tenant's state to its snapshot file and returns
@@ -220,6 +229,10 @@ func (t *tenant) checkpoint() (int, error) {
 	t0 := time.Now()
 	size, err := snapshot.SaveMonitor(t.snapshotPath(), t.mon.State())
 	if err != nil {
+		// Count here, once, so every failure path — periodic worker
+		// checkpoint, explicit POST …/checkpoint, drain — feeds the same
+		// metric instead of only the worker's.
+		t.srv.cfg.Obs.Counter("fenrir_snapshot_errors_total").Inc()
 		return 0, err
 	}
 	t.mu.Lock()

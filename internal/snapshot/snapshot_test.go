@@ -383,6 +383,55 @@ func TestWindowedMonitorRoundTrip(t *testing.T) {
 	}
 }
 
+// TestVersion1RestoresUnderDefaultWindow is the save-v1 /
+// restart-with-window regression: a version-1 snapshot (no window
+// frame) decoded under a daemon-wide default window must restore
+// bounded — same suffix, Φ triangle, and eviction count as a fresh
+// windowed monitor fed the identical stream — instead of staying
+// unbounded forever the way it did before MonitorState
+// .ApplyDefaultWindow existed.
+func TestVersion1RestoresUnderDefaultWindow(t *testing.T) {
+	const total, W = 30, 12
+	space, vs := fixture(91, total, nil)
+	mon := newMon(space, total)
+	appendAll(t, mon, vs)
+
+	var buf bytes.Buffer
+	if err := EncodeMonitor(&buf, mon.State()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	off := 11 // magic + version + kind
+	for i := 0; i < 5; i++ {
+		n := int(binary.LittleEndian.Uint32(raw[off:]))
+		off += 4 + n + 4
+	}
+	v1 := append([]byte(nil), raw[:off]...)
+	binary.LittleEndian.PutUint16(v1[8:10], 1)
+
+	st, err := DecodeMonitor(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ApplyDefaultWindow(W)
+	rest, err := core.RestoreMonitor(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest.Window() != W || rest.Len() != W {
+		t.Fatalf("restored window/len = %d/%d, want %d/%d", rest.Window(), rest.Len(), W, W)
+	}
+
+	fresh := core.NewMonitorOpts(space, testSched(total), core.MonitorOptions{
+		Detect: core.DefaultDetectOptions(), Window: W,
+	})
+	appendAll(t, fresh, rebind(space, vs))
+	sameMatrix(t, fresh.Matrix(), rest.Matrix())
+	if a, b := fresh.Snapshot(), rest.Snapshot(); a.Evictions != b.Evictions || a.History != b.History {
+		t.Fatalf("windowed restore diverges from fresh windowed monitor: %+v vs %+v", a, b)
+	}
+}
+
 func deepEqualClusters(a, b [][]int) bool {
 	if len(a) != len(b) {
 		return false

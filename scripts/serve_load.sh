@@ -12,7 +12,14 @@
 # to BENCH_OUT in the same JSON shape bench2json.sh produces for `make
 # bench`, so serve-path regressions diff exactly like kernel ones.
 #
+# Phase 2 is the tenant-scale sweep: a release (non-race) build serves
+# TENANTS tenants (default 1024) at each shard count in SHARD_SET while
+# scripts/serveload feeds them from LOAD_WRITERS concurrent producers,
+# recording per-shard-count throughput and admission p50/p90/p99 rows
+# alongside the phase-1 rows. SHARD_SET="" skips the sweep.
+#
 #   WRITERS=8 EPOCHS=200 READERS=6 ./scripts/serve_load.sh
+#   TENANTS=2048 SHARD_SET="1 8" ./scripts/serve_load.sh
 set -e
 cd "$(dirname "$0")/.."
 
@@ -21,6 +28,10 @@ EPOCHS="${EPOCHS:-120}"
 READERS="${READERS:-4}"
 WINDOW="${WINDOW:-32}"
 BENCH_OUT="${BENCH_OUT:-BENCH_serve.json}"
+SHARD_SET="${SHARD_SET:-1 4 8}"
+TENANTS="${TENANTS:-1024}"
+LOAD_EPOCHS="${LOAD_EPOCHS:-16}"
+LOAD_WRITERS="${LOAD_WRITERS:-8}"
 
 work="$(mktemp -d /tmp/fenrir-serve-load.XXXXXX)"
 pids=""
@@ -222,7 +233,9 @@ fi
 # throughput as ns per accepted observation over the whole write phase,
 # p50/p90/p99 admission latency across ordered writers, and the bounded
 # tenant's sustained append throughput over its own wall clock (every
-# accepted append past the bound also pays an eviction).
+# accepted append past the bound also pays an eviction). Rows accumulate
+# one-per-line in $work/rows; the sweep below appends to them and the
+# array is assembled at the end.
 win_n=$(wc -l <"$work/lat.bounded")
 win_wall=$(cat "$work/bounded.wall")
 sort -g "$work"/lat.w[0-9]* | awk \
@@ -235,13 +248,54 @@ sort -g "$work"/lat.w[0-9]* | awk \
         q50 = v[int(0.50 * (NR - 1)) + 1] * 1e9
         q90 = v[int(0.90 * (NR - 1)) + 1] * 1e9
         q99 = v[int(0.99 * (NR - 1)) + 1] * 1e9
-        printf "[\n"
-        printf "  {\"name\": \"ServeLoad/ingest-throughput/W=%d/R=%d\", \"iterations\": %d, \"ns_per_op\": %.0f},\n", writers, readers, NR, wall_ns / NR
-        printf "  {\"name\": \"ServeLoad/admission-latency-p50\", \"iterations\": %d, \"ns_per_op\": %.0f},\n", NR, q50
-        printf "  {\"name\": \"ServeLoad/admission-latency-p90\", \"iterations\": %d, \"ns_per_op\": %.0f},\n", NR, q90
-        printf "  {\"name\": \"ServeLoad/admission-latency-p99\", \"iterations\": %d, \"ns_per_op\": %.0f},\n", NR, q99
-        printf "  {\"name\": \"ServeLoad/windowed-ingest-throughput/window=%d\", \"iterations\": %d, \"ns_per_op\": %.0f}\n", window, win_n, win_wall / win_n
-        printf "]\n"
-    }' >"$BENCH_OUT"
-echo "serve-load: bench written to $BENCH_OUT"
+        printf "{\"name\": \"ServeLoad/ingest-throughput/W=%d/R=%d\", \"iterations\": %d, \"ns_per_op\": %.0f}\n", writers, readers, NR, wall_ns / NR
+        printf "{\"name\": \"ServeLoad/admission-latency-p50\", \"iterations\": %d, \"ns_per_op\": %.0f}\n", NR, q50
+        printf "{\"name\": \"ServeLoad/admission-latency-p90\", \"iterations\": %d, \"ns_per_op\": %.0f}\n", NR, q90
+        printf "{\"name\": \"ServeLoad/admission-latency-p99\", \"iterations\": %d, \"ns_per_op\": %.0f}\n", NR, q99
+        printf "{\"name\": \"ServeLoad/windowed-ingest-throughput/window=%d\", \"iterations\": %d, \"ns_per_op\": %.0f}\n", window, win_n, win_wall / win_n
+    }' >"$work/rows"
 echo "serve-load: ok — $WRITERS ordered writers + $WRITERS contended writers + 1 windowed writer (window $WINDOW) + $READERS readers, $EPOCHS epochs each, no races, no 5xx"
+
+# Phase 2: the tenant-scale sweep. A release build (throughput, not race
+# hunting) hosts TENANTS tenants at each shard count; scripts/serveload
+# feeds them from LOAD_WRITERS concurrent keepalive producers and emits
+# one throughput row plus admission quantile rows per shard count, all
+# labelled S=<shards> so shard scaling diffs row against row.
+if [ -n "$SHARD_SET" ]; then
+    relbin="$work/fenrir-rel"
+    loadbin="$work/serveload"
+    go build -o "$relbin" ./cmd/fenrir
+    go build -o "$loadbin" ./scripts/serveload
+    for S in $SHARD_SET; do
+        log="$work/sweep-$S.log"
+        "$relbin" -serve 127.0.0.1:0 -shards "$S" 2>"$log" &
+        sweep_pid=$!
+        pids="$pids $sweep_pid"
+        surl=""
+        i=0
+        while [ $i -lt 200 ]; do
+            surl=$(sed -n 's!^fenrir: serving api \(http://[^ ]*\).*!\1!p' "$log" | head -1)
+            [ -n "$surl" ] && break
+            sleep 0.05
+            i=$((i + 1))
+        done
+        if [ -z "$surl" ]; then
+            echo "serve-load: sweep daemon (S=$S) never announced its address" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        "$loadbin" -url "$surl" -tenants "$TENANTS" -epochs "$LOAD_EPOCHS" \
+            -writers "$LOAD_WRITERS" -label "S=$S" >>"$work/rows"
+        kill "$sweep_pid" 2>/dev/null || true
+        wait "$sweep_pid" 2>/dev/null || true
+        echo "serve-load: sweep S=$S done ($TENANTS tenants x $LOAD_EPOCHS epochs)"
+    done
+fi
+
+# Assemble the JSON array from the accumulated rows.
+{
+    printf "[\n"
+    sed 's/^/  /; $!s/$/,/' "$work/rows"
+    printf "]\n"
+} >"$BENCH_OUT"
+echo "serve-load: bench written to $BENCH_OUT ($(wc -l <"$work/rows") rows)"

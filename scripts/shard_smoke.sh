@@ -1,0 +1,230 @@
+#!/bin/sh
+# shard_smoke.sh — end-to-end smoke test of the sharded tenant tier.
+# A 4-shard daemon hosts six tenants spread across shards; one tenant is
+# rebalanced onto another shard mid-stream (via POST /v1/admin/rebalance,
+# asserting the snapshot file physically moves between shard
+# subdirectories), then the daemon is hard-killed and restarted from the
+# same -snapshot-dir. Every tenant — moved or not — must answer all five
+# deterministic query endpoints byte-identically to an uninterrupted
+# 4-shard daemon that ingested the same streams and never rebalanced,
+# moved tenants must come back on the shard holding their snapshot, and
+# rebalance error paths (unknown tenant, bad shard index) must reject
+# cleanly. Used by `make shard-smoke` / `make check`.
+set -e
+cd "$(dirname "$0")/.."
+
+SHARDS=4
+TENANTS="alpha bravo charlie delta echo foxtrot"
+EPOCHS=36
+KILL_AT=27
+
+work="$(mktemp -d /tmp/fenrir-shard-smoke.XXXXXX)"
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+bin="$work/fenrir"
+go build -o "$bin" ./cmd/fenrir
+
+wait_api() {
+    i=0
+    while [ $i -lt 200 ]; do
+        url=$(sed -n 's!^fenrir: serving api \(http://[^ ]*\).*!\1!p' "$1" | head -1)
+        if [ -n "$url" ]; then
+            echo "$url"
+            return 0
+        fi
+        sleep 0.05
+        i=$((i + 1))
+    done
+    echo "shard-smoke: daemon never announced its address" >&2
+    cat "$1" >&2
+    return 1
+}
+
+# obs_json EPOCH — 12 networks, era flip at epoch 18, every 7th network
+# pinned to gamma, one rotating unknown.
+obs_json() {
+    e=$1
+    if [ "$e" -lt 18 ]; then base=alpha; else base=beta; fi
+    printf '{"epoch":%d,"sites":{' "$e"
+    sep=""
+    i=0
+    while [ $i -lt 12 ]; do
+        if [ $(((i + e) % 11)) -ne 0 ]; then
+            if [ $((i % 7)) -eq 0 ]; then site=gamma; else site=$base; fi
+            printf '%s"n%02d":"%s"' "$sep" "$i" "$site"
+            sep=","
+        fi
+        i=$((i + 1))
+    done
+    printf '}}'
+}
+
+spec_json() {
+    printf '{"networks":['
+    sep=""
+    i=0
+    while [ $i -lt 12 ]; do
+        printf '%s"n%02d"' "$sep" "$i"
+        sep=","
+        i=$((i + 1))
+    done
+    printf '],"start":"2026-01-01T00:00:00Z","interval_seconds":240,"epochs":4096}'
+}
+
+# req METHOD URL BODY EXPECTED_CODE LABEL
+req() {
+    code=$(curl -s -o "$work/last-response" -w '%{http_code}' -X "$1" -d "$3" "$2")
+    if [ "$code" != "$4" ]; then
+        echo "shard-smoke: $5: got HTTP $code, want $4" >&2
+        cat "$work/last-response" >&2
+        exit 1
+    fi
+}
+
+# ingest URL FROM TO — streams epochs [FROM, TO) into every tenant.
+ingest() {
+    e=$2
+    while [ "$e" -lt "$3" ]; do
+        body=$(obs_json "$e")
+        for t in $TENANTS; do
+            req POST "$1/v1/tenants/$t/observations" "$body" 202 "ingest $t epoch $e"
+        done
+        e=$((e + 1))
+    done
+}
+
+# capture URL OUTDIR — snapshots the deterministic query surface of
+# every tenant.
+capture() {
+    for t in $TENANTS; do
+        mkdir -p "$2/$t"
+        curl -s "$1/v1/tenants/$t/mode" >"$2/$t/mode.json"
+        curl -s "$1/v1/tenants/$t/events?n=50" >"$2/$t/events.json"
+        curl -s "$1/v1/tenants/$t/heatmap" >"$2/$t/heatmap.json"
+        curl -s "$1/v1/tenants/$t/transitions" >"$2/$t/transitions.json"
+        curl -s "$1/v1/tenants/$t/flows?k=5" >"$2/$t/flows.json"
+    done
+}
+
+# tenant_shard URL TENANT — reads the shard id off the pretty-printed
+# tenant status JSON.
+tenant_shard() {
+    curl -s "$1/v1/tenants/$2" | sed -n 's/.*"shard": \([0-9]*\).*/\1/p' | head -1
+}
+
+# --- Control: 4 shards, all epochs, no rebalance, no interruption. ----
+"$bin" -serve 127.0.0.1:0 -shards $SHARDS -snapshot-dir "$work/control-state" \
+    2>"$work/control.log" &
+control_pid=$!
+pids="$pids $control_pid"
+control_url=$(wait_api "$work/control.log")
+for t in $TENANTS; do
+    req PUT "$control_url/v1/tenants/$t" "$(spec_json)" 201 "control create $t"
+done
+ingest "$control_url" 0 $EPOCHS
+for t in $TENANTS; do
+    req POST "$control_url/v1/tenants/$t/checkpoint" "" 200 "control checkpoint $t"
+done
+capture "$control_url" "$work/control-out"
+kill -TERM "$control_pid"
+wait "$control_pid" 2>/dev/null || true
+
+# --- Victim: rebalance one tenant mid-stream, then die hard. ----------
+state="$work/victim-state"
+"$bin" -serve 127.0.0.1:0 -shards $SHARDS -snapshot-dir "$state" \
+    -snapshot-every 5 2>"$work/victim.log" &
+victim_pid=$!
+pids="$pids $victim_pid"
+victim_url=$(wait_api "$work/victim.log")
+for t in $TENANTS; do
+    req PUT "$victim_url/v1/tenants/$t" "$(spec_json)" 201 "victim create $t"
+done
+
+# The six names must actually spread: at least two shards are occupied.
+occupied=$(curl -s "$victim_url/status" |
+    sed -n 's/.*"tenants": \([1-9][0-9]*\).*/\1/p' | wc -l)
+if [ "$occupied" -lt 2 ]; then
+    echo "shard-smoke: tenants did not spread across shards" >&2
+    curl -s "$victim_url/status" >&2
+    exit 1
+fi
+
+ingest "$victim_url" 0 18
+
+# Rebalance "charlie" onto the next shard over, mid-stream.
+mover=charlie
+src=$(tenant_shard "$victim_url" $mover)
+dst=$(((src + 1) % SHARDS))
+req POST "$victim_url/v1/admin/rebalance" \
+    "{\"tenant\":\"$mover\",\"shard\":$dst}" 200 "rebalance $mover"
+now=$(tenant_shard "$victim_url" $mover)
+if [ "$now" != "$dst" ]; then
+    echo "shard-smoke: $mover reports shard $now after rebalance to $dst" >&2
+    exit 1
+fi
+if [ ! -f "$state/shard-$dst/$mover.fsnap" ]; then
+    echo "shard-smoke: no snapshot in target shard dir shard-$dst" >&2
+    ls -R "$state" >&2
+    exit 1
+fi
+if [ -f "$state/shard-$src/$mover.fsnap" ]; then
+    echo "shard-smoke: snapshot still present in source shard dir shard-$src" >&2
+    exit 1
+fi
+
+# Rebalance error paths reject cleanly.
+req POST "$victim_url/v1/admin/rebalance" \
+    '{"tenant":"nope","shard":0}' 404 "rebalance unknown tenant"
+req POST "$victim_url/v1/admin/rebalance" \
+    "{\"tenant\":\"$mover\",\"shard\":99}" 400 "rebalance bad shard"
+
+# The moved tenant keeps ingesting where it left off; then everyone
+# checkpoints and the daemon dies without warning.
+ingest "$victim_url" 18 $KILL_AT
+for t in $TENANTS; do
+    req POST "$victim_url/v1/tenants/$t/checkpoint" "" 200 "victim checkpoint $t"
+done
+kill -KILL "$victim_pid"
+wait "$victim_pid" 2>/dev/null || true
+
+# --- Restart: same flags, same state dir. -----------------------------
+"$bin" -serve 127.0.0.1:0 -shards $SHARDS -snapshot-dir "$state" \
+    -snapshot-every 5 2>"$work/restart.log" &
+restart_pid=$!
+pids="$pids $restart_pid"
+restart_url=$(wait_api "$work/restart.log")
+
+# The rebalanced tenant comes back on the shard holding its snapshot.
+back=$(tenant_shard "$restart_url" $mover)
+if [ "$back" != "$dst" ]; then
+    echo "shard-smoke: $mover restarted on shard $back, want rebalanced shard $dst" >&2
+    exit 1
+fi
+# A replayed epoch still bounces after restore.
+req POST "$restart_url/v1/tenants/$mover/observations" "$(obs_json 20)" \
+    400 "replayed epoch after restart"
+
+ingest "$restart_url" $KILL_AT $EPOCHS
+for t in $TENANTS; do
+    req POST "$restart_url/v1/tenants/$t/checkpoint" "" 200 "restart checkpoint $t"
+done
+capture "$restart_url" "$work/restart-out"
+kill -TERM "$restart_pid"
+wait "$restart_pid" 2>/dev/null || true
+
+# --- The guarantee: rebalance + kill -9 + restart changes nothing. ----
+for t in $TENANTS; do
+    for f in mode events heatmap transitions flows; do
+        if ! cmp -s "$work/control-out/$t/$f.json" "$work/restart-out/$t/$f.json"; then
+            echo "shard-smoke: $t/$f.json differs between control and rebalanced+restored runs" >&2
+            diff "$work/control-out/$t/$f.json" "$work/restart-out/$t/$f.json" >&2 || true
+            exit 1
+        fi
+    done
+done
+echo "shard-smoke: ok — rebalance + kill -9 + restart is byte-identical across 5 endpoints x 6 tenants on $SHARDS shards"

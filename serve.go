@@ -7,13 +7,16 @@ import (
 )
 
 // ServeConfig configures the long-running monitoring daemon: checkpoint
-// directory, queue bounds, metrics registry, and the fault seam. See
-// DESIGN.md §8.
+// directory, queue bounds, shard count, metrics registry, and the fault
+// seam. See DESIGN.md §8 and §15.
 type ServeConfig = serve.Config
 
 // ServeServer hosts named Monitor tenants behind the daemon HTTP API
 // (`fenrir -serve`): POST observations in, GET modes, events, heatmap
-// rows, transition matrices, and largest flows back out.
+// rows, transition matrices, and largest flows back out. Tenants are
+// partitioned across ServeConfig.Shards in-process shards by consistent
+// hash; POST /v1/admin/rebalance moves one between shards with
+// byte-identical query answers across the move.
 type ServeServer = serve.Server
 
 // NewServeServer builds a daemon server, warm-restarting any tenants
