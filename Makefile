@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchguard cover obs-smoke faults-smoke serve-smoke window-smoke shard-smoke trace-smoke explain-smoke serve-load check clean
+.PHONY: all build vet test race bench benchguard cover obs-smoke faults-smoke serve-smoke window-smoke shard-smoke trace-smoke explain-smoke history-smoke serve-load check clean
 
 all: build test
 
@@ -96,13 +96,20 @@ trace-smoke:
 explain-smoke:
 	./scripts/explain_smoke.sh
 
+# End-to-end self-observation check: a daemon with fast history sampling
+# and a seeded tight burn-rate rule; malformed ingest fires the alert,
+# clean traffic resolves it, /v1/query serves windowed functions, and
+# the shutdown manifest carries the alerts block.
+history-smoke:
+	./scripts/history_smoke.sh
+
 # Concurrent-load check (not part of `check`; slower): N writers + N
 # contended writers + readers against a -race daemon build. Writes
 # throughput and admission-latency quantiles to BENCH_serve.json.
 serve-load:
 	./scripts/serve_load.sh
 
-check: test race cover obs-smoke faults-smoke serve-smoke window-smoke shard-smoke trace-smoke explain-smoke benchguard
+check: test race cover obs-smoke faults-smoke serve-smoke window-smoke shard-smoke trace-smoke explain-smoke history-smoke benchguard
 
 clean:
 	rm -f BENCH_core.json BENCH_core.json.tmp bench.out cover.out

@@ -50,6 +50,7 @@ import (
 	"fenrir/internal/dataset"
 	"fenrir/internal/faults"
 	"fenrir/internal/obs"
+	"fenrir/internal/obs/history"
 	"fenrir/internal/report"
 	"fenrir/internal/scenario"
 	"fenrir/internal/serve"
@@ -76,6 +77,10 @@ type cliOptions struct {
 	queueDepth    int
 	window        int
 	shards        int
+	historyEvery  time.Duration
+	historyRetain int
+	alertRules    string
+	seriesCap     int
 }
 
 func main() {
@@ -99,6 +104,10 @@ func main() {
 	flag.IntVar(&o.queueDepth, "queue-depth", 0, "daemon: per-tenant ingest queue depth (0 = 256)")
 	flag.IntVar(&o.window, "window", 0, "daemon: default sliding-window bound for tenants whose spec sets none (0 = unbounded history)")
 	flag.IntVar(&o.shards, "shards", 0, "daemon: in-process tenant shards, each with its own lock and snapshot subdirectory (0 = 1)")
+	flag.DurationVar(&o.historyEvery, "history-every", 10*time.Second, "daemon: telemetry history sampling interval (0 disables /v1/query, /v1/alerts, /debug/timeline)")
+	flag.IntVar(&o.historyRetain, "history-retain", 0, "daemon: samples retained per history series (0 = 360)")
+	flag.StringVar(&o.alertRules, "alert-rules", "", "daemon: JSON file of alert rules evaluated in addition to the built-in defaults")
+	flag.IntVar(&o.seriesCap, "series-cap", 0, "daemon: max tenant label values per metric family; overflow aggregates into tenant=\"__other__\" (0 = unlimited)")
 	flag.Parse()
 
 	if err := applyKernelFlag(o.kernel); err != nil {
@@ -381,6 +390,14 @@ func runServe(o cliOptions) error {
 	}
 	inj := faults.New(prof, seed, reg) // nil for the zero profile
 
+	var rules []history.Rule
+	if o.alertRules != "" {
+		loaded, err := history.LoadRules(o.alertRules)
+		if err != nil {
+			return fmt.Errorf("alert rules: %w", err)
+		}
+		rules = loaded
+	}
 	srv, err := serve.New(serve.Config{
 		SnapshotDir:   o.snapshotDir,
 		SnapshotEvery: o.snapshotEvery,
@@ -389,6 +406,10 @@ func runServe(o cliOptions) error {
 		Shards:        o.shards,
 		Obs:           reg,
 		Faults:        inj,
+		HistoryEvery:  o.historyEvery,
+		HistoryRetain: o.historyRetain,
+		AlertRules:    rules,
+		SeriesCap:     o.seriesCap,
 	})
 	if err != nil {
 		return err
@@ -438,6 +459,11 @@ func runServe(o cliOptions) error {
 			WallSeconds: time.Since(t0).Seconds(),
 		}
 		m.FillFromRegistry(reg)
+		// The alerts block records the alert engine's whole run: rule
+		// count, sampler ticks, anything still firing at shutdown, and
+		// total transitions. Nil (absent from the JSON) when the daemon
+		// ran with -history-every 0.
+		m.Alerts = srv.History().ManifestSummary()
 		m.PeakGoroutines, m.PeakHeapBytes = sampler.Stop()
 		if err := obs.WriteManifest(o.manifest, m); err != nil {
 			return err

@@ -84,8 +84,21 @@ func (fr *FlightRecorder) Evicted() uint64 {
 // Events returns up to n of the most recent events, oldest first.
 // n <= 0 means all retained events. Nil recorder returns nil.
 func (fr *FlightRecorder) Events(n int) []Event {
+	events, _ := fr.Snapshot(n)
+	return events
+}
+
+// Snapshot returns up to n of the most recent events (oldest first,
+// n <= 0 means all) together with the eviction count, both read under a
+// single lock acquisition. The pair is therefore mutually consistent: a
+// full ring's oldest returned event always has Seq == evicted+1, with
+// no gaps anywhere in the window — reading Events and Evicted
+// separately can race a concurrent writer and see an eviction count
+// from a later ring state than the events. Nil recorder returns
+// (nil, 0).
+func (fr *FlightRecorder) Snapshot(n int) (events []Event, evicted uint64) {
 	if fr == nil {
-		return nil
+		return nil, 0
 	}
 	fr.mu.Lock()
 	defer fr.mu.Unlock()
@@ -96,7 +109,7 @@ func (fr *FlightRecorder) Events(n int) []Event {
 	if n > 0 && len(out) > n {
 		out = out[len(out)-n:]
 	}
-	return out
+	return out, fr.evicted.Load()
 }
 
 // flightHandler is the slog.Handler that feeds a FlightRecorder.

@@ -1,0 +1,409 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"fenrir/internal/obs"
+)
+
+// Registry metric names the alert engine maintains about itself. Both
+// land in the same registry the sampler scrapes, so alert activity is
+// itself recorded in the history rings.
+const (
+	// MetricAlertsFiring is a gauge holding the number of currently
+	// firing rules.
+	MetricAlertsFiring = "fenrir_alerts_firing"
+	// MetricAlertTransitions is the counter family counting every state
+	// change, labeled by rule and direction:
+	// fenrir_alert_transitions_total{rule="x",to="firing"}.
+	MetricAlertTransitions = "fenrir_alert_transitions_total"
+)
+
+// Rule types.
+const (
+	// TypeThreshold compares a query (fn over metric within range)
+	// against a fixed value with an operator, firing after ForSamples
+	// consecutive breaching ticks.
+	TypeThreshold = "threshold"
+	// TypeBurnRate is a Prometheus-style dual-window SLO burn-rate rule:
+	// burn = (rate(error)/rate(total)) / (1 - objective), firing when
+	// both the fast and slow windows burn at >= Factor, resolving when
+	// the fast window drops below Factor.
+	TypeBurnRate = "burn_rate"
+)
+
+// Burn-rate defaults when a rule leaves them zero.
+const (
+	defaultBurnFactor = 2.0
+	defaultFastRange  = 5 * time.Minute
+	defaultSlowRange  = 30 * time.Minute
+)
+
+// Duration is a time.Duration that unmarshals from JSON as either a Go
+// duration string ("90s", "5m") or a bare number of seconds, so alert
+// rule files stay hand-writable.
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("history: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(b, &secs); err != nil {
+		return fmt.Errorf("history: duration must be a string like \"5m\" or seconds, got %s", b)
+	}
+	*d = Duration(time.Duration(secs * float64(time.Second)))
+	return nil
+}
+
+// MarshalJSON renders the duration as its Go string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Rule is one declarative alert. Threshold rules use Metric / Stat /
+// Fn / Op / Value / Range / ForSamples; burn-rate rules use ErrorMetric
+// / TotalMetric / Objective / Factor / FastRange / SlowRange. Rules are
+// plain data so they load from a JSON file (-alert-rules) exactly as
+// they are declared in code.
+type Rule struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+
+	// Threshold fields.
+	Metric string `json:"metric,omitempty"`
+	// Stat selects a histogram rollup ("count", "sum", "p50", "p90",
+	// "p99"); empty for plain counters and gauges.
+	Stat string `json:"stat,omitempty"`
+	// Fn is the query function evaluated over Range ("latest" when
+	// empty; also "delta", "rate", "max_over_time").
+	Fn string `json:"fn,omitempty"`
+	// Op compares the query value against Value: one of ">=" (default),
+	// ">", "<=", "<".
+	Op    string  `json:"op,omitempty"`
+	Value float64 `json:"value,omitempty"`
+	// Range bounds the query window (0 means the whole retained window).
+	Range Duration `json:"range,omitempty"`
+	// ForSamples is how many consecutive breaching ticks are required
+	// before the rule fires (<= 0 means 1: fire on first breach).
+	ForSamples int `json:"for_samples,omitempty"`
+
+	// Burn-rate fields. ErrorMetric and TotalMetric must be counters
+	// (or histogram count rollups via ErrorStat/TotalStat-free names).
+	ErrorMetric string `json:"error_metric,omitempty"`
+	TotalMetric string `json:"total_metric,omitempty"`
+	// Objective is the SLO success target in (0,1), e.g. 0.99.
+	Objective float64 `json:"objective,omitempty"`
+	// Factor is the burn multiple that trips the rule (<= 0 means 2):
+	// burning at exactly the error budget is burn 1.0.
+	Factor float64 `json:"factor,omitempty"`
+	// FastRange / SlowRange are the dual windows (defaults 5m / 30m).
+	FastRange Duration `json:"fast_range,omitempty"`
+	SlowRange Duration `json:"slow_range,omitempty"`
+}
+
+// Validate rejects malformed rules with a descriptive error.
+func (r Rule) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("history: alert rule needs a name")
+	}
+	switch r.Type {
+	case TypeThreshold:
+		if r.Metric == "" {
+			return fmt.Errorf("history: threshold rule %q needs a metric", r.Name)
+		}
+		if _, ok := ParseFn(r.Fn); !ok {
+			return fmt.Errorf("history: threshold rule %q: unknown fn %q", r.Name, r.Fn)
+		}
+		switch r.Op {
+		case "", ">=", ">", "<=", "<":
+		default:
+			return fmt.Errorf("history: threshold rule %q: unknown op %q", r.Name, r.Op)
+		}
+	case TypeBurnRate:
+		if r.ErrorMetric == "" || r.TotalMetric == "" {
+			return fmt.Errorf("history: burn-rate rule %q needs error_metric and total_metric", r.Name)
+		}
+		if r.Objective <= 0 || r.Objective >= 1 {
+			return fmt.Errorf("history: burn-rate rule %q: objective %v outside (0,1)", r.Name, r.Objective)
+		}
+		if r.FastRange < 0 || r.SlowRange < 0 {
+			return fmt.Errorf("history: burn-rate rule %q: negative window", r.Name)
+		}
+		fast, slow := r.windows()
+		if slow < fast {
+			return fmt.Errorf("history: burn-rate rule %q: slow window %v shorter than fast %v", r.Name, slow, fast)
+		}
+	default:
+		return fmt.Errorf("history: rule %q: unknown type %q (want %q or %q)", r.Name, r.Type, TypeThreshold, TypeBurnRate)
+	}
+	return nil
+}
+
+// windows returns the effective fast/slow burn windows with defaults
+// applied.
+func (r Rule) windows() (fast, slow time.Duration) {
+	fast, slow = time.Duration(r.FastRange), time.Duration(r.SlowRange)
+	if fast <= 0 {
+		fast = defaultFastRange
+	}
+	if slow <= 0 {
+		slow = defaultSlowRange
+	}
+	return fast, slow
+}
+
+// factor returns the effective burn factor with the default applied.
+func (r Rule) factor() float64 {
+	if r.Factor <= 0 {
+		return defaultBurnFactor
+	}
+	return r.Factor
+}
+
+// LoadRules reads a JSON array of rules from path and validates each.
+func LoadRules(path string) ([]Rule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rules []Rule
+	if err := json.Unmarshal(data, &rules); err != nil {
+		return nil, fmt.Errorf("history: parse alert rules %s: %w", path, err)
+	}
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return rules, nil
+}
+
+// alertState is one rule's runtime state, guarded by Store.mu.
+type alertState struct {
+	rule        Rule
+	firing      bool
+	since       time.Time // transition instant of the current state
+	streak      int       // consecutive breaching ticks (threshold rules)
+	value       float64   // last evaluated value (threshold value / fast burn)
+	slowValue   float64   // last slow-window burn (burn-rate rules)
+	transitions int64     // lifetime firing+resolved count
+}
+
+func newAlertState(r Rule) *alertState {
+	return &alertState{rule: r}
+}
+
+// AlertStatus is one rule's externally visible state, served at
+// /v1/alerts and embedded in the daemon status block.
+type AlertStatus struct {
+	Name   string `json:"name"`
+	Type   string `json:"type"`
+	Firing bool   `json:"firing"`
+	// Since is when the rule last changed state; zero until the first
+	// transition.
+	Since time.Time `json:"since,omitempty"`
+	// Value is the last evaluated value: the query value for threshold
+	// rules, the fast-window burn multiple for burn-rate rules.
+	Value float64 `json:"value"`
+	// SlowValue is the slow-window burn multiple (burn-rate rules only).
+	SlowValue float64 `json:"slow_value,omitempty"`
+	// Transitions counts this rule's lifetime firing/resolved flips.
+	Transitions int64 `json:"transitions"`
+}
+
+// Alerts snapshots every rule's state in declaration order. Nil store
+// returns nil.
+func (s *Store) Alerts() []AlertStatus {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]AlertStatus, 0, len(s.alerts))
+	for _, a := range s.alerts {
+		out = append(out, AlertStatus{
+			Name:        a.rule.Name,
+			Type:        a.rule.Type,
+			Firing:      a.firing,
+			Since:       a.since,
+			Value:       a.value,
+			SlowValue:   a.slowValue,
+			Transitions: a.transitions,
+		})
+	}
+	return out
+}
+
+// Firing returns the names of currently firing rules, sorted.
+func (s *Store) Firing() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firingLocked()
+}
+
+func (s *Store) firingLocked() []string {
+	var names []string
+	for _, a := range s.alerts {
+		if a.firing {
+			names = append(names, a.rule.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ManifestSummary rolls the engine's lifetime into the manifest alerts
+// block. Non-nil even when no rule ever fired — its presence records
+// that the run was self-observing. Nil store returns nil.
+func (s *Store) ManifestSummary() *obs.AlertsSummary {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum := &obs.AlertsSummary{
+		Rules:   len(s.alerts),
+		Samples: s.ticks,
+		Firing:  s.firingLocked(),
+	}
+	if sum.Firing == nil {
+		sum.Firing = []string{}
+	}
+	for _, a := range s.alerts {
+		sum.Transitions += a.transitions
+	}
+	return sum
+}
+
+// evalAlertsLocked evaluates every rule against the just-updated rings
+// and applies transitions. Caller holds s.mu.
+func (s *Store) evalAlertsLocked(now time.Time) {
+	if len(s.alerts) == 0 {
+		return
+	}
+	firing := 0
+	for _, a := range s.alerts {
+		var want bool
+		switch a.rule.Type {
+		case TypeBurnRate:
+			want = s.evalBurnRateLocked(a)
+		default:
+			want = s.evalThresholdLocked(a)
+		}
+		if want != a.firing {
+			a.firing = want
+			a.since = now
+			a.transitions++
+			s.recordTransition(a, now)
+		}
+		if a.firing {
+			firing++
+		}
+	}
+	s.firingGauge.Set(float64(firing))
+}
+
+// evalThresholdLocked returns whether the rule should be firing after
+// this tick, applying the ForSamples streak requirement.
+func (s *Store) evalThresholdLocked(a *alertState) bool {
+	fn, _ := ParseFn(a.rule.Fn)
+	res, ok := s.queryLocked(a.rule.Metric, a.rule.Stat, fn, time.Duration(a.rule.Range))
+	if !ok {
+		// No data yet: a rule over an unborn series is quiet, and an
+		// already-firing rule stays firing until data says otherwise.
+		a.streak = 0
+		return a.firing
+	}
+	a.value = res.Value
+	breach := false
+	switch a.rule.Op {
+	case "", ">=":
+		breach = res.Value >= a.rule.Value
+	case ">":
+		breach = res.Value > a.rule.Value
+	case "<=":
+		breach = res.Value <= a.rule.Value
+	case "<":
+		breach = res.Value < a.rule.Value
+	}
+	if !breach {
+		a.streak = 0
+		return false
+	}
+	a.streak++
+	need := a.rule.ForSamples
+	if need <= 0 {
+		need = 1
+	}
+	return a.firing || a.streak >= need
+}
+
+// evalBurnRateLocked implements the dual-window burn-rate decision:
+// burn = (errRate/totalRate) / (1 - objective). Fire when both windows
+// burn at >= factor; once firing, resolve when the fast window drops
+// below factor (the fast window both detects and clears first, exactly
+// the Prometheus multiwindow recipe).
+func (s *Store) evalBurnRateLocked(a *alertState) bool {
+	fast, slow := a.rule.windows()
+	a.value = s.burnLocked(a.rule, fast)
+	a.slowValue = s.burnLocked(a.rule, slow)
+	factor := a.rule.factor()
+	if a.firing {
+		return a.value >= factor
+	}
+	return a.value >= factor && a.slowValue >= factor
+}
+
+// burnLocked computes the burn multiple over one window; 0 when either
+// series is missing or no traffic flowed.
+func (s *Store) burnLocked(r Rule, window time.Duration) float64 {
+	errRes, ok := s.queryLocked(r.ErrorMetric, "", FnRate, window)
+	if !ok {
+		return 0
+	}
+	totRes, ok := s.queryLocked(r.TotalMetric, "", FnRate, window)
+	if !ok || totRes.Value <= 0 {
+		return 0
+	}
+	errRate := errRes.Value
+	if errRate < 0 {
+		errRate = 0
+	}
+	return (errRate / totRes.Value) / (1 - r.Objective)
+}
+
+// recordTransition logs the state change to the flight recorder and
+// bumps the transition counter. Caller holds s.mu; the registry has its
+// own lock and never calls back into the store, so the ordering is safe.
+func (s *Store) recordTransition(a *alertState, now time.Time) {
+	to := "resolved"
+	if a.firing {
+		to = "firing"
+	}
+	s.reg.Counter(fmt.Sprintf("%s{rule=%q,to=%q}", MetricAlertTransitions, a.rule.Name, to)).Add(1)
+	log := s.reg.Logger()
+	if a.firing {
+		log.Warn("alert firing",
+			"rule", a.rule.Name, "type", a.rule.Type,
+			"value", a.value, "slow_value", a.slowValue, "at", now)
+	} else {
+		log.Info("alert resolved",
+			"rule", a.rule.Name, "type", a.rule.Type,
+			"value", a.value, "at", now)
+	}
+}

@@ -1,0 +1,421 @@
+package history
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fenrir/internal/obs"
+)
+
+// fakeClock drives the store deterministically: each Tick samples at
+// the current instant, and tests advance it by hand.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func (c *fakeClock) tick(s *Store, d time.Duration) {
+	c.advance(d)
+	s.Tick()
+}
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestDeltaMatchesRegistryNetChange is the acceptance criterion: for a
+// sampled counter, delta over the full window equals the registry
+// counter's net change across the same interval — exactly, even after
+// the ring has wrapped and the window's start has slid forward.
+func TestDeltaMatchesRegistryNetChange(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := newFakeClock()
+	s := New(reg, Config{Retain: 4, Now: clock.now})
+	c := reg.Counter("test_total")
+
+	c.Add(100) // pre-existing total: must not count as observed change
+	s.Tick()   // first sample anchors the window
+
+	var sinceAnchor int64
+	for _, inc := range []int64{2, 3, 4} {
+		c.Add(inc)
+		sinceAnchor += inc
+		clock.tick(s, time.Second)
+	}
+	res, ok := s.Query("test_total", "", FnDelta, 0)
+	if !ok {
+		t.Fatal("query missed a sampled counter")
+	}
+	if !almostEqual(res.Value, float64(sinceAnchor)) {
+		t.Fatalf("delta before wrap = %v, want %d", res.Value, sinceAnchor)
+	}
+	if res.Samples != 4 {
+		t.Fatalf("samples = %d, want 4", res.Samples)
+	}
+
+	// Push the ring past capacity several times over; the window start
+	// slides but absolutes must stay exact.
+	window := []int64{0, 2, 3, 4} // deltas currently retained, oldest first
+	for _, inc := range []int64{5, 6, 7, 8, 9} {
+		c.Add(inc)
+		clock.tick(s, time.Second)
+		window = append(window[1:], inc)
+	}
+	var want int64
+	for _, d := range window[1:] { // delta = last − first = sum of deltas after the anchor
+		want += d
+	}
+	res, ok = s.Query("test_total", "", FnDelta, 0)
+	if !ok || !almostEqual(res.Value, float64(want)) {
+		t.Fatalf("delta after wrap = %v (ok=%v), want %d", res.Value, ok, want)
+	}
+	latest, _ := s.Query("test_total", "", FnLatest, 0)
+	if !almostEqual(latest.Value, float64(c.Value())) {
+		t.Fatalf("latest = %v, want live counter %d", latest.Value, c.Value())
+	}
+}
+
+func TestRateAndRangeCut(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := newFakeClock()
+	s := New(reg, Config{Retain: 16, Now: clock.now})
+	c := reg.Counter("reqs_total")
+
+	s.Tick()
+	for i := 0; i < 6; i++ {
+		c.Add(10)
+		clock.tick(s, time.Second)
+	}
+	// Full window: 60 added over 6s of sampled time.
+	res, ok := s.Query("reqs_total", "", FnRate, 0)
+	if !ok || !almostEqual(res.Value, 10) {
+		t.Fatalf("full-window rate = %v (ok=%v), want 10", res.Value, ok)
+	}
+	// 3s window: newest 4 samples, 30 added over 3s.
+	res, ok = s.Query("reqs_total", "", FnRate, 3*time.Second)
+	if !ok || !almostEqual(res.Value, 10) {
+		t.Fatalf("3s rate = %v (ok=%v), want 10", res.Value, ok)
+	}
+	if res.Samples != 4 {
+		t.Fatalf("3s window samples = %d, want 4", res.Samples)
+	}
+}
+
+func TestMaxOverTimeGauge(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := newFakeClock()
+	s := New(reg, Config{Retain: 8, Now: clock.now})
+	g := reg.Gauge("depth")
+
+	for _, v := range []float64{1, 7, 3} {
+		g.Set(v)
+		clock.tick(s, time.Second)
+	}
+	res, ok := s.Query("depth", "", FnMax, 0)
+	if !ok || !almostEqual(res.Value, 7) {
+		t.Fatalf("max_over_time = %v (ok=%v), want 7", res.Value, ok)
+	}
+	res, ok = s.Query("depth", "", FnLatest, 0)
+	if !ok || !almostEqual(res.Value, 3) {
+		t.Fatalf("latest gauge = %v (ok=%v), want 3", res.Value, ok)
+	}
+}
+
+func TestHistogramRollupSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := newFakeClock()
+	s := New(reg, Config{Retain: 8, Now: clock.now})
+	h := reg.Histogram("lat_seconds")
+
+	for i := 0; i < 100; i++ {
+		h.Observe(0.01)
+	}
+	clock.tick(s, time.Second)
+	h.Observe(5)
+	clock.tick(s, time.Second)
+
+	count, ok := s.Query("lat_seconds", "count", FnLatest, 0)
+	if !ok || count.Value != 101 {
+		t.Fatalf("count rollup = %v (ok=%v), want 101", count.Value, ok)
+	}
+	d, ok := s.Query("lat_seconds", "count", FnDelta, 0)
+	if !ok || d.Value != 1 {
+		t.Fatalf("count delta = %v (ok=%v), want 1", d.Value, ok)
+	}
+	p99, ok := s.Query("lat_seconds", "p99", FnLatest, 0)
+	if !ok || p99.Value <= 0 {
+		t.Fatalf("p99 rollup = %v (ok=%v), want > 0", p99.Value, ok)
+	}
+	if _, ok := s.Query("lat_seconds", "", FnLatest, 0); ok {
+		t.Fatal("bare histogram name should have no series (only |stat rollups)")
+	}
+}
+
+// TestLateBornSeries pins the mid-run-birth semantics: a counter that
+// first appears after the store started is zero-backfilled across the
+// existing time ring (it provably was zero — counters register on first
+// touch), so delta counts the birth increment; a late gauge gets no
+// backfill and only occupies the newest ticks.
+func TestLateBornSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := newFakeClock()
+	s := New(reg, Config{Retain: 8, Now: clock.now})
+
+	s.Tick() // two ticks before either series exists
+	clock.tick(s, time.Second)
+	c := reg.Counter("late_total")
+	c.Add(5)
+	g := reg.Gauge("late_depth")
+	g.Set(3)
+	clock.tick(s, time.Second)
+	c.Add(5)
+	clock.tick(s, time.Second)
+
+	res, ok := s.Query("late_total", "", FnDelta, 0)
+	if !ok || !almostEqual(res.Value, 10) {
+		t.Fatalf("late counter delta = %v (ok=%v), want its whole life 10", res.Value, ok)
+	}
+	if res.Samples != 4 {
+		t.Fatalf("late counter samples = %d, want 4 (2 backfilled zeros)", res.Samples)
+	}
+	latest, _ := s.Query("late_total", "", FnLatest, 0)
+	if !almostEqual(latest.Value, float64(c.Value())) {
+		t.Fatalf("late counter latest = %v, want live %d", latest.Value, c.Value())
+	}
+	gres, ok := s.Query("late_depth", "", FnMax, 0)
+	if !ok || !almostEqual(gres.Value, 3) || gres.Samples != 2 {
+		t.Fatalf("late gauge max = %v over %d samples (ok=%v), want 3 over 2 (no backfill)", gres.Value, gres.Samples, ok)
+	}
+}
+
+func TestThresholdRuleStreak(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := newFakeClock()
+	rule := Rule{
+		Name: "deep-queue", Type: TypeThreshold,
+		Metric: "depth", Op: ">=", Value: 5, ForSamples: 2,
+	}
+	if err := rule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{Retain: 8, Rules: []Rule{rule}, Now: clock.now})
+	g := reg.Gauge("depth")
+
+	g.Set(9)
+	clock.tick(s, time.Second)
+	if s.Alerts()[0].Firing {
+		t.Fatal("fired after one breaching sample despite for_samples=2")
+	}
+	clock.tick(s, time.Second)
+	st := s.Alerts()[0]
+	if !st.Firing || st.Transitions != 1 {
+		t.Fatalf("after second breach: firing=%v transitions=%d, want true/1", st.Firing, st.Transitions)
+	}
+	if got := reg.Gauge(MetricAlertsFiring).Value(); got != 1 {
+		t.Fatalf("%s = %v, want 1", MetricAlertsFiring, got)
+	}
+	g.Set(1)
+	clock.tick(s, time.Second)
+	st = s.Alerts()[0]
+	if st.Firing || st.Transitions != 2 {
+		t.Fatalf("after recovery: firing=%v transitions=%d, want false/2", st.Firing, st.Transitions)
+	}
+	if got := reg.Counter(`fenrir_alert_transitions_total{rule="deep-queue",to="firing"}`).Value(); got != 1 {
+		t.Fatalf("firing transition counter = %d, want 1", got)
+	}
+	if got := reg.Counter(`fenrir_alert_transitions_total{rule="deep-queue",to="resolved"}`).Value(); got != 1 {
+		t.Fatalf("resolved transition counter = %d, want 1", got)
+	}
+}
+
+// TestBurnRateFiresAndResolves drives the dual-window rule through a
+// deterministic incident: heavy errors trip both windows, then clean
+// traffic clears the fast window and resolves the alert.
+func TestBurnRateFiresAndResolves(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := newFakeClock()
+	rule := Rule{
+		Name: "ingest-slo", Type: TypeBurnRate,
+		ErrorMetric: "errs_total", TotalMetric: "reqs_total",
+		Objective: 0.9, Factor: 2,
+		FastRange: Duration(3 * time.Second), SlowRange: Duration(9 * time.Second),
+	}
+	if err := rule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{Retain: 32, Rules: []Rule{rule}, Now: clock.now})
+	errs, reqs := reg.Counter("errs_total"), reg.Counter("reqs_total")
+
+	s.Tick()
+	// Error ratio 0.5 against a 0.1 budget: burn 5x in both windows.
+	firedAt := -1
+	for i := 0; i < 10; i++ {
+		reqs.Add(10)
+		errs.Add(5)
+		clock.tick(s, time.Second)
+		if firedAt < 0 && s.Alerts()[0].Firing {
+			firedAt = i
+		}
+	}
+	st := s.Alerts()[0]
+	if !st.Firing {
+		t.Fatalf("burn-rate rule never fired; status %+v", st)
+	}
+	if st.Value < 2 || st.SlowValue < 2 {
+		t.Fatalf("burn values fast=%v slow=%v, want both >= factor 2", st.Value, st.SlowValue)
+	}
+	if firedAt < 0 {
+		t.Fatal("missed firing tick")
+	}
+
+	// Clean traffic: the fast window's error rate decays to zero and the
+	// rule must resolve even while the slow window still remembers.
+	resolvedAt := -1
+	for i := 0; i < 10; i++ {
+		reqs.Add(10)
+		clock.tick(s, time.Second)
+		if resolvedAt < 0 && !s.Alerts()[0].Firing {
+			resolvedAt = i
+		}
+	}
+	st = s.Alerts()[0]
+	if st.Firing {
+		t.Fatalf("burn-rate rule never resolved; status %+v", st)
+	}
+	if st.Transitions != 2 {
+		t.Fatalf("transitions = %d, want exactly 2 (fire + resolve)", st.Transitions)
+	}
+	if got := reg.Gauge(MetricAlertsFiring).Value(); got != 0 {
+		t.Fatalf("%s = %v after resolve, want 0", MetricAlertsFiring, got)
+	}
+
+	// Transitions reached the flight recorder.
+	var sawFiring, sawResolved bool
+	for _, e := range reg.Events(0) {
+		switch e.Msg {
+		case "alert firing":
+			sawFiring = true
+		case "alert resolved":
+			sawResolved = true
+		}
+	}
+	if !sawFiring || !sawResolved {
+		t.Fatalf("flight recorder missing transitions: firing=%v resolved=%v", sawFiring, sawResolved)
+	}
+
+	sum := s.ManifestSummary()
+	if sum == nil || sum.Rules != 1 || sum.Transitions != 2 || len(sum.Firing) != 0 {
+		t.Fatalf("manifest summary %+v, want 1 rule, 2 transitions, nothing firing", sum)
+	}
+}
+
+func TestLoadRules(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rules.json")
+	body := `[
+  {"name": "slo", "type": "burn_rate", "error_metric": "e", "total_metric": "t",
+   "objective": 0.99, "factor": 4, "fast_range": "1m", "slow_range": 600},
+  {"name": "depth", "type": "threshold", "metric": "d", "op": ">", "value": 10, "range": "5m"}
+]`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := LoadRules(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules, want 2", len(rules))
+	}
+	if time.Duration(rules[0].FastRange) != time.Minute {
+		t.Fatalf("fast_range = %v, want 1m", time.Duration(rules[0].FastRange))
+	}
+	if time.Duration(rules[0].SlowRange) != 10*time.Minute {
+		t.Fatalf("numeric slow_range = %v, want 10m", time.Duration(rules[0].SlowRange))
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`[{"name":"x","type":"burn_rate","error_metric":"e","total_metric":"t","objective":1.5}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRules(bad); err == nil {
+		t.Fatal("objective outside (0,1) loaded without error")
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	cases := []Rule{
+		{},
+		{Name: "x"},
+		{Name: "x", Type: TypeThreshold},
+		{Name: "x", Type: TypeThreshold, Metric: "m", Fn: "median"},
+		{Name: "x", Type: TypeThreshold, Metric: "m", Op: "=="},
+		{Name: "x", Type: TypeBurnRate, ErrorMetric: "e"},
+		{Name: "x", Type: TypeBurnRate, ErrorMetric: "e", TotalMetric: "t", Objective: 0},
+		{Name: "x", Type: TypeBurnRate, ErrorMetric: "e", TotalMetric: "t", Objective: 0.9,
+			FastRange: Duration(time.Hour), SlowRange: Duration(time.Minute)},
+	}
+	for i, r := range cases {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d (%+v): invalid rule validated", i, r)
+		}
+	}
+	ok := Rule{Name: "x", Type: TypeThreshold, Metric: "m"}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("minimal threshold rule rejected: %v", err)
+	}
+}
+
+func TestNilStoreSafety(t *testing.T) {
+	var s *Store
+	s.Start()
+	s.Tick()
+	s.Stop()
+	if _, ok := s.Query("m", "", FnLatest, 0); ok {
+		t.Fatal("nil store answered a query")
+	}
+	if s.Alerts() != nil || s.Timelines() != nil || s.ManifestSummary() != nil {
+		t.Fatal("nil store returned non-nil state")
+	}
+	if s.Ticks() != 0 || s.Retain() != 0 || s.Interval() != 0 {
+		t.Fatal("nil store reported nonzero config")
+	}
+}
+
+func TestStartStopLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c_total").Add(1)
+	s := New(reg, Config{Every: time.Millisecond, Retain: 8})
+	s.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Ticks() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Ticks() < 2 {
+		t.Fatal("sampler goroutine never ticked")
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	after := s.Ticks()
+	time.Sleep(5 * time.Millisecond)
+	if s.Ticks() != after {
+		t.Fatal("ticks advanced after Stop")
+	}
+
+	// Stop without Start must not hang and still takes a final sample.
+	s2 := New(reg, Config{Retain: 8})
+	done := make(chan struct{})
+	go func() { s2.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop without Start hung")
+	}
+	if s2.Ticks() != 1 {
+		t.Fatalf("Stop's final sample: ticks = %d, want 1", s2.Ticks())
+	}
+}

@@ -1,0 +1,93 @@
+package history
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// writeJSON encodes v with a stable, lightly indented layout.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+// QueryHandler serves single-value queries over the rings:
+//
+//	GET /v1/query?metric=fenrir_serve_ingest_total&fn=rate&range=5m
+//	GET /v1/query?metric=fenrir_serve_admission_seconds{tenant="a"}&stat=p99&fn=max
+//
+// fn defaults to latest, range to the whole retained window. Unknown
+// series return 404 so probes can distinguish "no data yet" from zero.
+func QueryHandler(s *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		metric := q.Get("metric")
+		if metric == "" {
+			http.Error(w, "metric parameter is required", http.StatusBadRequest)
+			return
+		}
+		fn, ok := ParseFn(q.Get("fn"))
+		if !ok {
+			http.Error(w, "unknown fn (want latest, delta, rate, or max_over_time)", http.StatusBadRequest)
+			return
+		}
+		var rng time.Duration
+		if raw := q.Get("range"); raw != "" {
+			d, err := time.ParseDuration(raw)
+			if err != nil || d < 0 {
+				http.Error(w, "range must be a non-negative duration like 5m", http.StatusBadRequest)
+				return
+			}
+			rng = d
+		}
+		res, ok := s.Query(metric, q.Get("stat"), fn, rng)
+		if !ok {
+			http.Error(w, "no samples for that series", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, res)
+	})
+}
+
+// AlertsHandler serves every rule's current state:
+//
+//	GET /v1/alerts -> {"firing":1,"alerts":[{"name":...,"firing":true,...}]}
+func AlertsHandler(s *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		alerts := s.Alerts()
+		if alerts == nil {
+			alerts = []AlertStatus{}
+		}
+		firing := 0
+		for _, a := range alerts {
+			if a.Firing {
+				firing++
+			}
+		}
+		writeJSON(w, struct {
+			Firing int           `json:"firing"`
+			Alerts []AlertStatus `json:"alerts"`
+		}{Firing: firing, Alerts: alerts})
+	})
+}
+
+// TimelineHandler dumps the whole retention window as JSON series:
+//
+//	GET /debug/timeline -> {"interval":"10s","ticks":42,"series":{...}}
+func TimelineHandler(s *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		series := s.Timelines()
+		if series == nil {
+			series = map[string]Timeline{}
+		}
+		writeJSON(w, struct {
+			Interval string              `json:"interval"`
+			Ticks    uint64              `json:"ticks"`
+			Retain   int                 `json:"retain"`
+			Series   map[string]Timeline `json:"series"`
+		}{Interval: s.Interval().String(), Ticks: s.Ticks(), Retain: s.Retain(), Series: series})
+	})
+}

@@ -50,6 +50,26 @@ type Manifest struct {
 	// rollup per ChangeEvent (verdict, magnitude, headline flow), in
 	// detection order.
 	Detections []DetectionSummary `json:"detections,omitempty"`
+	// Alerts summarizes the telemetry-history alert engine at shutdown
+	// (see internal/obs/history): rule count, samples taken, rules still
+	// firing, and total firing/resolved transitions. Present whenever
+	// the daemon ran with history sampling enabled, even if no rule ever
+	// fired — absence means the run was not self-observing.
+	Alerts *AlertsSummary `json:"alerts,omitempty"`
+}
+
+// AlertsSummary is the manifest's rollup of the alert engine's lifetime:
+// filled by history.Store.ManifestSummary at shutdown.
+type AlertsSummary struct {
+	// Rules is the number of alert rules that were evaluated.
+	Rules int `json:"rules"`
+	// Samples is the number of sampler ticks taken over the run.
+	Samples uint64 `json:"samples"`
+	// Firing names the rules still firing at manifest write — a clean
+	// shutdown after a healthy run leaves this empty.
+	Firing []string `json:"firing"`
+	// Transitions counts every firing/resolved state change over the run.
+	Transitions int64 `json:"transitions"`
 }
 
 // DetectionSummary is the manifest's per-event provenance rollup,

@@ -53,6 +53,11 @@ type Registry struct {
 	trace        []TraceRecord
 	traceHead    int
 	traceEvicted atomic.Uint64
+
+	// Cardinality governor state (see SetSeriesCap): per-family sets of
+	// admitted tenant label values. Guarded by mu.
+	seriesCap    int
+	tenantSeries map[string]map[string]struct{}
 }
 
 // NewRegistry returns an empty registry anchored at the current time,
@@ -71,6 +76,140 @@ func NewRegistry() *Registry {
 	return r
 }
 
+// OtherTenant is the label value overflow tenant series aggregate into
+// once a family reaches the registry's series cap (see SetSeriesCap).
+const OtherTenant = "__other__"
+
+// DroppedSeriesMetric counts series-creation requests the cardinality
+// governor rewrote into the {tenant="__other__"} overflow series.
+const DroppedSeriesMetric = "fenrir_obs_dropped_series_total"
+
+// SetSeriesCap caps the number of distinct tenant="..." label values the
+// registry will admit per metric family (base name). Beyond the cap, a
+// request for a new tenant-labeled series resolves to the family's
+// {tenant="__other__"} aggregate series instead, and DroppedSeriesMetric
+// counts each rewritten request. Series without a tenant label — global
+// counters, per-shard rollups (shard="k"), per-endpoint latencies — are
+// never governed, which is what keeps shard-level SLOs exact while the
+// per-tenant dimension saturates. n <= 0 removes the cap. Already
+// admitted tenant series are seeded into the governor so a cap applied
+// to a warm registry counts existing cardinality against the budget.
+func (r *Registry) SetSeriesCap(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seriesCap = n
+	if n <= 0 {
+		r.tenantSeries = nil
+		return
+	}
+	r.tenantSeries = make(map[string]map[string]struct{})
+	seed := func(name string) {
+		val, start, _ := tenantLabelValue(name)
+		if start < 0 || val == OtherTenant {
+			return
+		}
+		base, _ := splitName(name)
+		set := r.tenantSeries[base]
+		if set == nil {
+			set = make(map[string]struct{})
+			r.tenantSeries[base] = set
+		}
+		set[val] = struct{}{}
+	}
+	for name := range r.counters {
+		seed(name)
+	}
+	for name := range r.floats {
+		seed(name)
+	}
+	for name := range r.gauges {
+		seed(name)
+	}
+	for name := range r.hists {
+		seed(name)
+	}
+}
+
+// SeriesCap returns the current per-family tenant cardinality cap
+// (0 = unlimited, and on a nil registry).
+func (r *Registry) SeriesCap() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seriesCap
+}
+
+// tenantLabelValue finds a `tenant="value"` label inside name's label
+// block and returns the value plus the [start, end) byte span of the
+// value within name. start is -1 when the name carries no tenant label.
+func tenantLabelValue(name string) (val string, start, end int) {
+	const key = `tenant="`
+	i := strings.Index(name, key)
+	// Require a label-block boundary before the key so a metric named
+	// e.g. fenrir_tenant="..." or a label key suffixed ...tenant never
+	// matches: the governor only ever rewrites the tenant dimension.
+	for i > 0 && name[i-1] != '{' && name[i-1] != ',' {
+		next := strings.Index(name[i+1:], key)
+		if next < 0 {
+			return "", -1, -1
+		}
+		i += 1 + next
+	}
+	if i < 0 {
+		return "", -1, -1
+	}
+	start = i + len(key)
+	for j := start; j < len(name); j++ {
+		switch name[j] {
+		case '\\':
+			j++
+		case '"':
+			return name[start:j], start, j
+		}
+	}
+	return "", -1, -1
+}
+
+// governLocked applies the cardinality cap to a metric name, returning
+// the (possibly rewritten) name the caller should register under. Must
+// be called with r.mu held.
+func (r *Registry) governLocked(name string) string {
+	if r.seriesCap <= 0 || !strings.Contains(name, `tenant="`) {
+		return name
+	}
+	val, start, end := tenantLabelValue(name)
+	if start < 0 || val == OtherTenant {
+		return name
+	}
+	base, _ := splitName(name)
+	set := r.tenantSeries[base]
+	if set == nil {
+		set = make(map[string]struct{})
+		r.tenantSeries[base] = set
+	}
+	if _, ok := set[val]; ok {
+		return name
+	}
+	if len(set) < r.seriesCap {
+		set[val] = struct{}{}
+		return name
+	}
+	// Family is at capacity: this request lands in the overflow series.
+	// Count the rewrite directly in the map — Counter() would re-enter mu.
+	c, ok := r.counters[DroppedSeriesMetric]
+	if !ok {
+		c = &Counter{}
+		r.counters[DroppedSeriesMetric] = c
+	}
+	c.Add(1)
+	return name[:start] + OtherTenant + name[end:]
+}
+
 // Counter returns the named monotonically increasing counter, creating
 // it on first use. Returns nil (a no-op handle) on a nil registry.
 // First use validates the name (see mustValidName).
@@ -80,6 +219,7 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	name = r.governLocked(name)
 	c, ok := r.counters[name]
 	if !ok {
 		mustValidName(name)
@@ -98,6 +238,7 @@ func (r *Registry) FloatCounter(name string) *FloatCounter {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	name = r.governLocked(name)
 	c, ok := r.floats[name]
 	if !ok {
 		mustValidName(name)
@@ -115,6 +256,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	name = r.governLocked(name)
 	g, ok := r.gauges[name]
 	if !ok {
 		mustValidName(name)
@@ -133,6 +275,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	name = r.governLocked(name)
 	h, ok := r.hists[name]
 	if !ok {
 		mustValidName(name)
@@ -494,9 +637,25 @@ func joinLabels(labels, extra string) string {
 	return labels + "," + extra
 }
 
+// expoSeries is one series' rendered exposition lines, grouped under
+// its family for the globally sorted WritePrometheus output.
+type expoSeries struct {
+	name  string // full series name, the within-family sort key
+	lines string
+}
+
+// expoFamily is one metric family (shared base name): its TYPE and the
+// series that carry it, sorted by full series name at emission.
+type expoFamily struct {
+	kind   string
+	series []expoSeries
+}
+
 // WritePrometheus renders every metric in Prometheus text exposition
-// format (version 0.0.4), sorted by name for stable output. No-op on a
-// nil registry.
+// format (version 0.0.4), deterministically ordered: families sorted by
+// base metric name, series within a family sorted by their full name
+// (label block included). Two back-to-back scrapes of an unchanged
+// registry are byte-identical. No-op on a nil registry.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	if r == nil {
 		return
@@ -521,13 +680,15 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 	r.mu.Unlock()
 
-	typed := make(map[string]bool)
-	typeLine := func(name, kind string) {
+	families := make(map[string]*expoFamily)
+	add := func(name, kind, lines string) {
 		base, _ := splitName(name)
-		if !typed[base] {
-			typed[base] = true
-			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		f := families[base]
+		if f == nil {
+			f = &expoFamily{kind: kind}
+			families[base] = f
 		}
+		f.series = append(f.series, expoSeries{name: name, lines: lines})
 	}
 	counterVals := make(map[string]int64, len(counters)+len(evictions))
 	for k, c := range counters {
@@ -536,38 +697,43 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for k, v := range evictions {
 		counterVals[k] = v
 	}
-	for _, name := range sortedKeys(counterVals) {
-		typeLine(name, "counter")
-		fmt.Fprintf(w, "%s %d\n", name, counterVals[name])
+	for name, v := range counterVals {
+		add(name, "counter", fmt.Sprintf("%s %d\n", name, v))
 	}
-	for _, name := range sortedKeys(floats) {
-		typeLine(name, "counter")
-		fmt.Fprintf(w, "%s %g\n", name, floats[name].Value())
+	for name, c := range floats {
+		add(name, "counter", fmt.Sprintf("%s %g\n", name, c.Value()))
 	}
-	for _, name := range sortedKeys(gauges) {
-		typeLine(name, "gauge")
-		fmt.Fprintf(w, "%s %g\n", name, gauges[name].Value())
+	for name, g := range gauges {
+		add(name, "gauge", fmt.Sprintf("%s %g\n", name, g.Value()))
 	}
-	for _, name := range sortedKeys(hists) {
-		h := hists[name]
+	for name, h := range hists {
 		base, labels := splitName(name)
-		typeLine(name, "histogram")
+		var b strings.Builder
 		var cum uint64
 		for i := 0; i < histBuckets; i++ {
 			cum += h.counts[i].Load()
 			if cum == 0 {
 				continue // suppress the empty low tail
 			}
-			fmt.Fprintf(w, "%s_bucket{%s} %d\n", base,
+			fmt.Fprintf(&b, "%s_bucket{%s} %d\n", base,
 				joinLabels(labels, fmt.Sprintf("le=%q", formatBound(histBounds[i]))), cum)
 		}
-		fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, joinLabels(labels, `le="+Inf"`), h.Count())
+		fmt.Fprintf(&b, "%s_bucket{%s} %d\n", base, joinLabels(labels, `le="+Inf"`), h.Count())
 		if labels == "" {
-			fmt.Fprintf(w, "%s_sum %g\n", base, h.Sum())
-			fmt.Fprintf(w, "%s_count %d\n", base, h.Count())
+			fmt.Fprintf(&b, "%s_sum %g\n", base, h.Sum())
+			fmt.Fprintf(&b, "%s_count %d\n", base, h.Count())
 		} else {
-			fmt.Fprintf(w, "%s_sum{%s} %g\n", base, labels, h.Sum())
-			fmt.Fprintf(w, "%s_count{%s} %d\n", base, labels, h.Count())
+			fmt.Fprintf(&b, "%s_sum{%s} %g\n", base, labels, h.Sum())
+			fmt.Fprintf(&b, "%s_count{%s} %d\n", base, labels, h.Count())
+		}
+		add(name, "histogram", b.String())
+	}
+	for _, base := range sortedKeys(families) {
+		f := families[base]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].name < f.series[j].name })
+		fmt.Fprintf(w, "# TYPE %s %s\n", base, f.kind)
+		for _, s := range f.series {
+			io.WriteString(w, s.lines) //nolint:errcheck // best-effort exposition
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"fenrir/internal/core"
 	"fenrir/internal/obs"
+	"fenrir/internal/obs/history"
 	"fenrir/internal/timeline"
 )
 
@@ -131,7 +132,21 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/admin/rebalance", s.handleRebalance)
 	mux.Handle("GET /debug/trace", obs.TraceHandler(s.cfg.Obs))
 	mux.Handle("GET /debug/events", obs.EventsHandler(s.cfg.Obs))
+	// Telemetry history (nil store when -history-every 0: queries 404,
+	// alerts list is empty — the routes exist either way so probes get a
+	// consistent surface).
+	mux.Handle("GET /v1/query", history.QueryHandler(s.hist))
+	mux.Handle("GET /v1/alerts", history.AlertsHandler(s.hist))
+	mux.Handle("GET /debug/timeline", history.TimelineHandler(s.hist))
 	return mux
+}
+
+// rejectIngest counts one rejected ingest request, both per reason
+// (fenrir_serve_rejected_total{reason=...}) and in the unlabeled
+// aggregate that feeds the ingest-availability burn-rate rule.
+func (s *Server) rejectIngest(reason string) {
+	s.cfg.Obs.Counter("fenrir_serve_ingest_rejected_total").Inc()
+	s.cfg.Obs.Counter(fmt.Sprintf("fenrir_serve_rejected_total{reason=%q}", reason)).Inc()
 }
 
 // withTenant resolves the {name} path value or 404s.
@@ -321,17 +336,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *tenant)
 	sp.SetAttr("endpoint", "ingest")
 	sp.SetAttr("tenant", t.name)
 	defer sp.End()
-	rejected := func(reason string) *obs.Counter {
-		return s.cfg.Obs.Counter(fmt.Sprintf("fenrir_serve_rejected_total{reason=%q}", reason))
-	}
+	// Every ingest POST lands here, accepted or not: the denominator of
+	// the ingest-availability burn-rate rule.
+	s.cfg.Obs.Counter("fenrir_serve_ingest_requests_total").Inc()
 	if s.isDraining() {
-		rejected("draining").Inc()
+		s.rejectIngest("draining")
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
-		rejected("read").Inc()
+		s.rejectIngest("read")
 		writeErr(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
@@ -343,7 +358,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *tenant)
 	inj := s.cfg.Faults
 	body, drop, dup := inj.Datagram("serve", body)
 	if drop {
-		rejected("dropped").Inc()
+		s.rejectIngest("dropped")
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusServiceUnavailable, "observation dropped by fault injection")
 		return
@@ -352,12 +367,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *tenant)
 	var ob Observation
 	if err := json.Unmarshal(body, &ob); err != nil {
 		inj.Quarantine("serve-malformed", 1)
-		rejected("malformed").Inc()
+		s.rejectIngest("malformed")
 		writeErr(w, http.StatusBadRequest, "parse observation: %v", err)
 		return
 	}
 	if ob.Epoch < 0 {
-		rejected("malformed").Inc()
+		s.rejectIngest("malformed")
 		writeErr(w, http.StatusBadRequest, "epoch %d is negative", ob.Epoch)
 		return
 	}
@@ -367,7 +382,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *tenant)
 		n := space.NetworkIndex(net)
 		if n < 0 {
 			inj.Quarantine("serve-unknown-network", 1)
-			rejected("malformed").Inc()
+			s.rejectIngest("malformed")
 			writeErr(w, http.StatusBadRequest, "unknown network %q", net)
 			return
 		}
@@ -376,7 +391,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *tenant)
 
 	admitErr, full := t.admit(v)
 	if full {
-		rejected("backpressure").Inc()
+		s.rejectIngest("backpressure")
 		// Retry-After is an estimate of queue-drain time from recent
 		// append throughput, not a constant: a slow tenant's producers
 		// back off proportionally harder.
@@ -393,26 +408,30 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *tenant)
 		var oooErr *core.OutOfOrderEpochError
 		switch {
 		case errors.As(admitErr, &dupErr):
-			rejected("duplicate").Inc()
+			s.rejectIngest("duplicate")
 			writeErr(w, http.StatusBadRequest, "%v", admitErr)
 		case errors.As(admitErr, &oooErr):
-			rejected("order").Inc()
+			s.rejectIngest("order")
 			writeErr(w, http.StatusBadRequest, "%v", admitErr)
 		default:
-			rejected("draining").Inc()
+			s.rejectIngest("draining")
 			writeErr(w, http.StatusServiceUnavailable, "%v", admitErr)
 		}
 		return
 	}
 	if dup {
 		// The fault model delivered the datagram twice; the second copy
-		// must bounce off the duplicate-epoch check like any replay.
+		// must bounce off the duplicate-epoch check like any replay. The
+		// request itself was accepted, so only the per-reason counter
+		// moves — not the request-level rejected aggregate.
 		if dupErr, _ := t.admit(v); dupErr != nil {
-			rejected("duplicate").Inc()
+			s.cfg.Obs.Counter(`fenrir_serve_rejected_total{reason="duplicate"}`).Inc()
 		}
 	}
-	// Admission latency: request arrival to accepted verdict.
+	// Admission latency: request arrival to accepted verdict, recorded
+	// per tenant (governed) and rolled up per shard (never governed).
 	t.admitHist.ObserveSince(t0)
+	t.sh.admitHist.ObserveSince(t0)
 	writeJSON(w, http.StatusAccepted, map[string]any{"accepted": true, "epoch": ob.Epoch})
 }
 
@@ -558,7 +577,7 @@ func (s *Server) handleServerStatus(w http.ResponseWriter, _ *http.Request) {
 			"drain_seconds": time.Duration(sh.drainNanos.Load()).Seconds(),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"tenants":  len(names),
 		"shards":   shards,
 		"history":  history,
@@ -566,7 +585,23 @@ func (s *Server) handleServerStatus(w http.ResponseWriter, _ *http.Request) {
 		"events":   events,
 		"draining": s.isDraining(),
 		"runtime":  obs.ReadRuntimeHealth(),
-	})
+	}
+	if s.hist != nil {
+		// The self-observation block: what the daemon's own alert engine
+		// currently believes, plus sampler shape for operators judging how
+		// much history backs the verdict.
+		firing := s.hist.Firing()
+		if firing == nil {
+			firing = []string{}
+		}
+		out["alerts"] = map[string]any{
+			"rules":    len(s.hist.Alerts()),
+			"firing":   firing,
+			"samples":  s.hist.Ticks(),
+			"interval": s.hist.Interval().String(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request, t *tenant) {

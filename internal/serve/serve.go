@@ -32,10 +32,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fenrir/internal/core"
 	"fenrir/internal/faults"
 	"fenrir/internal/obs"
+	"fenrir/internal/obs/history"
 	"fenrir/internal/snapshot"
 )
 
@@ -77,6 +79,24 @@ type Config struct {
 	// other substrate: request bodies pass through Datagram (loss,
 	// corruption, duplication) and site labels through SiteLabel.
 	Faults *faults.Injector
+	// HistoryEvery enables the telemetry history sampler (DESIGN.md §16):
+	// every interval the daemon scrapes its own registry into ring
+	// buffers served at /v1/query and /debug/timeline, and evaluates the
+	// alert rules. <= 0 disables history entirely (the zero Config stays
+	// inert); `fenrir -serve` defaults the flag to 10s.
+	HistoryEvery time.Duration
+	// HistoryRetain bounds each history series to this many samples
+	// (<= 0 means history.DefaultRetain).
+	HistoryRetain int
+	// AlertRules are evaluated after every history sample, in addition
+	// to DefaultAlertRules. Ignored unless HistoryEvery > 0.
+	AlertRules []history.Rule
+	// SeriesCap caps per-metric-family tenant label cardinality in the
+	// registry: past the cap, new tenant-labeled series collapse into
+	// {tenant="__other__"} and fenrir_obs_dropped_series_total counts the
+	// overflow. Shard-labeled rollup series are never governed, so
+	// shard-level SLOs stay exact at any tenant count. <= 0 disables.
+	SeriesCap int
 }
 
 func (c Config) queueDepth() int {
@@ -110,6 +130,10 @@ type Server struct {
 	shards   []*shard
 	draining atomic.Bool
 
+	// hist is the telemetry history store (nil unless HistoryEvery > 0);
+	// its sampler goroutine starts in New and stops in Drain.
+	hist *history.Store
+
 	// placement holds rebalance overrides: tenant name → shard id, for
 	// tenants living somewhere other than their hash-home shard. Reads
 	// are on every request path, writes only on rebalance and restore.
@@ -126,6 +150,17 @@ type Server struct {
 // holds its snapshot.
 func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg, placement: make(map[string]int)}
+	// The governor must be in place before any tenant-labeled series is
+	// resolved (restore creates per-tenant instruments), so overflow
+	// tenants collapse into __other__ from the very first registration.
+	cfg.Obs.SetSeriesCap(cfg.SeriesCap)
+	if cfg.HistoryEvery > 0 {
+		s.hist = history.New(cfg.Obs, history.Config{
+			Every:  cfg.HistoryEvery,
+			Retain: cfg.HistoryRetain,
+			Rules:  append(DefaultAlertRules(), cfg.AlertRules...),
+		})
+	}
 	s.shards = make([]*shard, cfg.shardCount())
 	for k := range s.shards {
 		s.shards[k] = newShard(k, s)
@@ -142,7 +177,41 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux = s.buildMux()
 	s.setTenantGauge()
+	s.hist.Start()
 	return s, nil
+}
+
+// History returns the telemetry history store, or nil when the daemon
+// runs without sampling (HistoryEvery <= 0).
+func (s *Server) History() *history.Store { return s.hist }
+
+// DefaultAlertRules are the rules every history-enabled daemon carries:
+// an ingest-availability SLO burn-rate rule over the request/reject
+// counters, and a threshold rule that fires while snapshot writes are
+// failing. Rules passed via Config.AlertRules (the -alert-rules file)
+// are evaluated in addition to these.
+func DefaultAlertRules() []history.Rule {
+	return []history.Rule{
+		{
+			Name:        "serve-ingest-availability",
+			Type:        history.TypeBurnRate,
+			ErrorMetric: "fenrir_serve_ingest_rejected_total",
+			TotalMetric: "fenrir_serve_ingest_requests_total",
+			Objective:   0.99,
+			Factor:      2,
+			FastRange:   history.Duration(5 * time.Minute),
+			SlowRange:   history.Duration(30 * time.Minute),
+		},
+		{
+			Name:   "serve-snapshot-errors",
+			Type:   history.TypeThreshold,
+			Metric: "fenrir_snapshot_errors_total",
+			Fn:     "delta",
+			Op:     ">",
+			Value:  0,
+			Range:  history.Duration(10 * time.Minute),
+		},
+	}
 }
 
 // homeShard is the consistent-hash placement for a tenant name.
@@ -337,6 +406,10 @@ func (s *Server) Drain() error {
 		}(i, sh)
 	}
 	wg.Wait()
+	// Stop the sampler last: its final tick captures the drained state
+	// (drain gauges, final checkpoint counters) in the rings and gives
+	// every alert rule one last evaluation before the manifest is cut.
+	s.hist.Stop()
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -47,6 +47,13 @@ type shard struct {
 	tenantGauge  *obs.Gauge
 	pendingGauge *obs.Gauge
 	drainGauge   *obs.Gauge
+
+	// Shard-level rollup series (DESIGN.md §16): these carry a shard
+	// label instead of a tenant label, so the cardinality governor never
+	// touches them — shard-level SLOs stay exact even when per-tenant
+	// series have collapsed into {tenant="__other__"}.
+	ingestCount *obs.Counter
+	admitHist   *obs.Histogram
 }
 
 func newShard(id int, s *Server) *shard {
@@ -59,6 +66,8 @@ func newShard(id int, s *Server) *shard {
 		tenantGauge:  reg.Gauge(fmt.Sprintf(`fenrir_serve_shard_tenants{shard="%d"}`, id)),
 		pendingGauge: reg.Gauge(fmt.Sprintf(`fenrir_serve_shard_pending{shard="%d"}`, id)),
 		drainGauge:   reg.Gauge(fmt.Sprintf(`fenrir_serve_shard_drain_seconds{shard="%d"}`, id)),
+		ingestCount:  reg.Counter(fmt.Sprintf(`fenrir_serve_shard_ingest_total{shard="%d"}`, id)),
+		admitHist:    reg.Histogram(fmt.Sprintf(`fenrir_serve_admission_seconds{shard="%d"}`, id)),
 	}
 }
 

@@ -59,6 +59,12 @@ type tenant struct {
 	ckptHist   *obs.Histogram
 	ckptBytes  *obs.Histogram
 	queueGauge *obs.Gauge
+	// ingestCount is the tenant's accepted-append counter. Under the
+	// cardinality governor an overflow tenant's handle resolves to the
+	// shared {tenant="__other__"} counter, so the sum across all
+	// tenant-labeled series always equals the sum across the shard
+	// rollups.
+	ingestCount *obs.Counter
 }
 
 func newTenant(name string, mon *core.Monitor, sh *shard) *tenant {
@@ -72,12 +78,13 @@ func newTenant(name string, mon *core.Monitor, sh *shard) *tenant {
 		queue: make(chan queued, s.cfg.queueDepth()),
 		done:  make(chan struct{}),
 
-		admitHist:  reg.Histogram(fmt.Sprintf("fenrir_serve_admission_seconds{tenant=%q}", name)),
-		lagHist:    reg.Histogram(fmt.Sprintf("fenrir_serve_queryable_lag_seconds{tenant=%q}", name)),
-		depthHist:  reg.Histogram(fmt.Sprintf("fenrir_serve_queue_depth_levels{tenant=%q}", name)),
-		ckptHist:   reg.Histogram(fmt.Sprintf("fenrir_serve_checkpoint_seconds{tenant=%q}", name)),
-		ckptBytes:  reg.Histogram(fmt.Sprintf("fenrir_serve_checkpoint_bytes{tenant=%q}", name)),
-		queueGauge: reg.Gauge(fmt.Sprintf("fenrir_serve_queue_depth{tenant=%q}", name)),
+		admitHist:   reg.Histogram(fmt.Sprintf("fenrir_serve_admission_seconds{tenant=%q}", name)),
+		lagHist:     reg.Histogram(fmt.Sprintf("fenrir_serve_queryable_lag_seconds{tenant=%q}", name)),
+		depthHist:   reg.Histogram(fmt.Sprintf("fenrir_serve_queue_depth_levels{tenant=%q}", name)),
+		ckptHist:    reg.Histogram(fmt.Sprintf("fenrir_serve_checkpoint_seconds{tenant=%q}", name)),
+		ckptBytes:   reg.Histogram(fmt.Sprintf("fenrir_serve_checkpoint_bytes{tenant=%q}", name)),
+		queueGauge:  reg.Gauge(fmt.Sprintf("fenrir_serve_queue_depth{tenant=%q}", name)),
+		ingestCount: reg.Counter(fmt.Sprintf("fenrir_serve_tenant_ingest_total{tenant=%q}", name)),
 	}
 	t.cond = sync.NewCond(&t.mu)
 	mon.Instrument(s.cfg.Obs)
@@ -169,6 +176,8 @@ func (t *tenant) worker() {
 			obsReg.Counter(`fenrir_serve_rejected_total{reason="append"}`).Inc()
 		} else {
 			obsReg.Counter("fenrir_serve_ingest_total").Inc()
+			t.ingestCount.Inc()
+			t.sh.ingestCount.Inc()
 			obsReg.Histogram("fenrir_serve_ingest_seconds").ObserveSince(t0)
 			// Append-to-queryable lag: the observation became visible to
 			// queries now; it was accepted at q.admitted.

@@ -2,8 +2,10 @@ package fenrir
 
 import (
 	"net/http"
+	"time"
 
 	"fenrir/internal/obs"
+	"fenrir/internal/obs/history"
 )
 
 // Observability re-exports: the zero-dependency instrumentation layer
@@ -83,3 +85,46 @@ var WriteTraceFile = obs.WriteTraceFile
 // {label="value"} block) is well-formed; registration panics on names
 // that fail it.
 var ValidateMetricName = obs.ValidateMetricName
+
+// Telemetry history re-exports (internal/obs/history, DESIGN.md §16):
+// the in-process time-series store and alert engine the daemon uses to
+// watch itself. All of it tolerates a nil *HistoryStore.
+type (
+	// HistoryStore samples a Registry into per-series ring buffers and
+	// evaluates alert rules after every tick.
+	HistoryStore = history.Store
+	// HistoryConfig tunes a HistoryStore: interval, retention, rules,
+	// and an injectable clock for deterministic tests.
+	HistoryConfig = history.Config
+	// AlertRule is one declarative threshold or burn-rate alert.
+	AlertRule = history.Rule
+	// AlertStatus is one rule's externally visible state.
+	AlertStatus = history.AlertStatus
+	// HistoryResult is one evaluated history query.
+	HistoryResult = history.QueryResult
+	// AlertsSummary is the manifest rollup of a run's alert activity.
+	AlertsSummary = obs.AlertsSummary
+)
+
+// NewHistoryStore builds a history store over reg; call Start for the
+// background sampler or Tick to sample synchronously.
+func NewHistoryStore(reg *Registry, cfg HistoryConfig) *HistoryStore {
+	return history.New(reg, cfg)
+}
+
+// LoadAlertRules reads and validates a JSON array of alert rules (the
+// `fenrir -alert-rules` file format).
+var LoadAlertRules = history.LoadRules
+
+// QueryHistory evaluates fn ("latest", "delta", "rate", "max_over_time")
+// over the newest samples of metric within rng (0 = whole window). stat
+// selects a histogram rollup ("count", "sum", "p50", "p90", "p99");
+// leave it empty for plain series. ok is false on an unknown fn or an
+// unknown/empty series.
+func QueryHistory(s *HistoryStore, metric, stat, fn string, rng time.Duration) (HistoryResult, bool) {
+	f, ok := history.ParseFn(fn)
+	if !ok {
+		return HistoryResult{}, false
+	}
+	return s.Query(metric, stat, f, rng)
+}

@@ -7,9 +7,12 @@
 // required, but the serve ingest/tenant/checkpoint metrics must have
 // landed. With -events it asserts the flight recorder folded structured
 // events into the manifest with strictly increasing sequence numbers.
-// Exits non-zero with a diagnostic otherwise; used by
-// scripts/obs_smoke.sh, scripts/faults_smoke.sh, and
-// scripts/serve_smoke.sh.
+// With -alerts it asserts the telemetry-history alert engine ran (the
+// alerts block is present with at least one evaluated rule and one
+// sample) and warns loudly about rules still firing at shutdown. Exits
+// non-zero with a diagnostic otherwise; used by scripts/obs_smoke.sh,
+// scripts/faults_smoke.sh, scripts/serve_smoke.sh,
+// scripts/shard_smoke.sh, and scripts/history_smoke.sh.
 package main
 
 import (
@@ -27,9 +30,10 @@ func main() {
 	checkFaults := flag.Bool("faults", false, "assert fault-injection and quarantine counters are present")
 	checkServe := flag.Bool("serve", false, "validate a daemon (fenrir -serve) manifest instead of a batch run")
 	checkEvents := flag.Bool("events", false, "assert flight-recorder events landed in the manifest")
+	checkAlerts := flag.Bool("alerts", false, "assert the telemetry-history alerts block landed in the manifest")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-faults] [-serve] [-events] <manifest.json>")
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck [-faults] [-serve] [-events] [-alerts] <manifest.json>")
 		os.Exit(2)
 	}
 	m, err := obs.LoadManifest(flag.Arg(0))
@@ -41,6 +45,9 @@ func main() {
 	}
 	if *checkEvents {
 		checkManifestEvents(m)
+	}
+	if *checkAlerts {
+		checkManifestAlerts(m)
 	}
 	checkEvictions(m)
 	if *checkServe {
@@ -150,6 +157,33 @@ func checkManifestEvents(m *obs.Manifest) {
 	}
 	fmt.Printf("manifestcheck: events ok — %d flight-recorder events (seq %d..%d)\n",
 		len(m.Events), m.Events[0].Seq, m.Events[len(m.Events)-1].Seq)
+}
+
+// checkManifestAlerts asserts the telemetry-history alert engine was
+// running: the manifest carries an alerts block with at least one
+// evaluated rule and at least one sampler tick. A rule still firing at
+// shutdown is not an error — the daemon may legitimately die mid-
+// incident — but it is warned loudly so smoke scripts and operators see
+// the unresolved state.
+func checkManifestAlerts(m *obs.Manifest) {
+	if m.Alerts == nil {
+		fail("manifest has no alerts block — daemon was not self-observing (run with -history-every > 0)")
+	}
+	a := m.Alerts
+	if a.Rules == 0 {
+		fail("alerts block evaluated zero rules")
+	}
+	if a.Samples == 0 {
+		fail("alerts block records zero sampler ticks")
+	}
+	if a.Transitions < 0 {
+		fail("alerts block has negative transition count %d", a.Transitions)
+	}
+	for _, name := range a.Firing {
+		fmt.Fprintf(os.Stderr, "manifestcheck: WARNING — rule %q still firing at shutdown\n", name)
+	}
+	fmt.Printf("manifestcheck: alerts ok — %d rules over %d samples, %d transitions, %d firing at shutdown\n",
+		a.Rules, a.Samples, a.Transitions, len(a.Firing))
 }
 
 // checkEvictions asserts the telemetry-ring eviction counters landed in

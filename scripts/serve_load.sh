@@ -292,6 +292,62 @@ if [ -n "$SHARD_SET" ]; then
     done
 fi
 
+# Phase 3: the history-overhead A/B. The same release build and load
+# shape runs twice — telemetry history sampling at 100ms (aggressive:
+# the production default is 10s) versus fully off — and the paired
+# ServeLoad/history-overhead-* rows land next to each other so the
+# sampler's ingest cost is a one-line diff. The run prints the measured
+# overhead; the budget is <= 5% at the 100ms interval. HISTORY_AB=""
+# skips the phase.
+HISTORY_AB="${HISTORY_AB:-1}"
+HIST_TENANTS="${HIST_TENANTS:-64}"
+HIST_EPOCHS="${HIST_EPOCHS:-32}"
+if [ -n "$HISTORY_AB" ]; then
+    relbin="$work/fenrir-rel"
+    loadbin="$work/serveload"
+    [ -x "$relbin" ] || go build -o "$relbin" ./cmd/fenrir
+    [ -x "$loadbin" ] || go build -o "$loadbin" ./scripts/serveload
+    for hv in 100ms 0; do
+        case "$hv" in
+        0) hl=off ;;
+        *) hl=on ;;
+        esac
+        log="$work/hist-$hl.log"
+        "$relbin" -serve 127.0.0.1:0 -history-every "$hv" 2>"$log" &
+        ab_pid=$!
+        pids="$pids $ab_pid"
+        hurl=""
+        i=0
+        while [ $i -lt 200 ]; do
+            hurl=$(sed -n 's!^fenrir: serving api \(http://[^ ]*\).*!\1!p' "$log" | head -1)
+            [ -n "$hurl" ] && break
+            sleep 0.05
+            i=$((i + 1))
+        done
+        if [ -z "$hurl" ]; then
+            echo "serve-load: history A/B daemon (history=$hl) never announced its address" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        "$loadbin" -url "$hurl" -tenants "$HIST_TENANTS" -epochs "$HIST_EPOCHS" \
+            -writers "$LOAD_WRITERS" -prefix history-overhead -label "history=$hl" \
+            >>"$work/rows"
+        kill "$ab_pid" 2>/dev/null || true
+        wait "$ab_pid" 2>/dev/null || true
+        echo "serve-load: history A/B history=$hl done ($HIST_TENANTS tenants x $HIST_EPOCHS epochs)"
+    done
+    awk -F'"' '
+        /history-overhead-ingest-throughput\/history=on/ { on = $0 }
+        /history-overhead-ingest-throughput\/history=off/ { off = $0 }
+        END {
+            if (on == "" || off == "") exit 0
+            split(on, a, "ns_per_op\": "); non = a[2] + 0
+            split(off, b, "ns_per_op\": "); noff = b[2] + 0
+            pct = 100 * (non - noff) / noff
+            printf "serve-load: history sampling overhead %.1f%% ns/op (on %.0f vs off %.0f; budget <= 5%%)\n", pct, non, noff
+        }' "$work/rows"
+fi
+
 # Assemble the JSON array from the accumulated rows.
 {
     printf "[\n"

@@ -160,5 +160,5 @@ for f in mode events heatmap transitions flows; do
     fi
 done
 
-go run ./scripts/manifestcheck -serve -events "$manifest"
+go run ./scripts/manifestcheck -serve -events -alerts "$manifest"
 echo "serve-smoke: ok — kill-and-restore output is byte-identical across 5 query endpoints"

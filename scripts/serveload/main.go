@@ -13,8 +13,12 @@
 //	serveload -url http://127.0.0.1:8080 -tenants 1024 -epochs 16 \
 //	    -writers 8 -label S=4
 //
-// Used by scripts/serve_load.sh to record multi-shard rows into
-// BENCH_serve.json.
+// -prefix renames the row stem (default "sharded"), letting the same
+// load shape record differently-purposed rows — the history-overhead
+// A/B uses -prefix history-overhead.
+//
+// Used by scripts/serve_load.sh to record multi-shard and
+// history-overhead rows into BENCH_serve.json.
 package main
 
 import (
@@ -37,18 +41,19 @@ func main() {
 	writers := flag.Int("writers", 8, "concurrent producer workers")
 	networks := flag.Int("networks", 16, "networks per tenant universe")
 	label := flag.String("label", "", "row label suffix, e.g. S=4")
+	prefix := flag.String("prefix", "sharded", "row name stem, e.g. history-overhead")
 	flag.Parse()
 	if *url == "" {
 		fmt.Fprintln(os.Stderr, "serveload: -url is required")
 		os.Exit(2)
 	}
-	if err := run(*url, *tenants, *epochs, *writers, *networks, *label); err != nil {
+	if err := run(*url, *tenants, *epochs, *writers, *networks, *label, *prefix); err != nil {
 		fmt.Fprintln(os.Stderr, "serveload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(base string, tenants, epochs, writers, networks int, label string) error {
+func run(base string, tenants, epochs, writers, networks int, label, prefix string) error {
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        writers * 2,
 		MaxIdleConnsPerHost: writers * 2,
@@ -164,10 +169,10 @@ func run(base string, tenants, epochs, writers, networks int, label string) erro
 		fmt.Printf("{\"name\": \"ServeLoad/%s%s\", \"iterations\": %d, \"ns_per_op\": %.0f}\n",
 			name, suffix, iters, nsPerOp)
 	}
-	emit("sharded-ingest-throughput", len(all), float64(wall.Nanoseconds())/float64(len(all)))
-	emit("sharded-admission-p50", len(all), float64(q(0.50).Nanoseconds()))
-	emit("sharded-admission-p90", len(all), float64(q(0.90).Nanoseconds()))
-	emit("sharded-admission-p99", len(all), float64(q(0.99).Nanoseconds()))
+	emit(prefix+"-ingest-throughput", len(all), float64(wall.Nanoseconds())/float64(len(all)))
+	emit(prefix+"-admission-p50", len(all), float64(q(0.50).Nanoseconds()))
+	emit(prefix+"-admission-p90", len(all), float64(q(0.90).Nanoseconds()))
+	emit(prefix+"-admission-p99", len(all), float64(q(0.99).Nanoseconds()))
 	fmt.Fprintf(os.Stderr, "serveload: %d tenants x %d epochs via %d writers in %.2fs (%.0f obs/s)\n",
 		tenants, epochs, writers, wall.Seconds(), float64(len(all))/wall.Seconds())
 	return nil

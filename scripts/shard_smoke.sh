@@ -193,8 +193,9 @@ kill -KILL "$victim_pid"
 wait "$victim_pid" 2>/dev/null || true
 
 # --- Restart: same flags, same state dir. -----------------------------
+manifest="$work/shard-manifest.json"
 "$bin" -serve 127.0.0.1:0 -shards $SHARDS -snapshot-dir "$state" \
-    -snapshot-every 5 2>"$work/restart.log" &
+    -snapshot-every 5 -manifest "$manifest" 2>"$work/restart.log" &
 restart_pid=$!
 pids="$pids $restart_pid"
 restart_url=$(wait_api "$work/restart.log")
@@ -227,4 +228,8 @@ for t in $TENANTS; do
         fi
     done
 done
+
+# The restarted daemon's manifest must carry serve metrics and the
+# telemetry-history alerts block (self-observation is on by default).
+go run ./scripts/manifestcheck -serve -alerts "$manifest"
 echo "shard-smoke: ok — rebalance + kill -9 + restart is byte-identical across 5 endpoints x 6 tenants on $SHARDS shards"
